@@ -1,0 +1,31 @@
+# Convenience targets for the MLTCP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure via the CLI (text reports to stdout).
+figures:
+	$(PYTHON) -m repro run all
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf bench_reports .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

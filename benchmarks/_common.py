@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one paper figure and must surface the rows/series it
+produced.  pytest captures stdout, so :func:`emit` both prints (visible with
+``pytest -s`` or on failure) and writes the rendered report to
+``bench_reports/<name>.txt`` next to the repository root, where it is always
+inspectable after a run.  :func:`emit_csv` additionally saves the raw series
+as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure report and persist it under bench_reports/."""
+    print(f"\n{text}\n")
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_csv(name: str, columns: Mapping[str, Sequence]) -> None:
+    """Save aligned data columns as ``bench_reports/<name>.csv``.
+
+    Shorter columns are padded with empty cells so series of different
+    lengths (e.g. per-policy iteration counts) can share one file.
+    """
+    REPORT_DIR.mkdir(exist_ok=True)
+    keys = list(columns)
+    length = max(len(v) for v in columns.values())
+    with open(REPORT_DIR / f"{name}.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(keys)
+        for i in range(length):
+            writer.writerow(
+                [columns[k][i] if i < len(columns[k]) else "" for k in keys]
+            )

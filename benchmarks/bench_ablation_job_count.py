@@ -1,0 +1,81 @@
+"""Ablation: how convergence scales with the number of competing jobs.
+
+MLTCP's scalability pitch is that it is fully distributed — no controller
+recomputation as jobs are added.  This bench grows the number of identical
+GPT-2 jobs sharing the bottleneck (keeping the mix feasible) and reports
+the convergence iteration and final gap, plus a randomized-start variant
+("regardless of job start times", §3.1).
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.flowsim import run_fluid
+from repro.harness.report import render_table
+from repro.metrics.convergence import detect_convergence
+from repro.workloads.presets import BOTTLENECK_GBPS, gpt2_job, identical_jobs
+
+JOB_COUNTS = (2, 3, 4, 5, 6, 7)
+
+
+def _run_one(count: int, randomized: bool):
+    jobs = identical_jobs(gpt2_job(), count)
+    if randomized:
+        rng = np.random.default_rng(count)
+        jobs = [
+            j.with_offset(float(rng.uniform(0, j.ideal_iteration_time)))
+            for j in jobs
+        ]
+    result = run_fluid(
+        jobs,
+        BOTTLENECK_GBPS,
+        policy=MLTCPWeighted(),
+        max_iterations=80,
+        seed=count,
+    )
+    rounds = result.mean_iteration_by_round()
+    report = detect_convergence(rounds, target=1.8, tolerance=0.05)
+    return {
+        "jobs": count,
+        "randomized": randomized,
+        "converged_at": report.converged_at,
+        "final_mean": report.final_mean,
+    }
+
+
+def _sweep():
+    return [
+        _run_one(count, randomized)
+        for count in JOB_COUNTS
+        for randomized in (False, True)
+    ]
+
+
+def _report(rows) -> str:
+    return render_table(
+        ["jobs", "start times", "converged at iter", "final mean iter (s)"],
+        [
+            [
+                r["jobs"],
+                "random" if r["randomized"] else "synchronized",
+                str(r["converged_at"]),
+                r["final_mean"],
+            ]
+            for r in rows
+        ],
+        title="Ablation — convergence vs number of competing GPT-2 jobs "
+        "(ideal iteration 1.8 s)",
+    )
+
+
+def test_ablation_job_count(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("ablation_job_count", _report(rows))
+
+    for row in rows:
+        assert row["converged_at"] is not None, row
+        assert row["final_mean"] < 1.06 * 1.8, row
+    sync = [r for r in rows if not r["randomized"]]
+    # Convergence stays bounded (no blow-up with job count).
+    assert max(r["converged_at"] for r in sync) <= 40

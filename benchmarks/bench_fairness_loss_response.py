@@ -1,0 +1,88 @@
+"""§5 fairness between MLTCP and legacy TCP flows.
+
+Two measurable claims from the paper's discussion:
+
+1. "TCP's throughput is inversely proportional to the square root of loss
+   probability" — verified for our Reno over a random-loss bottleneck
+   against the Mathis model.
+2. "Given the same packet loss probability, an MLTCP-Reno flow claims more
+   bandwidth share than a standard Reno flow.  However, MLTCP-Reno flows
+   would not starve the other legacy flows" — verified by competing the
+   two on one bottleneck.
+"""
+
+import math
+
+from _common import emit
+from repro.harness.experiments import (
+    fairness_competition_share,
+    fairness_loss_response,
+)
+from repro.harness.report import render_table
+
+LOSS_PROBS = (0.0005, 0.001, 0.002, 0.004)
+
+
+def _mathis_report(rows) -> str:
+    return render_table(
+        ["loss prob", "Reno (Mbps)", "Mathis model (Mbps)"],
+        [[r["loss_prob"], r["reno_mbps"], r["mathis_prediction_mbps"]] for r in rows],
+        title="§5 — Reno throughput vs loss probability (1/sqrt(p) law)",
+    )
+
+
+def _share_report(rows) -> str:
+    from repro.metrics.stats import jain_fairness
+
+    return render_table(
+        ["loss prob", "MLTCP-Reno (Mbps)", "legacy Reno (Mbps)", "share ratio", "Jain index"],
+        [
+            [
+                r["loss_prob"],
+                r["mltcp_mbps"],
+                r["reno_mbps"],
+                r["share_ratio"],
+                jain_fairness([r["mltcp_mbps"], r["reno_mbps"]]),
+            ]
+            for r in rows
+        ],
+        title="§5 — saturated MLTCP flow vs legacy Reno flow on one bottleneck",
+    )
+
+
+def test_reno_mathis_law(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fairness_loss_response(loss_probs=LOSS_PROBS),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fairness_mathis_law", _mathis_report(rows))
+
+    # Quadrupling p should cut throughput by about half (sqrt law, loose).
+    lo = next(r for r in rows if r["loss_prob"] == 0.001)
+    hi = next(r for r in rows if r["loss_prob"] == 0.004)
+    ratio = lo["reno_mbps"] / hi["reno_mbps"]
+    assert 1.3 < ratio < 3.5
+    # Log-log slope near -1/2.
+    xs = [math.log(r["loss_prob"]) for r in rows]
+    ys = [math.log(r["reno_mbps"]) for r in rows]
+    n = len(xs)
+    slope = (n * sum(x * y for x, y in zip(xs, ys)) - sum(xs) * sum(ys)) / (
+        n * sum(x * x for x in xs) - sum(xs) ** 2
+    )
+    assert -1.0 < slope < -0.2
+
+
+def test_mltcp_share_without_starvation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fairness_competition_share(
+            loss_probs=(0.0, 0.002), horizon=2.0, seeds=(1, 2, 3)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fairness_competition_share", _share_report(rows))
+
+    lossless = next(r for r in rows if r["loss_prob"] == 0.0)
+    assert lossless["share_ratio"] > 1.2  # MLTCP claims more
+    assert lossless["reno_mbps"] > 100.0  # but Reno is far from starved

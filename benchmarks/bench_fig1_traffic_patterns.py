@@ -1,0 +1,58 @@
+"""Figure 1: the traffic patterns of jobs J1 (GPT-3) and J2–J4 (GPT-2).
+
+Regenerates each job's offered-load trace over the first five seconds and
+reports peak demand, communication duty cycle and per-iteration volume —
+the quantities the paper's Figure 1 panels convey visually.
+"""
+
+from _common import emit
+from repro.harness.experiments import fig1_traffic_patterns
+from repro.harness.report import render_table, sparkline
+from repro.workloads.presets import four_job_scenario
+
+
+def _report() -> str:
+    traces = fig1_traffic_patterns(duration=5.0, dt=0.01)
+    jobs = {j.name: j for j in four_job_scenario(jitter_sigma=0.0)}
+    lines = ["Figure 1 — per-job network demand in isolation (Gbps over 5 s)", ""]
+    rows = []
+    for name, (times, demand) in traces.items():
+        lines.append(f"{name}: {sparkline(demand, width=76)}")
+        duty = float((demand > 0).mean())
+        volume = float(demand.sum() * (times[1] - times[0]))  # Gbit over 5 s
+        per_iter = volume / (5.0 / jobs[name].ideal_iteration_time)
+        rows.append(
+            [
+                name,
+                float(demand.max()),
+                duty,
+                jobs[name].ideal_iteration_time,
+                per_iter,
+            ]
+        )
+    lines.append("")
+    lines.append(
+        render_table(
+            [
+                "job",
+                "peak demand (Gbps)",
+                "comm duty cycle",
+                "iteration (s)",
+                "Gbit/iteration",
+            ],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_fig1_traffic_patterns(benchmark):
+    report = benchmark.pedantic(_report, rounds=1, iterations=1)
+    emit("fig1_traffic_patterns", report)
+    traces = fig1_traffic_patterns(duration=5.0, dt=0.01)
+    # Shape checks: J1 is the 1.2 s job, the GPT-2 trio the 1.8 s jobs.
+    _t, j1 = traces["J1"]
+    _t, j2 = traces["J2"]
+    assert j1.max() == 25.0
+    # GPT-2's double-hump bursts exceed the nominal 25 Gbps demand.
+    assert 25.0 < j2.max() < 40.0

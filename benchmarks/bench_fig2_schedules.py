@@ -1,0 +1,87 @@
+"""Figure 2: centralized (Cassini-like) vs SRPT (pFabric) vs MLTCP on the
+four-job mix, plus §2's approximation-error claims.
+
+Paper values: optimal gives J1 1.2 s and J2–J4 1.8 s; pFabric slows J1 by
+~1.5x; MLTCP converges to within 5% of the optimum in ~20 iterations and
+stays there.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.harness.experiments import fig2_schedules
+from repro.harness.report import render_table, sparkline
+
+
+def _timelines(result) -> list[str]:
+    """Per-job link-rate timelines — the visual panels of Figure 2.
+
+    SRPT over its early window (the regime the paper plots) and MLTCP over
+    its converged tail: under MLTCP the bursts tile the time axis.
+    """
+    lines = ["", "Link-rate timelines (each char ~ the same wall-clock slice):"]
+    for label, run, window in (
+        ("SRPT ", result.srpt_result, (0.0, 8.0)),
+        ("MLTCP", result.mltcp_result, (None, None)),
+    ):
+        start, end = window
+        if start is None:
+            end = run.end_time
+            start = max(0.0, end - 8.0)
+        for name in ("J1", "J2", "J3", "J4"):
+            times, rates = run.rate_timeline(name, dt=0.05)
+            mask = (times >= start) & (times < end)
+            lines.append(f"  {label} {name}: {sparkline(rates[mask], width=64)}")
+        lines.append("")
+    return lines
+
+
+def _report(result) -> str:
+    names = ["J1", "J2", "J3", "J4"]
+    rows = [
+        ["paper optimal (Cassini)", 1.2, 1.8, 1.8, 1.8],
+        ["measured optimal"] + [result.optimal_times[n] for n in names],
+        ["measured SRPT (early)"] + [result.srpt_times[n] for n in names],
+        ["measured MLTCP (converged)"] + [result.mltcp_times[n] for n in names],
+    ]
+    lines = [
+        "Figure 2 — average iteration times of the four-job mix (seconds)",
+        "",
+        render_table(["schedule"] + names, rows),
+        "",
+        render_table(
+            ["claim", "paper", "measured"],
+            [
+                ["SRPT J1 slowdown", "1.5x", f"{result.srpt_j1_slowdown:.2f}x"],
+                [
+                    "MLTCP gap vs optimal",
+                    "< 5%",
+                    f"{100 * result.mltcp_gap_vs_optimal:.2f}%",
+                ],
+                [
+                    "MLTCP convergence iteration",
+                    "~20",
+                    str(result.mltcp_converged_at),
+                ],
+            ],
+        ),
+    ]
+    lines.extend(_timelines(result))
+    return "\n".join(lines)
+
+
+def test_fig2_schedules(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2_schedules(iterations=60), rounds=1, iterations=1
+    )
+    emit("fig2_schedules", _report(result))
+
+    # Shape assertions (who wins, by what factor).
+    assert result.schedule.is_interleaved
+    assert result.optimal_times["J1"] == np.round(result.optimal_times["J1"], 10)
+    assert abs(result.optimal_times["J1"] - 1.2) < 0.03
+    assert abs(result.optimal_times["J2"] - 1.8) < 0.03
+    assert result.srpt_j1_slowdown > 1.15
+    assert result.mltcp_gap_vs_optimal < 0.05
+    assert result.mltcp_converged_at is not None
+    assert result.mltcp_converged_at <= 20

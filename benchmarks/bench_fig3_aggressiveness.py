@@ -1,0 +1,60 @@
+"""Figure 3: performance of the six bandwidth aggressiveness functions.
+
+Three identical GPT-2 jobs compete under MLTCP with each F1…F6.  The paper
+shows the increasing functions (F1–F4) driving the average iteration time
+down to the ideal within ~20 iterations while the decreasing controls
+(F5, F6) never improve.
+"""
+
+from _common import emit, emit_csv
+from repro.harness.experiments import fig3_aggressiveness
+from repro.harness.report import render_table, sparkline
+from repro.workloads.presets import three_job_scenario
+
+
+def _report(series) -> str:
+    ideal = three_job_scenario()[0].ideal_iteration_time
+    lines = [
+        "Figure 3 — average iteration time (s) per training iteration,",
+        f"three GPT-2 jobs, ideal = {ideal:.2f} s",
+        "",
+    ]
+    rows = []
+    for key in ("F1", "F2", "F3", "F4", "F5", "F6"):
+        values = series[key]
+        lines.append(f"{key}: {sparkline(values, width=70)}")
+        rows.append(
+            [
+                key,
+                float(values[0]),
+                float(values[-5:].mean()),
+                "interleaves" if values[-5:].mean() < 1.05 * ideal else "does not",
+            ]
+        )
+    lines.append("")
+    lines.append(
+        render_table(["function", "first iter (s)", "final (s)", "outcome"], rows)
+    )
+    lines.append("")
+    lines.append(
+        "Paper: F1-F4 (increasing) interleave after ~20 iterations; "
+        "F5/F6 (decreasing) never do."
+    )
+    return "\n".join(lines)
+
+
+def test_fig3_aggressiveness(benchmark):
+    series = benchmark.pedantic(
+        lambda: fig3_aggressiveness(iterations=40), rounds=1, iterations=1
+    )
+    emit("fig3_aggressiveness", _report(series))
+    emit_csv(
+        "fig3_aggressiveness",
+        {key: [float(v) for v in values] for key, values in series.items()},
+    )
+
+    ideal = three_job_scenario()[0].ideal_iteration_time
+    for key in ("F1", "F2", "F3", "F4"):
+        assert series[key][-5:].mean() < 1.03 * ideal
+    for key in ("F5", "F6"):
+        assert series[key][-5:].mean() > 1.15 * ideal

@@ -1,0 +1,62 @@
+"""Figure 4: six GPT-2 jobs on one bottleneck — Reno vs MLTCP-Reno.
+
+Panels (a)/(b): bandwidth allocation over time (here: mean iteration time
+per round).  Panel (c): CDF of iteration times over the jobs' lifetime; the
+paper reports a 1.59x tail speedup for MLTCP over standard Reno.
+"""
+
+import numpy as np
+
+from _common import emit, emit_csv
+from repro.harness.experiments import fig4_six_jobs
+from repro.harness.report import render_table, sparkline
+from repro.metrics.stats import percentile
+
+
+def _report(result) -> str:
+    reno_rounds = result.reno_result.mean_iteration_by_round()
+    mltcp_rounds = result.mltcp_result.mean_iteration_by_round()
+    lines = [
+        "Figure 4 — six identical GPT-2 jobs (ideal iteration 1.8 s)",
+        "",
+        f"(a) Reno  mean iteration by round:  {sparkline(reno_rounds, width=66)}",
+        f"(b) MLTCP mean iteration by round:  {sparkline(mltcp_rounds, width=66)}",
+        "",
+        "(c) CDF of iteration times over the job lifetime (s):",
+        render_table(
+            ["percentile", "Reno", "MLTCP-Reno"],
+            [
+                [f"p{q}", percentile(result.reno_times, q), percentile(result.mltcp_times, q)]
+                for q in (10, 50, 90, 99)
+            ],
+        ),
+        "",
+        render_table(
+            ["claim", "paper", "measured"],
+            [
+                ["tail (p99) speedup", "1.59x", f"{result.tail_speedup_p99:.2f}x"],
+                ["median speedup", "-", f"{result.median_speedup:.2f}x"],
+            ],
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def test_fig4_six_jobs(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4_six_jobs(iterations=400), rounds=1, iterations=1
+    )
+    emit("fig4_six_jobs", _report(result))
+    emit_csv(
+        "fig4_six_jobs_cdf",
+        {
+            "reno_iteration_s": sorted(float(v) for v in result.reno_times),
+            "mltcp_iteration_s": sorted(float(v) for v in result.mltcp_times),
+        },
+    )
+
+    # Shape: MLTCP reaches the ideal, Reno stays congested, tail wins > 1.25x.
+    assert result.mltcp_result.mean_iteration_by_round()[-5:].mean() < 1.85
+    assert result.reno_result.mean_iteration_by_round()[-5:].mean() > 1.9
+    assert result.tail_speedup_p99 > 1.25
+    assert np.median(result.mltcp_times) < np.median(result.reno_times)

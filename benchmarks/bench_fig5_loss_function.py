@@ -1,0 +1,61 @@
+"""Figure 5(c): the MLTCP loss function for two jobs with alpha = 1/2.
+
+Regenerates Loss(delta) = -integral of Shift (Eq. 4) over one period and
+verifies its shape: maxima at full overlap (delta = 0 and delta = T),
+unique minimum at the interleaved point delta = T/2.
+"""
+
+import numpy as np
+
+from _common import emit, emit_csv
+from repro.harness.experiments import fig5_loss_function
+from repro.harness.report import render_table, sparkline
+
+
+def _report(curves) -> str:
+    deltas, losses, shifts = curves["delta"], curves["loss"], curves["shift"]
+    period = deltas[-1]
+    idx_min = int(np.argmin(losses))
+    samples = [0.0, 0.25, 0.5, 0.75, 1.0]
+    rows = [
+        [
+            f"{f * period:.2f}",
+            float(losses[int(f * (len(deltas) - 1))]),
+            float(shifts[int(f * (len(deltas) - 1))]),
+        ]
+        for f in samples
+    ]
+    lines = [
+        "Figure 5(c) — MLTCP loss function, alpha = 1/2, T = 1.8 s",
+        "",
+        f"Loss(delta):  {sparkline(losses, width=72)}",
+        f"Shift(delta): {sparkline(shifts, width=72)}",
+        "",
+        render_table(["delta (s)", "Loss", "Shift"], rows),
+        "",
+        f"minimum at delta = {deltas[idx_min]:.3f} s "
+        f"(paper: T/2 = {period / 2:.3f} s)",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig5_loss_function(benchmark):
+    curves = benchmark.pedantic(fig5_loss_function, rounds=3, iterations=1)
+    emit("fig5_loss_function", _report(curves))
+    emit_csv(
+        "fig5_loss_function",
+        {
+            "delta_s": [float(v) for v in curves["delta"]],
+            "loss": [float(v) for v in curves["loss"]],
+            "shift_s": [float(v) for v in curves["shift"]],
+        },
+    )
+
+    deltas, losses = curves["delta"], curves["loss"]
+    period = deltas[-1]
+    assert deltas[np.argmin(losses)] == np.clip(
+        deltas[np.argmin(losses)], 0.48 * period, 0.52 * period
+    )
+    # Maxima at the overlap points.
+    assert losses[0] == max(losses[0], losses[len(losses) // 2])
+    assert abs(losses[0] - losses[-1]) < 1e-6

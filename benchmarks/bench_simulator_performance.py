@@ -1,0 +1,65 @@
+"""Engine performance: events/second of the two simulation substrates.
+
+Not a paper figure — a conventional pytest-benchmark microbenchmark suite
+so regressions in the discrete-event core or the fluid allocator are
+caught.  Runs with multiple rounds (unlike the one-shot figure benches).
+"""
+
+from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.flowsim import run_fluid
+from repro.simulator.engine import Simulator
+from repro.simulator.topology import build_dumbbell
+from repro.tcp.base import TcpReceiver, TcpSender
+from repro.tcp.reno import RenoCC
+from repro.workloads.presets import four_job_scenario
+
+
+def test_event_engine_throughput(benchmark):
+    """Raw event scheduling/dispatch rate of the discrete-event core."""
+
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(1e-6, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_packet_transfer_benchmark(benchmark):
+    """End-to-end packet simulation cost of a 1 MB TCP transfer."""
+
+    def transfer():
+        sim = Simulator()
+        net = build_dumbbell(sim, 1, bottleneck_bps=1e9)
+        sender = TcpSender(sim, net.hosts["s0"], "f", "r0", RenoCC())
+        TcpReceiver(sim, net.hosts["r0"], "f", "s0")
+        sender.send_bytes(1_000_000)
+        sim.run(until=0.5)
+        return sender.all_acked()
+
+    assert benchmark(transfer)
+
+
+def test_fluid_four_jobs_benchmark(benchmark):
+    """Fluid-simulator cost of 20 MLTCP iterations of the four-job mix."""
+
+    def run():
+        result = run_fluid(
+            four_job_scenario(),
+            50.0,
+            policy=MLTCPWeighted(),
+            max_iterations=20,
+            seed=5,
+            record_segments=False,
+        )
+        return len(result.iterations)
+
+    assert benchmark(run) >= 80

@@ -1,0 +1,92 @@
+"""Cross-validation: the fluid simulator vs the §4 closed-form analysis.
+
+Eq. 3 was derived assuming MLTCP divides the link in proportion to the
+aggressiveness weights; the fluid simulator implements that sharing
+mechanistically (water-filling over F(bytes_ratio) weights) with none of the
+closed form baked in.  If both are right, the simulated start-time
+difference of two jobs must follow the analytic gradient-descent trajectory
+step for step — this bench measures exactly that.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.core.analysis import gradient_descent, signed_shift
+from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.flowsim import run_fluid
+from repro.harness.report import render_table
+from repro.workloads.presets import two_job_scenario
+
+ALPHA = 0.5
+
+
+def _trajectories(delta0: float = 0.1, iterations: int = 20):
+    jobs = [j.with_jitter(0.0) for j in two_job_scenario()]
+    jobs = [jobs[0], jobs[1].with_offset(delta0)]
+    period = jobs[0].ideal_iteration_time
+    result = run_fluid(
+        jobs, 50.0, policy=MLTCPWeighted(), max_iterations=iterations + 1, seed=None
+    )
+    s1, s2 = result.comm_starts("Job1"), result.comm_starts("Job2")
+    n = min(len(s1), len(s2))
+    fluid = (s2[:n] - s1[:n]) % period
+    analytic = gradient_descent(delta0, ALPHA, period, n - 1).deltas
+    return period, fluid, analytic
+
+
+def _report(period, fluid, analytic) -> str:
+    n = min(len(fluid), len(analytic))
+    rows = [
+        [i, float(fluid[i]), float(analytic[i]), float(abs(fluid[i] - analytic[i]))]
+        for i in range(min(n, 10))
+    ]
+    worst = float(np.max(np.abs(fluid[:n] - analytic[:n])))
+    return render_table(
+        ["iteration", "fluid delta (s)", "Eq.3 delta (s)", "abs diff (s)"],
+        rows,
+        title="Theory vs fluid — start-time difference trajectory "
+        "(two alpha=1/2 jobs, delta_0 = 0.1 s)",
+    ) + (
+        f"\n\nworst-case divergence over {n} iterations: {worst:.4f} s "
+        f"({100 * worst / period:.2f}% of the period)"
+    )
+
+
+def test_theory_vs_fluid_trajectory(benchmark):
+    period, fluid, analytic = benchmark.pedantic(
+        _trajectories, rounds=1, iterations=1
+    )
+    emit("theory_vs_fluid", _report(period, fluid, analytic))
+
+    n = min(len(fluid), len(analytic))
+    worst = float(np.max(np.abs(fluid[:n] - analytic[:n])))
+    assert worst < 0.02 * period  # within 2% of the period at every step
+
+
+def test_shift_formula_pointwise(benchmark):
+    """One-iteration shifts measured in the simulator match Eq. 3."""
+
+    def measure():
+        period = two_job_scenario()[0].ideal_iteration_time
+        rows = []
+        for delta0 in (0.1, 0.3, 0.5, 0.7):
+            jobs = [j.with_jitter(0.0) for j in two_job_scenario()]
+            jobs = [jobs[0], jobs[1].with_offset(delta0)]
+            result = run_fluid(
+                jobs, 50.0, policy=MLTCPWeighted(), max_iterations=3, seed=None
+            )
+            s1, s2 = result.comm_starts("Job1"), result.comm_starts("Job2")
+            measured = float(((s2[1] - s1[1]) - (s2[0] - s1[0])) % period)
+            theory = signed_shift(delta0, ALPHA, period)
+            rows.append((delta0, measured, theory))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = render_table(
+        ["delta_0 (s)", "measured shift (s)", "Eq. 3 shift (s)"],
+        [list(r) for r in rows],
+        title="Theory vs fluid — per-iteration Shift(delta) (Eq. 3)",
+    )
+    emit("theory_vs_fluid_shift", table)
+    for delta0, measured, theory in rows:
+        assert measured == np.clip(measured, 0.9 * theory - 0.01, 1.1 * theory + 0.01)

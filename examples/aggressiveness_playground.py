@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Explore bandwidth aggressiveness functions (paper §3.1 and Figure 3).
+
+Reruns the paper's six functions F1…F6 on three competing GPT-2 jobs, then
+tries a custom function of your own to show the design rule in action: any
+monotonically non-decreasing F with enough range interleaves; decreasing
+functions never do.
+
+Run:  python examples/aggressiveness_playground.py
+"""
+
+from dataclasses import dataclass
+
+from repro.core import AggressivenessFunction, paper_functions
+from repro.fluid import MLTCPWeighted, run_fluid
+from repro.harness import render_series, render_table
+from repro.workloads import BOTTLENECK_GBPS, three_job_scenario
+
+
+@dataclass(frozen=True, repr=False)
+class SqrtAggressiveness(AggressivenessFunction):
+    """A custom increasing function: F = 0.25 + 1.75 * sqrt(ratio)."""
+
+    name: str = "custom-sqrt"
+
+    def _evaluate(self, bytes_ratio: float) -> float:
+        return 0.25 + 1.75 * bytes_ratio**0.5
+
+
+def main() -> None:
+    jobs = three_job_scenario()
+    ideal = jobs[0].ideal_iteration_time
+    functions = dict(paper_functions())
+    functions["Fx"] = SqrtAggressiveness()
+
+    rows = []
+    for key, function in functions.items():
+        result = run_fluid(
+            jobs,
+            BOTTLENECK_GBPS,
+            policy=MLTCPWeighted(function),
+            max_iterations=35,
+            seed=11,
+        )
+        rounds = result.mean_iteration_by_round()
+        print(render_series(f"{key} ({function.name})", rounds, unit="s"))
+        rows.append(
+            [
+                key,
+                function.name,
+                "yes" if function.is_increasing() else "no",
+                float(rounds[-5:].mean()),
+                "interleaved" if rounds[-5:].mean() < 1.05 * ideal else "congested",
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["id", "function", "non-decreasing?", "final iter (s)", "outcome"],
+            rows,
+            title=f"Three GPT-2 jobs, ideal iteration {ideal:.2f} s",
+        )
+    )
+    print(
+        "\nRequirement (ii) in action: every non-decreasing function "
+        "(F1-F4 and the custom sqrt) interleaves; F5/F6 do not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Beyond the network: MLTCP-style progress weighting for CPU scheduling.
+
+The paper's §5 argues the aggressiveness function generalizes to any
+resource: "in the case of CPU cores, the operating system's scheduler
+tracks the progress of each task, and assigns a number of CPU cores based
+on the desired aggressiveness function."
+
+This example runs two experiments on the multi-resource simulator:
+
+1. Two periodic CPU-bound tasks on a 16-core box — equal-share scheduling
+   keeps them colliding; progress weighting interleaves them.
+2. Two tasks that each cycle CPU -> network, sharing both resources —
+   progress weighting finds the software-pipelined schedule where one
+   computes while the other communicates (the Muri/Cassini picture).
+
+Run:  python examples/multi_resource_scheduling.py
+"""
+
+from repro.harness import render_series, render_table
+from repro.multiresource import (
+    EqualShare,
+    MultiResourceTask,
+    ProgressWeighted,
+    ResourcePhase,
+    run_multiresource,
+    two_phase_task,
+)
+
+
+def cpu_experiment() -> None:
+    print("== Two CPU-bound tasks, 16 cores (ideal iteration 2.0 s) ==\n")
+    tasks = [
+        two_phase_task(f"T{i + 1}", "cpu", work=16.0, demand=16.0,
+                       think_time=1.0, jitter_sigma=0.01)
+        for i in range(2)
+    ]
+    rows = []
+    for policy in (EqualShare(), ProgressWeighted()):
+        result = run_multiresource(
+            tasks, {"cpu": 16.0}, policy=policy, max_iterations=40, seed=1
+        )
+        rounds = result.mean_iteration_by_round()
+        print(render_series(f"{policy.name:>17}", rounds, unit="s"))
+        rows.append([policy.name, float(rounds[0]), float(rounds[-5:].mean())])
+    print()
+    print(render_table(["scheduler", "first iter (s)", "final (s)"], rows))
+
+
+def pipeline_experiment() -> None:
+    print("\n== Two CPU->network tasks sharing both resources "
+          "(ideal iteration 2.0 s) ==\n")
+
+    def task(name: str) -> MultiResourceTask:
+        return MultiResourceTask(
+            name,
+            (
+                ResourcePhase("cpu", work=16.0, demand=16.0),   # 1 s on CPU
+                ResourcePhase("net", work=10.0, demand=10.0),   # 1 s on net
+            ),
+            jitter_sigma=0.01,
+        )
+
+    tasks = [task("A"), task("B")]
+    capacities = {"cpu": 16.0, "net": 10.0}
+    rows = []
+    for policy in (EqualShare(), ProgressWeighted()):
+        result = run_multiresource(
+            tasks, capacities, policy=policy, max_iterations=50, seed=2
+        )
+        rounds = result.mean_iteration_by_round()
+        print(render_series(f"{policy.name:>17}", rounds, unit="s"))
+        rows.append([policy.name, float(rounds[0]), float(rounds[-5:].mean())])
+    print()
+    print(render_table(["scheduler", "first iter (s)", "final (s)"], rows))
+    print(
+        "\nProgress weighting pipelines the tasks across both resources: "
+        "A computes while B communicates, halving iteration time vs the "
+        "fair scheduler — the paper's multi-resource gradient descent."
+    )
+
+
+if __name__ == "__main__":
+    cpu_experiment()
+    pipeline_experiment()

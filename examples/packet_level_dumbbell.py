@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Packet-level MLTCP-Reno on a dumbbell testbed (paper Figure 6).
+
+Builds the full stack by hand — discrete-event simulator, dumbbell topology,
+TCP senders with the MLTCP-Reno congestion module (Algorithm 1), periodic
+training apps — and shows two jobs sliding from a congested synchronized
+start into an interleaved schedule, exactly like the paper's Figure 6.
+
+Run:  python examples/packet_level_dumbbell.py   (takes ~10 s)
+"""
+
+import numpy as np
+
+from repro.core import MLTCPConfig
+from repro.harness import render_series, sparkline
+from repro.simulator import DropTailQueue, Simulator, TrainingApp, build_dumbbell
+from repro.tcp import MLTCPReno, TcpReceiver, TcpSender
+from repro.workloads import JobSpec
+
+
+def main() -> None:
+    sim = Simulator()
+    network = build_dumbbell(
+        sim,
+        n_pairs=2,
+        bottleneck_bps=1e9,  # scaled: 1 Gbps stands in for the paper's 50
+        bottleneck_queue=DropTailQueue(64),
+    )
+
+    job_template = JobSpec(
+        name="Job",
+        comm_bits=8e6,       # 1 MB collective per iteration
+        demand_gbps=1.0,
+        compute_time=0.010,  # alpha = 1/2, like the paper's GPT-2 jobs
+        jitter_sigma=0.0005,
+    )
+    jobs = [job_template.with_name("Job1"), job_template.with_name("Job2")]
+
+    rng = np.random.default_rng(2)
+    apps, senders = {}, {}
+    for i, job in enumerate(jobs):
+        config = MLTCPConfig(total_bytes=job.comm_bytes, comp_time=0.003)
+        sender = TcpSender(
+            sim, network.hosts[f"s{i}"], job.name, f"r{i}", MLTCPReno(config)
+        )
+        TcpReceiver(sim, network.hosts[f"r{i}"], job.name, f"s{i}")
+        app = TrainingApp(sim, sender, job, max_iterations=40, rng=rng)
+        app.start()
+        apps[job.name], senders[job.name] = app, sender
+
+    sim.run(until=2.0)
+    print(f"Simulated {sim.now:.2f} s of cluster time "
+          f"({sim.events_processed:,} events)\n")
+
+    for name, app in apps.items():
+        times = app.iteration_times() * 1000
+        print(render_series(f"{name} iteration times", times, unit="ms"))
+
+    # Figure 6's view: per-job throughput over time (until the jobs finish).
+    from repro.harness import throughput_timeline
+
+    active_until = max(
+        t for sender in senders.values() for t, _ in sender.acked_bytes_log
+    )
+    print(f"\nThroughput over the active period (0 – {active_until:.2f} s):")
+    for name, sender in senders.items():
+        _t, gbps = throughput_timeline(
+            sender.acked_bytes_log, active_until, dt=0.01
+        )
+        print(f"  {name}: {sparkline(gbps, width=76)}")
+
+    rounds = [apps[j.name].iteration_times() for j in jobs]
+    first = np.mean([t[:3].mean() for t in rounds]) * 1000
+    last = np.mean([t[-5:].mean() for t in rounds]) * 1000
+    print(
+        f"\nMean iteration time: {first:.1f} ms (congested start) -> "
+        f"{last:.1f} ms (interleaved); the alternating throughput bursts "
+        "above are the sliding effect of paper Figure 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

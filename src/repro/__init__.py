@@ -1,0 +1,90 @@
+"""MLTCP reproduction: distributed approximation of centralized flow
+scheduling for machine-learning workloads (Rajasekaran et al., HotNets '24).
+
+Public API tour
+---------------
+``repro.core``
+    The paper's contribution: aggressiveness functions (Eq. 2 / Figure 3),
+    the Algorithm 1 iteration tracker, and the §4 gradient-descent analysis
+    (shift, loss, convergence error bound).
+``repro.tcp``
+    A TCP stack (Reno, CUBIC, DCTCP, rate-based DCQCN) with MLTCP-augmented
+    variants, for the packet-level simulator.
+``repro.simulator``
+    Packet-level discrete-event network simulator (links, queues, switches,
+    dumbbell topology, training-app traffic generators).
+``repro.fluid``
+    Flow-level simulator with pluggable bottleneck allocation policies
+    (fair share, MLTCP-weighted, SRPT/pFabric, PDQ, PIAS).
+``repro.workloads``
+    Periodic DNN job models and the paper-calibrated scenarios.
+``repro.schedulers``
+    The centralized (Cassini-like) interleaving baseline.
+``repro.harness``
+    One runner per paper figure plus reporting helpers.
+
+Quickstart
+----------
+>>> from repro.workloads import two_job_scenario
+>>> from repro.fluid import run_fluid, MLTCPWeighted
+>>> result = run_fluid(two_job_scenario(), capacity_gbps=50.0,
+...                    policy=MLTCPWeighted(), max_iterations=30)
+>>> result.mean_iteration_time("Job1", skip=20)  # ~1.8 s: interleaved
+"""
+
+from . import core, fluid, harness, metrics, schedulers, simulator, tcp, workloads
+from .core import (
+    IterationTracker,
+    LinearAggressiveness,
+    MLTCPConfig,
+    convergence_error_std,
+    default_aggressiveness,
+    gradient_descent,
+    loss,
+    paper_functions,
+    shift,
+    signed_shift,
+)
+from .fluid import FairShare, MLTCPWeighted, PDQ, PIAS, SRPT, run_fluid
+from .workloads import (
+    JobSpec,
+    four_job_scenario,
+    six_job_scenario,
+    three_job_scenario,
+    two_job_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "tcp",
+    "simulator",
+    "fluid",
+    "workloads",
+    "schedulers",
+    "metrics",
+    "harness",
+    "MLTCPConfig",
+    "IterationTracker",
+    "LinearAggressiveness",
+    "default_aggressiveness",
+    "paper_functions",
+    "shift",
+    "signed_shift",
+    "loss",
+    "gradient_descent",
+    "convergence_error_std",
+    "run_fluid",
+    "FairShare",
+    "MLTCPWeighted",
+    "SRPT",
+    "PDQ",
+    "PIAS",
+    "JobSpec",
+    "two_job_scenario",
+    "three_job_scenario",
+    "four_job_scenario",
+    "six_job_scenario",
+    "__version__",
+]

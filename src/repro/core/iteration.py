@@ -1,0 +1,190 @@
+"""Algorithm 1 state machine: tracking iteration progress from ACK arrivals.
+
+The paper's MLTCP-Reno kernel module keeps three pieces of per-flow state —
+``bytes_sent``, ``bytes_ratio`` and ``prev_ack_tstamp`` — updated on every
+ACK.  A gap between consecutive ACKs longer than ``COMP_TIME`` marks the
+start of a new training iteration and resets the state (Algorithm 1,
+lines 10–13); otherwise ``bytes_ratio = min(1, bytes_sent / TOTAL_BYTES)``
+(line 16).
+
+The paper also "automatically learn[s]" ``TOTAL_BYTES`` and ``COMP_TIME`` by
+"measuring the total amount of data and computation time during the first few
+iterations" (§3.2); :class:`IterationTracker` implements that online learning
+when the config leaves them unset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .config import MLTCPConfig
+
+__all__ = ["IterationTracker", "IterationRecord"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Summary of one observed (completed) training iteration."""
+
+    index: int
+    bytes_sent: int
+    start_time: float
+    end_time: float
+
+    @property
+    def comm_duration(self) -> float:
+        """Wall-clock length of the iteration's communication phase."""
+        return self.end_time - self.start_time
+
+
+@dataclass
+class IterationTracker:
+    """Per-flow Algorithm 1 state, fed by ACK arrivals.
+
+    Call :meth:`on_ack` for every received ACK; it returns the current
+    ``bytes_ratio`` to plug into the aggressiveness function.  The tracker is
+    transport-agnostic: the packet simulator drives it from real ACK events
+    while the fluid simulator drives it from delivered-byte accounting.
+    """
+
+    config: MLTCPConfig
+    bytes_sent: int = 0
+    bytes_ratio: float = 0.0
+    prev_ack_tstamp: Optional[float] = None
+    iteration_index: int = 0
+    _iteration_start: Optional[float] = None
+    _learned_total_bytes: Optional[float] = None
+    _learned_comp_time: Optional[float] = None
+    _completed: list[IterationRecord] = field(default_factory=list)
+    _observed_gaps: list[float] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> Optional[float]:
+        """Effective TOTAL_BYTES: configured value, else the learned one."""
+        if self.config.total_bytes is not None:
+            return float(self.config.total_bytes)
+        return self._learned_total_bytes
+
+    @property
+    def comp_time(self) -> Optional[float]:
+        """Effective COMP_TIME: configured value, else the learned one."""
+        if self.config.comp_time is not None:
+            return self.config.comp_time
+        return self._learned_comp_time
+
+    @property
+    def completed_iterations(self) -> tuple[IterationRecord, ...]:
+        """Records of iterations whose boundary has been observed."""
+        return tuple(self._completed)
+
+    def on_ack(
+        self, now: float, acked_bytes: int, smoothed_rtt: Optional[float] = None
+    ) -> float:
+        """Process one cumulative ACK covering ``acked_bytes`` new bytes.
+
+        Parameters
+        ----------
+        now:
+            Current (simulation or wall-clock) time in seconds.
+        acked_bytes:
+            Bytes newly acknowledged by this ACK (``num_acks * MTU`` in the
+            paper's packet-count formulation).
+        smoothed_rtt:
+            The connection's current SRTT estimate, used only to learn
+            ``COMP_TIME`` online when the config does not provide it.
+
+        Returns
+        -------
+        float
+            The updated ``bytes_ratio`` in [0, 1].
+        """
+        if acked_bytes < 0:
+            raise ValueError(f"acked_bytes must be non-negative, got {acked_bytes!r}")
+        if self.prev_ack_tstamp is not None and now < self.prev_ack_tstamp:
+            raise ValueError(
+                f"time went backwards: now={now!r} < "
+                f"prev_ack_tstamp={self.prev_ack_tstamp!r}"
+            )
+
+        boundary_gap = self._boundary_gap(smoothed_rtt)
+        if self.prev_ack_tstamp is None:
+            self._start_iteration(now)
+        else:
+            gap = now - self.prev_ack_tstamp
+            if boundary_gap is not None and gap > boundary_gap:
+                self._finish_iteration(end_time=self.prev_ack_tstamp)
+                self._start_iteration(now)
+            else:
+                self._observed_gaps.append(gap)
+
+        self.bytes_sent += acked_bytes
+        total = self.total_bytes
+        if total is None or total <= 0:
+            # Still in the learning phase: behave like plain TCP (ratio 0
+            # yields the intercept, the least aggressive setting).
+            self.bytes_ratio = 0.0
+        else:
+            self.bytes_ratio = min(1.0, self.bytes_sent / total)
+        self.prev_ack_tstamp = now
+        return self.bytes_ratio
+
+    def aggressiveness(self) -> float:
+        """Evaluate the configured F at the current ``bytes_ratio``."""
+        return self.config.function(self.bytes_ratio)
+
+    def notify_iteration_boundary(self, now: float) -> None:
+        """Explicitly mark an iteration boundary (fluid-simulator hook).
+
+        The packet path detects boundaries from ACK gaps; flow-level models
+        know them exactly and call this instead.
+        """
+        if self.prev_ack_tstamp is not None:
+            self._finish_iteration(end_time=self.prev_ack_tstamp)
+        self._start_iteration(now)
+        self.prev_ack_tstamp = None
+        self._iteration_start = now
+
+    # -- internals --------------------------------------------------------
+
+    def _boundary_gap(self, smoothed_rtt: Optional[float]) -> Optional[float]:
+        """The ACK gap threshold that signals a new iteration, if known."""
+        comp_time = self.comp_time
+        if comp_time is not None:
+            return comp_time
+        if smoothed_rtt is not None and smoothed_rtt > 0:
+            return self.config.gap_rtt_multiplier * smoothed_rtt
+        return None
+
+    def _start_iteration(self, now: float) -> None:
+        self.bytes_sent = 0
+        self.bytes_ratio = 0.0
+        self._iteration_start = now
+
+    def _finish_iteration(self, end_time: float) -> None:
+        start = self._iteration_start if self._iteration_start is not None else end_time
+        record = IterationRecord(
+            index=self.iteration_index,
+            bytes_sent=self.bytes_sent,
+            start_time=start,
+            end_time=end_time,
+        )
+        self._completed.append(record)
+        self.iteration_index += 1
+        self._learn_from(record)
+
+    def _learn_from(self, record: IterationRecord) -> None:
+        """Update online estimates of TOTAL_BYTES and COMP_TIME (§3.2)."""
+        if self.config.total_bytes is None and record.bytes_sent > 0:
+            if len(self._completed) >= self.config.learn_iterations:
+                window = self._completed[-self.config.learn_iterations :]
+                self._learned_total_bytes = max(r.bytes_sent for r in window)
+        if self.config.comp_time is None and self._observed_gaps:
+            # The computation gap dwarfs intra-iteration ACK gaps; halfway
+            # between the largest intra-iteration gap and the boundary that
+            # was just detected is a robust threshold.
+            largest_intra = max(self._observed_gaps)
+            self._learned_comp_time = max(
+                self._learned_comp_time or 0.0, 2.0 * largest_intra
+            )
+        self._observed_gaps.clear()

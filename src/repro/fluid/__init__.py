@@ -1,0 +1,49 @@
+"""Flow-level (fluid) simulator and bottleneck allocation policies."""
+
+from .allocation import (
+    AllocationPolicy,
+    FairShare,
+    FlowView,
+    MLTCPWeighted,
+    PDQ,
+    PIAS,
+    SRPT,
+    water_fill,
+)
+from .network import (
+    NetworkFluidResult,
+    NetworkFluidSimulator,
+    PlacedJob,
+    run_network_fluid,
+    weighted_max_min,
+)
+from .flowsim import (
+    FluidResult,
+    FluidSimulator,
+    IterationResult,
+    Phase,
+    RateSegment,
+    run_fluid,
+)
+
+__all__ = [
+    "AllocationPolicy",
+    "FairShare",
+    "MLTCPWeighted",
+    "SRPT",
+    "PDQ",
+    "PIAS",
+    "FlowView",
+    "water_fill",
+    "FluidSimulator",
+    "FluidResult",
+    "IterationResult",
+    "RateSegment",
+    "Phase",
+    "run_fluid",
+    "PlacedJob",
+    "NetworkFluidSimulator",
+    "NetworkFluidResult",
+    "run_network_fluid",
+    "weighted_max_min",
+]

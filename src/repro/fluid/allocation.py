@@ -1,0 +1,337 @@
+"""Bottleneck bandwidth-allocation policies for the fluid simulator.
+
+A policy maps the set of flows currently in their communication phase to a
+rate vector on the bottleneck.  Four families reproduce the paper's
+comparison points:
+
+* :class:`FairShare` — weighted max-min (water-filling) with unit weights;
+  the steady-state behaviour of N synchronized TCP-Reno flows.
+* :class:`MLTCPWeighted` — water-filling with per-flow weight
+  ``F(bytes_ratio)``.  Under AIMD with synchronized multiplicative decrease,
+  a flow whose additive-increase step is scaled by ``F`` claims a bandwidth
+  share proportional to ``F``; this is the flow-level abstraction of Eq. 1.
+* :class:`SRPT` — strict priority by least remaining bytes, the fluid model
+  of pFabric's switch priorities.  :class:`PDQ` preempts all but the
+  ``max_senders`` shortest flows, the fluid model of PDQ's sender pausing.
+* :class:`PIAS` — multi-level feedback by bytes *sent* (information-agnostic
+  LAS approximation): flows demote through priority levels as they send;
+  levels are served in strict priority, fairly within a level.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.aggressiveness import AggressivenessFunction, default_aggressiveness
+
+__all__ = [
+    "FlowView",
+    "AllocationPolicy",
+    "FairShare",
+    "MLTCPWeighted",
+    "SRPT",
+    "PDQ",
+    "PIAS",
+    "water_fill",
+]
+
+
+@dataclass(frozen=True)
+class FlowView:
+    """What a policy may observe about one active flow.
+
+    ``flow_id`` identifies the job; ``demand_bps`` caps the rate the flow can
+    drive; ``remaining_bits``/``sent_bits``/``total_bits`` describe progress
+    through the current iteration's communication phase.
+    """
+
+    flow_id: str
+    demand_bps: float
+    remaining_bits: float
+    sent_bits: float
+    total_bits: float
+
+    def __post_init__(self) -> None:
+        if self.demand_bps <= 0:
+            raise ValueError(f"{self.flow_id}: demand_bps must be positive")
+        if self.total_bits <= 0:
+            raise ValueError(f"{self.flow_id}: total_bits must be positive")
+        if self.remaining_bits < 0 or self.sent_bits < 0:
+            raise ValueError(f"{self.flow_id}: progress must be non-negative")
+
+    @property
+    def bytes_ratio(self) -> float:
+        """Algorithm 1's ``bytes_ratio`` for this flow."""
+        return min(1.0, self.sent_bits / self.total_bits)
+
+
+class AllocationPolicy(ABC):
+    """Maps active flows to bottleneck rates.  Stateless between calls."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def allocate(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> dict[str, float]:
+        """Rates (bps) per flow id.  Sum must not exceed ``capacity_bps``."""
+
+    def _check_capacity(self, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity_bps must be positive, got {capacity_bps!r}")
+
+
+def water_fill(
+    demands: Mapping[str, float], weights: Mapping[str, float], capacity: float
+) -> dict[str, float]:
+    """Weighted max-min allocation with per-flow caps.
+
+    Flows receive capacity in proportion to their weights; a flow whose
+    proportional share exceeds its demand is capped and the surplus is
+    refilled among the rest.  Runs in O(n^2) worst case, fine for the job
+    counts here.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    rates: dict[str, float] = {}
+    unsaturated = {fid for fid in demands}
+    remaining = capacity
+    for fid, weight in weights.items():
+        if weight < 0:
+            raise ValueError(f"{fid}: weight must be non-negative, got {weight!r}")
+    while unsaturated and remaining > 1e-12:
+        total_weight = sum(weights[fid] for fid in unsaturated)
+        if total_weight <= 0:
+            # All remaining weights are zero: split the leftover evenly so no
+            # flow fully starves (MLTCP "allocates non-zero bandwidth to all
+            # competing flows", §5).
+            equal = remaining / len(unsaturated)
+            newly_capped = {
+                fid for fid in unsaturated if demands[fid] <= equal + 1e-12
+            }
+            if not newly_capped:
+                for fid in unsaturated:
+                    rates[fid] = rates.get(fid, 0.0) + equal
+                return rates
+            for fid in newly_capped:
+                rates[fid] = demands[fid]
+                remaining -= demands[fid] - rates.get(fid, 0.0)
+            # Recompute simply: restart with capped flows removed.
+            remaining = capacity - sum(
+                rates.get(fid, 0.0) for fid in demands if fid not in unsaturated
+            )
+            unsaturated -= newly_capped
+            continue
+        progressed = False
+        shares = {
+            fid: remaining * weights[fid] / total_weight for fid in unsaturated
+        }
+        capped = {
+            fid
+            for fid in unsaturated
+            if weights[fid] > 0 and shares[fid] >= demands[fid] - 1e-12
+        }
+        if capped:
+            for fid in capped:
+                rates[fid] = demands[fid]
+                remaining -= demands[fid]
+            unsaturated -= capped
+            progressed = True
+        if not progressed:
+            for fid in unsaturated:
+                rates[fid] = shares[fid]
+            return {fid: max(0.0, rate) for fid, rate in rates.items()}
+    for fid in unsaturated:
+        rates.setdefault(fid, 0.0)
+    return {fid: max(0.0, rate) for fid, rate in rates.items()}
+
+
+class FairShare(AllocationPolicy):
+    """Equal-weight max-min share: N competing TCP flows in steady state."""
+
+    name = "tcp-fair"
+
+    def allocate(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> dict[str, float]:
+        """Equal-weight water-filling (see :class:`AllocationPolicy`)."""
+        self._check_capacity(capacity_bps)
+        if not flows:
+            return {}
+        demands = {f.flow_id: f.demand_bps for f in flows}
+        weights = {f.flow_id: 1.0 for f in flows}
+        return water_fill(demands, weights, capacity_bps)
+
+
+class MLTCPWeighted(AllocationPolicy):
+    """Shares proportional to ``F(bytes_ratio)`` — the fluid model of Eq. 1.
+
+    Rationale: with additive increase scaled by ``F_i`` and synchronized
+    multiplicative decrease, flow i's average window grows at ``F_i`` per RTT
+    and halves on each shared loss event, so windows (hence rates) settle in
+    proportion to ``F_i``.  The packet-level simulator validates this
+    abstraction directly (see tests/test_integration_packet_vs_fluid.py).
+    """
+
+    name = "mltcp"
+
+    def __init__(self, function: AggressivenessFunction | None = None) -> None:
+        self.function = function if function is not None else default_aggressiveness()
+
+    def allocate(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> dict[str, float]:
+        """F(bytes_ratio)-weighted water-filling (paper Eq. 1, fluid form)."""
+        self._check_capacity(capacity_bps)
+        if not flows:
+            return {}
+        demands = {f.flow_id: f.demand_bps for f in flows}
+        weights = {f.flow_id: self.function(f.bytes_ratio) for f in flows}
+        return water_fill(demands, weights, capacity_bps)
+
+
+class SRPT(AllocationPolicy):
+    """Priority by least remaining bytes (pFabric's fluid model).
+
+    Flows whose remaining byte counts are within ``tie_fraction`` of the
+    largest flow size present are treated as equal priority and share
+    fairly: at packet granularity, pFabric interleaves the packets of
+    equal-priority flows rather than strictly serializing them, so
+    identical jobs that start together split the link instead of being
+    served one after another.
+    """
+
+    name = "srpt"
+
+    def __init__(self, tie_fraction: float = 0.05) -> None:
+        if not 0.0 <= tie_fraction < 1.0:
+            raise ValueError(f"tie_fraction must be in [0, 1), got {tie_fraction!r}")
+        self.tie_fraction = tie_fraction
+
+    def allocate(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> dict[str, float]:
+        """Least-remaining-first with tie groups sharing fairly."""
+        self._check_capacity(capacity_bps)
+        if not flows:
+            return {}
+        tolerance = self.tie_fraction * max(f.total_bits for f in flows)
+        ordered = sorted(flows, key=lambda f: (f.remaining_bits, f.flow_id))
+        rates: dict[str, float] = {}
+        remaining_capacity = capacity_bps
+        group: list[FlowView] = []
+        for flow in ordered:
+            if group and flow.remaining_bits - group[0].remaining_bits > tolerance:
+                remaining_capacity -= self._serve_group(group, remaining_capacity, rates)
+                group = []
+            group.append(flow)
+        if group:
+            self._serve_group(group, remaining_capacity, rates)
+        return rates
+
+    @staticmethod
+    def _serve_group(
+        group: list[FlowView], capacity: float, rates: dict[str, float]
+    ) -> float:
+        """Fair-share ``capacity`` within one priority group; returns usage."""
+        if capacity <= 1e-12:
+            for flow in group:
+                rates[flow.flow_id] = 0.0
+            return 0.0
+        demands = {f.flow_id: f.demand_bps for f in group}
+        weights = {f.flow_id: 1.0 for f in group}
+        group_rates = water_fill(demands, weights, capacity)
+        rates.update(group_rates)
+        return sum(group_rates.values())
+
+
+class PDQ(AllocationPolicy):
+    """SRPT with explicit sender preemption: only the ``max_senders``
+    shortest flows transmit at once; the rest are paused (rate 0).
+
+    PDQ's switches grant rates to the most critical flows and pause others;
+    with size-based criticality and no deadlines this reduces to bounded-
+    fan-in SRPT.
+    """
+
+    name = "pdq"
+
+    def __init__(self, max_senders: int = 2) -> None:
+        if max_senders < 1:
+            raise ValueError(f"max_senders must be positive, got {max_senders!r}")
+        self.max_senders = max_senders
+
+    def allocate(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> dict[str, float]:
+        """Serve only the ``max_senders`` shortest flows; pause the rest."""
+        self._check_capacity(capacity_bps)
+        rates = {f.flow_id: 0.0 for f in flows}
+        remaining_capacity = capacity_bps
+        ordered = sorted(flows, key=lambda f: (f.remaining_bits, f.flow_id))
+        for flow in ordered[: self.max_senders]:
+            rate = min(flow.demand_bps, remaining_capacity)
+            rates[flow.flow_id] = rate
+            remaining_capacity -= rate
+        return rates
+
+
+class PIAS(AllocationPolicy):
+    """Multi-level feedback by bytes sent (information-agnostic SRPT proxy).
+
+    Flows start in the highest-priority level and demote as their sent-byte
+    count crosses each threshold.  Levels are served in strict priority;
+    flows within a level share fairly.  Default thresholds are placed at
+    12.5% / 25% / 50% of a "typical" flow so that long DNN collectives sink
+    to the lowest level mid-iteration — the head-of-line dynamic the paper
+    attributes to conventional schedulers.
+    """
+
+    name = "pias"
+
+    def __init__(self, thresholds_bits: Sequence[float] | None = None) -> None:
+        if thresholds_bits is None:
+            # Relative thresholds are resolved per call against the largest
+            # total flow size present, keeping the policy size-agnostic.
+            self._relative = (0.125, 0.25, 0.5)
+            self.thresholds_bits: tuple[float, ...] | None = None
+        else:
+            ordered = tuple(sorted(float(t) for t in thresholds_bits))
+            if any(t <= 0 for t in ordered):
+                raise ValueError("PIAS thresholds must be positive")
+            self.thresholds_bits = ordered
+            self._relative = ()
+
+    def _resolve_thresholds(self, flows: Sequence[FlowView]) -> tuple[float, ...]:
+        if self.thresholds_bits is not None:
+            return self.thresholds_bits
+        largest = max(f.total_bits for f in flows)
+        return tuple(r * largest for r in self._relative)
+
+    def allocate(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> dict[str, float]:
+        """Strict priority across levels; fair share within a level."""
+        self._check_capacity(capacity_bps)
+        if not flows:
+            return {}
+        thresholds = self._resolve_thresholds(flows)
+        levels: dict[int, list[FlowView]] = {}
+        for flow in flows:
+            level = sum(1 for t in thresholds if flow.sent_bits >= t)
+            levels.setdefault(level, []).append(flow)
+        rates: dict[str, float] = {f.flow_id: 0.0 for f in flows}
+        remaining_capacity = capacity_bps
+        for level in sorted(levels):
+            if remaining_capacity <= 1e-12:
+                break
+            group = levels[level]
+            demands = {f.flow_id: f.demand_bps for f in group}
+            weights = {f.flow_id: 1.0 for f in group}
+            group_rates = water_fill(demands, weights, remaining_capacity)
+            for fid, rate in group_rates.items():
+                rates[fid] = rate
+            remaining_capacity -= sum(group_rates.values())
+        return rates

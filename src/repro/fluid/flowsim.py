@@ -1,0 +1,357 @@
+"""Event-driven flow-level ("fluid") simulator of periodic jobs on a link.
+
+This is the paper's evaluation substrate at flow granularity: each job
+alternates between a communication phase (its per-iteration collective,
+elastic up to its demand rate) and a computation phase (a timed gap, with
+the §4 Gaussian noise model).  The bottleneck's capacity is divided among
+the jobs currently communicating by an
+:class:`~repro.fluid.allocation.AllocationPolicy` — fair share for TCP,
+``F(bytes_ratio)``-weighted for MLTCP, SRPT for pFabric, etc.
+
+Rates are piecewise-constant between events; an event is a phase completion,
+a job start, or the expiry of a re-evaluation quantum (MLTCP weights drift
+as ``bytes_ratio`` grows, so allocations are refreshed at least every
+``quantum`` seconds).  The simulator records every iteration and every rate
+segment, which is exactly the data the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..workloads.job import JobSpec
+from .allocation import AllocationPolicy, FairShare, FlowView
+
+__all__ = [
+    "Phase",
+    "IterationResult",
+    "RateSegment",
+    "FluidResult",
+    "FluidSimulator",
+    "run_fluid",
+]
+
+#: Bits below which a communication phase counts as finished.
+_EPS_BITS = 1e-6
+#: Seconds below which an event is "now".
+_EPS_TIME = 1e-12
+
+
+class Phase(enum.Enum):
+    """Lifecycle of a periodic job inside the simulator."""
+
+    WAITING = "waiting"
+    COMM = "comm"
+    COMPUTE = "compute"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """One completed training iteration of one job."""
+
+    job: str
+    index: int
+    comm_start: float
+    comm_end: float
+    iteration_end: float
+
+    @property
+    def comm_duration(self) -> float:
+        """Wall-clock length of the communication phase."""
+        return self.comm_end - self.comm_start
+
+    @property
+    def duration(self) -> float:
+        """Iteration time: start of this comm phase to start of the next."""
+        return self.iteration_end - self.comm_start
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """Constant bottleneck allocation over ``[start, end)``."""
+
+    start: float
+    end: float
+    rates_bps: dict[str, float]
+
+
+@dataclass
+class _JobRuntime:
+    spec: JobSpec
+    phase: Phase = Phase.WAITING
+    remaining_bits: float = 0.0
+    sent_bits: float = 0.0
+    iteration_index: int = 0
+    comm_start: float = math.nan
+    comm_end: float = math.nan
+    phase_deadline: float = 0.0  # start_offset or compute end
+
+    def flow_view(self) -> FlowView:
+        """Snapshot of this job's flow for the allocation policy."""
+        return FlowView(
+            flow_id=self.spec.name,
+            demand_bps=self.spec.demand_bps,
+            remaining_bits=self.remaining_bits,
+            sent_bits=self.sent_bits,
+            total_bits=self.spec.comm_bits,
+        )
+
+
+@dataclass
+class FluidResult:
+    """Everything a fluid run produced."""
+
+    jobs: tuple[JobSpec, ...]
+    capacity_gbps: float
+    policy_name: str
+    iterations: list[IterationResult] = field(default_factory=list)
+    segments: list[RateSegment] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def iterations_of(self, job: str) -> list[IterationResult]:
+        """Completed iterations of one job, in order."""
+        return [it for it in self.iterations if it.job == job]
+
+    def iteration_times(self, job: str) -> np.ndarray:
+        """Durations (s) of the job's completed iterations."""
+        return np.array([it.duration for it in self.iterations_of(job)])
+
+    def all_iteration_times(self) -> np.ndarray:
+        """Durations of every completed iteration of every job."""
+        return np.array([it.duration for it in self.iterations])
+
+    def mean_iteration_time(self, job: str, skip: int = 0) -> float:
+        """Mean iteration duration, optionally skipping warm-up iterations."""
+        times = self.iteration_times(job)[skip:]
+        if len(times) == 0:
+            raise ValueError(f"no completed iterations for job {job!r} after skip={skip}")
+        return float(times.mean())
+
+    def mean_iteration_by_round(self, max_rounds: Optional[int] = None) -> np.ndarray:
+        """Average duration of the i-th iteration across jobs (Figure 3 series)."""
+        per_job = [self.iteration_times(job.name) for job in self.jobs]
+        rounds = min(len(t) for t in per_job)
+        if max_rounds is not None:
+            rounds = min(rounds, max_rounds)
+        if rounds == 0:
+            return np.array([])
+        return np.array(
+            [float(np.mean([t[i] for t in per_job])) for i in range(rounds)]
+        )
+
+    def rate_timeline(
+        self, job: str, dt: float = 0.01
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, rate_gbps)`` sampled every ``dt`` — the Figure 4/6 view."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt!r}")
+        samples = int(self.end_time / dt)
+        times = np.arange(samples) * dt
+        rates = np.zeros(samples)
+        for segment in self.segments:
+            rate = segment.rates_bps.get(job, 0.0) / 1e9
+            if rate == 0.0:
+                continue
+            lo = int(np.ceil(segment.start / dt))
+            hi = min(samples, int(np.ceil(segment.end / dt)))
+            rates[lo:hi] = rate
+        return times, rates
+
+    def comm_starts(self, job: str) -> np.ndarray:
+        """Start times of the job's communication phases."""
+        return np.array([it.comm_start for it in self.iterations_of(job)])
+
+
+class FluidSimulator:
+    """Runs a job mix on one bottleneck under a given allocation policy."""
+
+    def __init__(
+        self,
+        jobs: Sequence[JobSpec],
+        capacity_gbps: float,
+        policy: Optional[AllocationPolicy] = None,
+        seed: Optional[int] = 0,
+        quantum: float = 0.02,
+    ) -> None:
+        if not jobs:
+            raise ValueError("need at least one job")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        if capacity_gbps <= 0:
+            raise ValueError(f"capacity_gbps must be positive, got {capacity_gbps!r}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
+        self.jobs = tuple(jobs)
+        self.capacity_bps = capacity_gbps * 1e9
+        self.capacity_gbps = capacity_gbps
+        self.policy = policy if policy is not None else FairShare()
+        self.quantum = quantum
+        self._rng = np.random.default_rng(seed) if seed is not None else None
+
+    def run(
+        self,
+        end_time: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        record_segments: bool = True,
+    ) -> FluidResult:
+        """Simulate until ``end_time`` or every job finished ``max_iterations``.
+
+        At least one stopping criterion is required.
+        """
+        if end_time is None and max_iterations is None:
+            raise ValueError("provide end_time and/or max_iterations")
+        if end_time is not None and end_time <= 0:
+            raise ValueError(f"end_time must be positive, got {end_time!r}")
+        if max_iterations is not None and max_iterations < 1:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations!r}")
+
+        runtimes = [
+            _JobRuntime(spec=job, phase_deadline=job.start_offset) for job in self.jobs
+        ]
+        result = FluidResult(
+            jobs=self.jobs,
+            capacity_gbps=self.capacity_gbps,
+            policy_name=self.policy.name,
+        )
+        now = 0.0
+        # Generous guard: a few events per quantum per job.
+        horizon = end_time if end_time is not None else self._horizon(max_iterations)
+        max_steps = int(50 * len(self.jobs) * max(1.0, horizon / self.quantum))
+
+        for _step in range(max_steps):
+            self._process_transitions(runtimes, now, result)
+            if self._finished(runtimes, max_iterations):
+                break
+            if end_time is not None and now >= end_time - _EPS_TIME:
+                break
+
+            active = [rt for rt in runtimes if rt.phase is Phase.COMM]
+            rates = (
+                self.policy.allocate([rt.flow_view() for rt in active], self.capacity_bps)
+                if active
+                else {}
+            )
+            dt = self._next_event_dt(runtimes, rates, now, end_time)
+            if dt <= 0:
+                dt = _EPS_TIME
+            if record_segments and rates:
+                result.segments.append(
+                    RateSegment(start=now, end=now + dt, rates_bps=dict(rates))
+                )
+            for rt in active:
+                rate = rates.get(rt.spec.name, 0.0)
+                delivered = rate * dt
+                rt.remaining_bits = max(0.0, rt.remaining_bits - delivered)
+                rt.sent_bits = min(rt.spec.comm_bits, rt.sent_bits + delivered)
+            now += dt
+        else:
+            raise RuntimeError(
+                f"fluid simulation exceeded {max_steps} steps without finishing; "
+                "check for a zero-rate livelock"
+            )
+
+        result.end_time = now
+        return result
+
+    # -- internals --------------------------------------------------------
+
+    def _horizon(self, max_iterations: Optional[int]) -> float:
+        assert max_iterations is not None
+        longest = max(job.ideal_iteration_time for job in self.jobs)
+        # Contention can stretch iterations; triple is a generous envelope.
+        return 3.0 * longest * max_iterations + max(j.start_offset for j in self.jobs)
+
+    def _process_transitions(
+        self, runtimes: list[_JobRuntime], now: float, result: FluidResult
+    ) -> None:
+        for rt in runtimes:
+            if rt.phase is Phase.WAITING and now >= rt.phase_deadline - _EPS_TIME:
+                self._start_comm(rt, now)
+            elif rt.phase is Phase.COMM and rt.remaining_bits <= _EPS_BITS:
+                rt.comm_end = now
+                compute = rt.spec.sample_compute_time(self._rng)
+                rt.phase = Phase.COMPUTE
+                rt.phase_deadline = now + compute
+            elif rt.phase is Phase.COMPUTE and now >= rt.phase_deadline - _EPS_TIME:
+                result.iterations.append(
+                    IterationResult(
+                        job=rt.spec.name,
+                        index=rt.iteration_index,
+                        comm_start=rt.comm_start,
+                        comm_end=rt.comm_end,
+                        iteration_end=now,
+                    )
+                )
+                rt.iteration_index += 1
+                limit = rt.spec.iteration_limit
+                if limit is not None and rt.iteration_index >= limit:
+                    rt.phase = Phase.DONE  # training finished: job departs
+                else:
+                    self._start_comm(rt, now)
+
+    def _start_comm(self, rt: _JobRuntime, now: float) -> None:
+        rt.phase = Phase.COMM
+        rt.remaining_bits = rt.spec.sample_comm_bits(self._rng)
+        rt.sent_bits = 0.0
+        rt.comm_start = now
+        rt.comm_end = math.nan
+
+    def _finished(
+        self, runtimes: list[_JobRuntime], max_iterations: Optional[int]
+    ) -> bool:
+        if all(rt.phase is Phase.DONE for rt in runtimes):
+            return True
+        if max_iterations is None:
+            return False
+        return all(
+            rt.phase is Phase.DONE or rt.iteration_index >= max_iterations
+            for rt in runtimes
+        )
+
+    def _next_event_dt(
+        self,
+        runtimes: list[_JobRuntime],
+        rates: dict[str, float],
+        now: float,
+        end_time: Optional[float],
+    ) -> float:
+        candidates = [self.quantum]
+        if end_time is not None:
+            candidates.append(end_time - now)
+        for rt in runtimes:
+            if rt.phase is Phase.COMM:
+                rate = rates.get(rt.spec.name, 0.0)
+                if rate > 0:
+                    candidates.append(rt.remaining_bits / rate)
+            elif rt.phase is not Phase.DONE:
+                candidates.append(rt.phase_deadline - now)
+        positive = [c for c in candidates if c > _EPS_TIME]
+        return min(positive) if positive else _EPS_TIME
+
+
+def run_fluid(
+    jobs: Sequence[JobSpec],
+    capacity_gbps: float,
+    policy: Optional[AllocationPolicy] = None,
+    end_time: Optional[float] = None,
+    max_iterations: Optional[int] = None,
+    seed: Optional[int] = 0,
+    quantum: float = 0.02,
+    record_segments: bool = True,
+) -> FluidResult:
+    """One-call convenience wrapper around :class:`FluidSimulator`."""
+    simulator = FluidSimulator(
+        jobs, capacity_gbps, policy=policy, seed=seed, quantum=quantum
+    )
+    return simulator.run(
+        end_time=end_time,
+        max_iterations=max_iterations,
+        record_segments=record_segments,
+    )

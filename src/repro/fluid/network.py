@@ -1,0 +1,325 @@
+"""Multi-bottleneck fluid simulator: jobs on paths over a capacitated graph.
+
+The single-bottleneck :class:`~repro.fluid.flowsim.FluidSimulator` models the
+paper's dumbbell; real clusters have many potentially-congested links
+(leaf uplinks, spine ports).  Here each job's flow crosses a *set of links*
+and rates are assigned by weighted max-min fairness across the whole
+network (progressive filling): repeatedly find the most-constrained link,
+fix the rates of the flows crossing it in proportion to their weights, and
+continue with residual capacities.  Demand caps are virtual per-flow links,
+so the same machinery handles them.
+
+With unit weights this is classic max-min TCP sharing; with
+``F(bytes_ratio)`` weights it is network-wide MLTCP — each congested link
+independently develops the sliding effect, which is the paper's
+distributed-scalability argument ("easily deployable and scalable").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.aggressiveness import AggressivenessFunction, default_aggressiveness
+from ..workloads.job import JobSpec
+from .flowsim import IterationResult
+
+__all__ = ["PlacedJob", "NetworkFluidResult", "NetworkFluidSimulator", "run_network_fluid"]
+
+_EPS_BITS = 1e-6
+_EPS_TIME = 1e-12
+_EPS_CAP = 1e-9
+
+
+@dataclass(frozen=True)
+class PlacedJob:
+    """A periodic job plus the set of links its flow traverses."""
+
+    job: JobSpec
+    links: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError(f"{self.job.name}: need at least one link")
+        if len(set(self.links)) != len(self.links):
+            raise ValueError(f"{self.job.name}: duplicate links in path")
+
+
+@dataclass
+class NetworkFluidResult:
+    """Iterations per job from one multi-bottleneck run."""
+
+    placements: tuple[PlacedJob, ...]
+    capacities_gbps: dict[str, float]
+    policy_name: str
+    iterations: list[IterationResult] = field(default_factory=list)
+    end_time: float = 0.0
+
+    def iterations_of(self, job: str) -> list[IterationResult]:
+        """Completed iterations of one job, in order."""
+        return [it for it in self.iterations if it.job == job]
+
+    def iteration_times(self, job: str) -> np.ndarray:
+        """Durations (s) of the job's completed iterations."""
+        return np.array([it.duration for it in self.iterations_of(job)])
+
+    def mean_iteration_by_round(self, jobs: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Average duration of the i-th iteration across the given jobs."""
+        names = (
+            list(jobs)
+            if jobs is not None
+            else [p.job.name for p in self.placements]
+        )
+        per_job = [self.iteration_times(name) for name in names]
+        rounds = min(len(t) for t in per_job)
+        if rounds == 0:
+            return np.array([])
+        return np.array(
+            [float(np.mean([t[i] for t in per_job])) for i in range(rounds)]
+        )
+
+
+@dataclass
+class _FlowRuntime:
+    placement: PlacedJob
+    phase: str = "waiting"  # waiting | comm | compute | done
+    remaining_bits: float = 0.0
+    sent_bits: float = 0.0
+    iteration_index: int = 0
+    comm_start: float = math.nan
+    comm_end: float = math.nan
+    phase_deadline: float = 0.0
+
+    @property
+    def spec(self) -> JobSpec:
+        """The underlying job specification."""
+        return self.placement.job
+
+    @property
+    def bytes_ratio(self) -> float:
+        """Algorithm 1's bytes_ratio for the current communication phase."""
+        return min(1.0, self.sent_bits / self.spec.comm_bits)
+
+
+def weighted_max_min(
+    flows: dict[str, tuple[float, float, tuple[str, ...]]],
+    capacities_bps: dict[str, float],
+) -> dict[str, float]:
+    """Network-wide weighted max-min rates.
+
+    ``flows`` maps flow id to ``(weight, demand_bps, links)``.  Demand caps
+    become virtual per-flow links.  Progressive filling: the link with the
+    smallest capacity-per-unit-weight saturates first and fixes its flows.
+    """
+    residual = dict(capacities_bps)
+    members: dict[str, set[str]] = {link: set() for link in residual}
+    for fid, (weight, demand, links) in flows.items():
+        if weight < 0:
+            raise ValueError(f"{fid}: weight must be non-negative, got {weight!r}")
+        if demand <= 0:
+            raise ValueError(f"{fid}: demand must be positive, got {demand!r}")
+        virtual = f"__demand__{fid}"
+        residual[virtual] = demand
+        members[virtual] = {fid}
+        for link in links:
+            if link not in residual:
+                raise KeyError(f"{fid}: unknown link {link!r}")
+            members[link].add(fid)
+
+    rates: dict[str, float] = {}
+    unfixed = set(flows)
+
+    def weight_of(fid: str) -> float:
+        # Zero-weight flows keep a vanishing (but non-zero) share, so no
+        # flow fully starves — the §5 non-starvation property.
+        return max(flows[fid][0], 1e-9)
+
+    while unfixed:
+        best_link: Optional[str] = None
+        best_share = math.inf
+        for link, flow_ids in members.items():
+            active = [fid for fid in flow_ids if fid in unfixed]
+            if not active:
+                continue
+            total_weight = sum(weight_of(fid) for fid in active)
+            share = residual[link] / total_weight
+            if share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            break
+        fixed_now = [fid for fid in members[best_link] if fid in unfixed]
+        for fid in fixed_now:
+            rate = max(0.0, best_share * weight_of(fid))
+            rates[fid] = rate
+            for link in flows[fid][2]:
+                residual[link] = max(0.0, residual[link] - rate)
+            residual[f"__demand__{fid}"] = 0.0
+            unfixed.discard(fid)
+    for fid in flows:
+        rates.setdefault(fid, 0.0)
+    return rates
+
+
+class NetworkFluidSimulator:
+    """Event-driven fluid simulation over a capacitated link set."""
+
+    def __init__(
+        self,
+        placements: Sequence[PlacedJob],
+        capacities_gbps: dict[str, float],
+        mltcp_function: Optional[AggressivenessFunction] = None,
+        fair_share: bool = False,
+        seed: Optional[int] = 0,
+        quantum: float = 0.02,
+    ) -> None:
+        if not placements:
+            raise ValueError("need at least one placed job")
+        names = [p.job.name for p in placements]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {names}")
+        for placement in placements:
+            for link in placement.links:
+                if link not in capacities_gbps:
+                    raise ValueError(
+                        f"{placement.job.name}: no capacity for link {link!r}"
+                    )
+        if any(c <= 0 for c in capacities_gbps.values()):
+            raise ValueError("link capacities must be positive")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
+        self.placements = tuple(placements)
+        self.capacities_gbps = dict(capacities_gbps)
+        self.fair_share = fair_share
+        self.function = (
+            mltcp_function if mltcp_function is not None else default_aggressiveness()
+        )
+        self.quantum = quantum
+        self._rng = np.random.default_rng(seed) if seed is not None else None
+
+    def run(self, max_iterations: int) -> NetworkFluidResult:
+        """Simulate until every job completed ``max_iterations`` cycles."""
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations!r}")
+        runtimes = [_FlowRuntime(placement=p) for p in self.placements]
+        for rt in runtimes:
+            rt.phase_deadline = rt.spec.start_offset
+        result = NetworkFluidResult(
+            placements=self.placements,
+            capacities_gbps=self.capacities_gbps,
+            policy_name="tcp-fair" if self.fair_share else "mltcp",
+        )
+        capacities_bps = {k: v * 1e9 for k, v in self.capacities_gbps.items()}
+        now = 0.0
+        longest = max(p.job.ideal_iteration_time for p in self.placements)
+        max_steps = int(
+            100 * len(self.placements) * max(1.0, 5 * longest * max_iterations / self.quantum)
+        )
+
+        for _step in range(max_steps):
+            self._transitions(runtimes, now, result, max_iterations)
+            if all(rt.iteration_index >= max_iterations for rt in runtimes):
+                break
+            active = [rt for rt in runtimes if rt.phase == "comm"]
+            rates = (
+                weighted_max_min(
+                    {
+                        rt.spec.name: (
+                            1.0 if self.fair_share else self.function(rt.bytes_ratio),
+                            rt.spec.demand_bps,
+                            rt.placement.links,
+                        )
+                        for rt in active
+                    },
+                    capacities_bps,
+                )
+                if active
+                else {}
+            )
+            dt = self._next_dt(runtimes, rates, now)
+            for rt in active:
+                delivered = rates.get(rt.spec.name, 0.0) * dt
+                rt.remaining_bits = max(0.0, rt.remaining_bits - delivered)
+                rt.sent_bits = min(rt.spec.comm_bits, rt.sent_bits + delivered)
+            now += dt
+        else:
+            raise RuntimeError("network fluid simulation exceeded its step budget")
+        result.end_time = now
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _transitions(
+        self,
+        runtimes: list[_FlowRuntime],
+        now: float,
+        result: NetworkFluidResult,
+        max_iterations: int,
+    ) -> None:
+        for rt in runtimes:
+            if rt.phase == "waiting" and now >= rt.phase_deadline - _EPS_TIME:
+                self._start_comm(rt, now)
+            elif rt.phase == "comm" and rt.remaining_bits <= _EPS_BITS:
+                rt.comm_end = now
+                rt.phase = "compute"
+                rt.phase_deadline = now + rt.spec.sample_compute_time(self._rng)
+            elif rt.phase == "compute" and now >= rt.phase_deadline - _EPS_TIME:
+                result.iterations.append(
+                    IterationResult(
+                        job=rt.spec.name,
+                        index=rt.iteration_index,
+                        comm_start=rt.comm_start,
+                        comm_end=rt.comm_end,
+                        iteration_end=now,
+                    )
+                )
+                rt.iteration_index += 1
+                if rt.iteration_index >= max_iterations:
+                    rt.phase = "done"
+                else:
+                    self._start_comm(rt, now)
+
+    def _start_comm(self, rt: _FlowRuntime, now: float) -> None:
+        rt.phase = "comm"
+        rt.remaining_bits = float(rt.spec.comm_bits)
+        rt.sent_bits = 0.0
+        rt.comm_start = now
+        rt.comm_end = math.nan
+
+    def _next_dt(
+        self, runtimes: list[_FlowRuntime], rates: dict[str, float], now: float
+    ) -> float:
+        candidates = [self.quantum]
+        for rt in runtimes:
+            if rt.phase == "comm":
+                rate = rates.get(rt.spec.name, 0.0)
+                if rate > 0:
+                    candidates.append(rt.remaining_bits / rate)
+            elif rt.phase in ("compute", "waiting"):
+                candidates.append(rt.phase_deadline - now)
+        positive = [c for c in candidates if c > _EPS_TIME]
+        return min(positive) if positive else _EPS_TIME
+
+
+def run_network_fluid(
+    placements: Sequence[PlacedJob],
+    capacities_gbps: dict[str, float],
+    mltcp: bool = True,
+    mltcp_function: Optional[AggressivenessFunction] = None,
+    max_iterations: int = 40,
+    seed: Optional[int] = 0,
+    quantum: float = 0.02,
+) -> NetworkFluidResult:
+    """One-call convenience wrapper around :class:`NetworkFluidSimulator`."""
+    simulator = NetworkFluidSimulator(
+        placements,
+        capacities_gbps,
+        mltcp_function=mltcp_function,
+        fair_share=not mltcp,
+        seed=seed,
+        quantum=quantum,
+    )
+    return simulator.run(max_iterations=max_iterations)

@@ -1,0 +1,48 @@
+"""Experiment harness: per-figure runners, packet-level lab, text reports."""
+
+from .experiments import (
+    Fig2Result,
+    Fig4Result,
+    Fig6Result,
+    fairness_loss_response,
+    fig1_traffic_patterns,
+    fig2_schedules,
+    fig3_aggressiveness,
+    fig4_six_jobs,
+    fig5_loss_function,
+    fig6_packet_two_jobs,
+    noise_error_bound,
+)
+from .packetlab import (
+    PacketLabResult,
+    mltcp_config_for,
+    run_packet_jobs,
+    throughput_timeline,
+)
+from .sweep import SeedSummary, repeat_with_seeds, sweep
+from .report import format_seconds, render_series, render_table, sparkline
+
+__all__ = [
+    "fig1_traffic_patterns",
+    "fig2_schedules",
+    "Fig2Result",
+    "fig3_aggressiveness",
+    "fig4_six_jobs",
+    "Fig4Result",
+    "fig5_loss_function",
+    "fig6_packet_two_jobs",
+    "Fig6Result",
+    "noise_error_bound",
+    "fairness_loss_response",
+    "PacketLabResult",
+    "run_packet_jobs",
+    "mltcp_config_for",
+    "throughput_timeline",
+    "render_table",
+    "render_series",
+    "sparkline",
+    "format_seconds",
+    "SeedSummary",
+    "repeat_with_seeds",
+    "sweep",
+]

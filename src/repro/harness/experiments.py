@@ -1,0 +1,470 @@
+"""One callable per paper figure/claim — the reproduction's backbone.
+
+Each ``fig*`` function runs the corresponding experiment end to end and
+returns a small result object the benchmarks print and the integration
+tests assert on.  Parameters default to paper scale but can be shrunk for
+quick runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.aggressiveness import (
+    AggressivenessFunction,
+    LinearAggressiveness,
+    paper_functions,
+)
+from ..core.analysis import convergence_error_std, gradient_descent, loss_curve, signed_shift
+from ..fluid.allocation import FairShare, MLTCPWeighted, SRPT
+from ..fluid.flowsim import FluidResult, run_fluid
+from ..metrics.convergence import detect_convergence
+from ..metrics.stats import empirical_cdf, percentile, tail_speedup
+from ..schedulers.centralized import CentralizedScheduler, Schedule
+from ..tcp.mltcp import MLTCPReno
+from ..tcp.reno import RenoCC
+from ..workloads.job import JobSpec
+from ..workloads.presets import (
+    BOTTLENECK_GBPS,
+    four_job_scenario,
+    six_job_scenario,
+    three_job_scenario,
+)
+from ..workloads.traffic import DOUBLE_HUMP, SQUARE, demand_trace
+from .packetlab import mltcp_config_for, run_packet_jobs
+
+__all__ = [
+    "fig1_traffic_patterns",
+    "Fig2Result",
+    "fig2_schedules",
+    "fig3_aggressiveness",
+    "Fig4Result",
+    "fig4_six_jobs",
+    "fig5_loss_function",
+    "Fig6Result",
+    "fig6_packet_two_jobs",
+    "noise_error_bound",
+    "fairness_loss_response",
+    "fairness_competition_share",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: traffic patterns of the four jobs
+# ---------------------------------------------------------------------------
+
+def fig1_traffic_patterns(
+    duration: float = 5.0, dt: float = 0.01
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Offered-load traces for J1 (GPT-3) and J2–J4 (GPT-2), Figure 1.
+
+    The GPT-3-like job has a long single-plateau collective; the GPT-2-like
+    jobs show the double-hump the paper's traces exhibit.
+    """
+    traces: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for job in four_job_scenario(jitter_sigma=0.0):
+        shape = SQUARE if job.name == "J1" else DOUBLE_HUMP
+        traces[job.name] = demand_trace(job, duration, dt=dt, shape=shape)
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: centralized vs SRPT vs MLTCP on the four-job mix
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig2Result:
+    """Everything Figure 2 (and §2's approximation-error claim) reports."""
+
+    schedule: Schedule
+    optimal_times: dict[str, float]
+    srpt_times: dict[str, float]
+    mltcp_times: dict[str, float]
+    mltcp_converged_at: Optional[int]
+    mltcp_gap_vs_optimal: float
+    srpt_result: FluidResult = field(repr=False)
+    mltcp_result: FluidResult = field(repr=False)
+
+    @property
+    def srpt_j1_slowdown(self) -> float:
+        """J1's slowdown under SRPT relative to the optimal schedule."""
+        return self.srpt_times["J1"] / self.optimal_times["J1"]
+
+
+def fig2_schedules(
+    iterations: int = 60,
+    capacity_gbps: float = BOTTLENECK_GBPS,
+    seed: int = 5,
+    early_window: int = 10,
+) -> Fig2Result:
+    """Reproduce Figure 2: optimal (Cassini-like), SRPT (pFabric), MLTCP.
+
+    * optimal: centralized offset optimization, zero contention expected;
+    * SRPT: all four jobs start together; averages over the *early* window
+      (the paper's Figure 2(b) shows the first iterations, before fluid-
+      level jitter slowly drifts SRPT's schedule apart);
+    * MLTCP: same synchronized start, converges to the optimal interleave.
+    """
+    jobs = four_job_scenario()
+    scheduler = CentralizedScheduler([j.with_jitter(0.0) for j in jobs], capacity_gbps)
+    schedule = scheduler.optimize()
+    optimal_times = scheduler.iteration_times_if_scheduled(schedule)
+
+    srpt_result = run_fluid(
+        jobs, capacity_gbps, policy=SRPT(), max_iterations=iterations, seed=seed
+    )
+    srpt_times = {
+        j.name: float(srpt_result.iteration_times(j.name)[:early_window].mean())
+        for j in jobs
+    }
+
+    mltcp_result = run_fluid(
+        jobs, capacity_gbps, policy=MLTCPWeighted(), max_iterations=iterations, seed=seed
+    )
+    mltcp_times = {
+        j.name: float(mltcp_result.iteration_times(j.name)[-early_window:].mean())
+        for j in jobs
+    }
+
+    # Convergence of the average iteration time toward the optimal average.
+    rounds = mltcp_result.mean_iteration_by_round()
+    target = float(np.mean(list(optimal_times.values())))
+    report = detect_convergence(rounds, target=target, tolerance=0.05)
+    gap = abs(float(np.mean(list(mltcp_times.values()))) - target) / target
+    return Fig2Result(
+        schedule=schedule,
+        optimal_times=optimal_times,
+        srpt_times=srpt_times,
+        mltcp_times=mltcp_times,
+        mltcp_converged_at=report.converged_at,
+        mltcp_gap_vs_optimal=gap,
+        srpt_result=srpt_result,
+        mltcp_result=mltcp_result,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: aggressiveness-function comparison
+# ---------------------------------------------------------------------------
+
+def fig3_aggressiveness(
+    iterations: int = 40,
+    capacity_gbps: float = BOTTLENECK_GBPS,
+    seed: int = 11,
+    functions: Optional[dict[str, AggressivenessFunction]] = None,
+) -> dict[str, np.ndarray]:
+    """Average iteration time per round for each F1…F6 (Figure 3).
+
+    Three identical GPT-2 jobs start synchronized; increasing functions
+    interleave (series decreases to the ideal), decreasing ones do not.
+    """
+    if functions is None:
+        functions = paper_functions()
+    jobs = three_job_scenario()
+    series: dict[str, np.ndarray] = {}
+    for name, function in functions.items():
+        result = run_fluid(
+            jobs,
+            capacity_gbps,
+            policy=MLTCPWeighted(function),
+            max_iterations=iterations,
+            seed=seed,
+        )
+        series[name] = result.mean_iteration_by_round(max_rounds=iterations)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: six jobs, Reno vs MLTCP-Reno, CDF of iteration times
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4Result:
+    """Figure 4's three panels in data form."""
+
+    reno_result: FluidResult = field(repr=False)
+    mltcp_result: FluidResult = field(repr=False)
+    reno_times: np.ndarray = field(repr=False)
+    mltcp_times: np.ndarray = field(repr=False)
+    tail_speedup_p99: float = 0.0
+    median_speedup: float = 0.0
+
+    def cdfs(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Empirical CDFs of both policies' iteration times (panel c)."""
+        return {
+            "reno": empirical_cdf(self.reno_times),
+            "mltcp": empirical_cdf(self.mltcp_times),
+        }
+
+
+def fig4_six_jobs(
+    iterations: int = 400,
+    capacity_gbps: float = BOTTLENECK_GBPS,
+    seed: int = 5,
+) -> Fig4Result:
+    """Reproduce Figure 4: six GPT-2 jobs under fair share vs MLTCP.
+
+    Iteration times are pooled over the whole lifetime of the jobs (as the
+    paper's CDF is), so the lifetime must be long enough that MLTCP's brief
+    convergence transient does not own the tail percentile — 400 iterations
+    keeps it under 1%.  Reno stays congested throughout, giving the ~1.5x
+    p99 speedup (paper: 1.59x).
+    """
+    jobs = six_job_scenario()
+    reno_result = run_fluid(
+        jobs, capacity_gbps, policy=FairShare(), max_iterations=iterations, seed=seed
+    )
+    mltcp_result = run_fluid(
+        jobs, capacity_gbps, policy=MLTCPWeighted(), max_iterations=iterations, seed=seed
+    )
+    reno_times = reno_result.all_iteration_times()
+    mltcp_times = mltcp_result.all_iteration_times()
+    return Fig4Result(
+        reno_result=reno_result,
+        mltcp_result=mltcp_result,
+        reno_times=reno_times,
+        mltcp_times=mltcp_times,
+        tail_speedup_p99=tail_speedup(reno_times, mltcp_times, q=99),
+        median_speedup=percentile(reno_times, 50) / percentile(mltcp_times, 50),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5(c): the loss function
+# ---------------------------------------------------------------------------
+
+def fig5_loss_function(
+    alpha: float = 0.5,
+    period: float = 1.8,
+    samples: int = 361,
+) -> dict[str, np.ndarray]:
+    """Loss (Eq. 4) and shift (Eq. 3) curves over one period, Figure 5(c)."""
+    deltas, losses = loss_curve(alpha, period, samples=samples)
+    shifts = np.array([signed_shift(d, alpha, period) for d in deltas])
+    return {"delta": deltas, "loss": losses, "shift": shifts}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: packet-level MLTCP-Reno sliding of two jobs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig6Result:
+    """Packet-level two-job run: per-job series and throughput timelines."""
+
+    iteration_times: dict[str, np.ndarray]
+    throughput: dict[str, tuple[np.ndarray, np.ndarray]]
+    ideal_iteration_time: float
+    converged_at: Optional[int]
+    final_mean: float
+
+
+def fig6_packet_two_jobs(
+    iterations: int = 40,
+    mltcp: bool = True,
+    seed: int = 2,
+    jitter_sigma: float = 0.0005,
+) -> Fig6Result:
+    """Two identical alpha=1/2 jobs over the packet simulator (Figure 6).
+
+    Scaled units (DESIGN.md §2): 1 Gbps bottleneck, 8 Mbit collectives,
+    10 ms compute — preserving alpha = 1/2 and full-overlap contention.
+    MLTCP-Reno slides the jobs into an interleaved schedule within a few
+    tens of iterations.
+    """
+    job_template = JobSpec(
+        name="Job",
+        comm_bits=8e6,
+        demand_gbps=1.0,
+        compute_time=0.010,
+        jitter_sigma=jitter_sigma,
+    )
+    jobs = [job_template.with_name("Job1"), job_template.with_name("Job2")]
+
+    def factory(job: JobSpec):
+        if mltcp:
+            return MLTCPReno(mltcp_config_for(job))
+        return RenoCC()
+
+    lab = run_packet_jobs(jobs, factory, max_iterations=iterations, seed=seed)
+    per_job = {job.name: lab.iteration_times(job.name) for job in jobs}
+    rounds = lab.mean_iteration_by_round()
+    # Ideal at packet level includes header overhead on the wire.
+    overhead = 1500.0 / 1460.0
+    ideal = job_template.ideal_comm_time * overhead + job_template.compute_time
+    report = detect_convergence(rounds, target=ideal, tolerance=0.08)
+    return Fig6Result(
+        iteration_times=per_job,
+        throughput={job.name: lab.throughput(job.name) for job in jobs},
+        ideal_iteration_time=ideal,
+        converged_at=report.converged_at,
+        final_mean=report.final_mean,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §4: noise / approximation-error bound
+# ---------------------------------------------------------------------------
+
+def noise_error_bound(
+    sigmas: Sequence[float] = (0.001, 0.002, 0.005, 0.01, 0.02),
+    alpha: float = 0.5,
+    period: float = 1.8,
+    iterations: int = 4000,
+    settle_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[dict[str, float]]:
+    """Measured steady-state error std vs the 2*sigma*(1+I/S) bound (§4).
+
+    Runs the two-job gradient descent with Gaussian iteration-time noise and
+    measures the distance of the settled start-time difference from the
+    interleaved point.
+    """
+    rows = []
+    for sigma in sigmas:
+        rng = np.random.default_rng(seed)
+        trajectory = gradient_descent(
+            delta0=0.1 * period,
+            alpha=alpha,
+            period=period,
+            iterations=iterations,
+            noise_sigma=sigma,
+            rng=rng,
+        )
+        errors = trajectory.steady_state_error(settle_fraction=settle_fraction)
+        rows.append(
+            {
+                "sigma": float(sigma),
+                "measured_std": float(errors.std()),
+                "theory_bound": convergence_error_std(sigma),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# §5: fairness — throughput response to loss probability
+# ---------------------------------------------------------------------------
+
+def fairness_competition_share(
+    loss_probs: Sequence[float] = (0.0, 0.001, 0.002),
+    bottleneck_bps: float = 1e9,
+    link_delay: float = 100e-6,
+    horizon: float = 2.0,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> list[dict[str, float]]:
+    """§5 fairness: a saturated MLTCP-Reno flow vs a Reno flow, sharing a
+    (possibly lossy) bottleneck.
+
+    "Given the same packet loss probability, an MLTCP-Reno flow claims more
+    bandwidth share than a standard Reno flow.  However, MLTCP-Reno flows
+    would not starve the other legacy flows."  Each row competes the two
+    flows for ``horizon`` seconds (averaged over ``seeds``) and reports
+    their goodputs; the MLTCP flow is deep into its iteration
+    (``bytes_ratio = 1``, so ``F = slope + intercept = 2``).
+    """
+    from ..core.config import MLTCPConfig as _Cfg
+    from ..simulator.engine import Simulator as _Sim
+    from ..simulator.queues import DropTailQueue as _Queue
+    from ..simulator.topology import build_dumbbell as _dumbbell
+    from ..tcp.base import TcpReceiver as _Rx, TcpSender as _Tx
+
+    rows = []
+    for p in loss_probs:
+        mltcp_total, reno_total = 0.0, 0.0
+        for seed in seeds:
+            sim = _Sim()
+            net = _dumbbell(
+                sim,
+                2,
+                bottleneck_bps=bottleneck_bps,
+                link_delay=link_delay,
+                bottleneck_queue=_Queue(64),
+                bottleneck_random_loss=p,
+                loss_seed=seed,
+            )
+            ccs = [MLTCPReno(_Cfg(total_bytes=1, comp_time=1e9)), RenoCC()]
+            senders = []
+            for i, cc in enumerate(ccs):
+                sender = _Tx(
+                    sim, net.hosts[f"s{i}"], f"f{i}", f"r{i}", cc, min_rto=10e-3
+                )
+                _Rx(sim, net.hosts[f"r{i}"], f"f{i}", f"s{i}")
+                sender.send_bytes(int(bottleneck_bps * horizon / 4))  # ample
+                senders.append(sender)
+            sim.run(until=horizon)
+            mltcp_total += senders[0].snd_una * senders[0].mss_bytes
+            reno_total += senders[1].snd_una * senders[1].mss_bytes
+        scale = 8 / (horizon * len(seeds)) / 1e6
+        rows.append(
+            {
+                "loss_prob": float(p),
+                "mltcp_mbps": mltcp_total * scale,
+                "reno_mbps": reno_total * scale,
+                "share_ratio": mltcp_total / max(1.0, reno_total),
+            }
+        )
+    return rows
+
+
+def fairness_loss_response(
+    loss_probs: Sequence[float] = (0.0005, 0.001, 0.002, 0.004),
+    transfer_bytes: int = 20_000_000,
+    bottleneck_bps: float = 1e9,
+    link_delay: float = 300e-6,
+    seed: int = 1,
+) -> list[dict[str, float]]:
+    """§5 substrate check: a lone Reno flow follows the Mathis 1/sqrt(p) law.
+
+    The paper's fairness argument starts from "TCP's throughput is inversely
+    proportional to the square root of loss probability" [Mathis et al.].
+    Each row runs one long Reno transfer over a random-loss bottleneck with
+    a deep buffer (so every loss is an isolated random drop, the Mathis
+    model's regime) and reports the achieved throughput; doubling ``p``
+    should cut throughput by roughly ``sqrt(2)``.
+    """
+    from ..simulator.engine import Simulator as _Sim
+    from ..simulator.queues import DropTailQueue as _Queue
+    from ..simulator.topology import build_dumbbell as _dumbbell
+    from ..tcp.base import TcpReceiver as _Rx, TcpSender as _Tx
+
+    rows = []
+    for p in loss_probs:
+        sim = _Sim()
+        net = _dumbbell(
+            sim,
+            1,
+            bottleneck_bps=bottleneck_bps,
+            link_delay=link_delay,
+            bottleneck_queue=_Queue(4000),
+            bottleneck_random_loss=p,
+            loss_seed=seed,
+        )
+        cc = RenoCC()
+        sender = _Tx(sim, net.hosts["s0"], "f", "r0", cc, min_rto=10e-3, max_rto=2.0)
+        _Rx(sim, net.hosts["r0"], "f", "s0")
+        finish: dict[str, float] = {}
+        sender.on_all_acked = lambda f=finish: f.setdefault("t", sim.now)
+        sender.send_bytes(transfer_bytes)
+        sim.run(until=120.0)
+        elapsed = finish.get("t", sim.now)
+        rows.append(
+            {
+                "loss_prob": float(p),
+                "reno_mbps": transfer_bytes * 8 / elapsed / 1e6,
+                "mathis_prediction_mbps": _mathis_mbps(p, link_delay),
+            }
+        )
+    return rows
+
+
+def _mathis_mbps(loss_prob: float, link_delay: float) -> float:
+    """Mathis et al. throughput model: MSS/RTT * sqrt(3/2) / sqrt(p)."""
+    rtt = 6.0 * link_delay  # three hops each way on the dumbbell
+    mss_bits = 1460 * 8
+    return mss_bits / rtt * math.sqrt(1.5 / loss_prob) / 1e6

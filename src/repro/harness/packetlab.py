@@ -1,0 +1,155 @@
+"""Packet-level experiment assembly: jobs on a dumbbell, end to end.
+
+Builds the paper's testbed shape around :mod:`repro.simulator` and
+:mod:`repro.tcp`: one sender/receiver host pair per job across the
+bottleneck, one TCP flow per job driven by a
+:class:`~repro.simulator.app.TrainingApp`.
+
+Scaled units: the paper's 50 Gbps / GB-scale iterations are mapped to
+~1 Gbps links and MB-scale iterations so a Python discrete-event loop can
+push enough packets; every ratio MLTCP depends on (bytes_ratio, comm/compute
+fractions, demand/capacity) is preserved (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import MLTCPConfig
+from ..simulator.app import TrainingApp
+from ..simulator.engine import Simulator
+from ..simulator.queues import DropTailQueue
+from ..simulator.topology import Network, build_dumbbell
+from ..tcp.base import CongestionControl, TcpReceiver, TcpSender
+from ..workloads.job import JobSpec
+
+__all__ = ["PacketLabResult", "run_packet_jobs", "mltcp_config_for", "throughput_timeline"]
+
+CcFactory = Callable[[JobSpec], CongestionControl]
+
+
+def mltcp_config_for(
+    job: JobSpec, comp_time_fraction: float = 0.3, **overrides
+) -> MLTCPConfig:
+    """An :class:`MLTCPConfig` matching a job's iteration shape.
+
+    ``TOTAL_BYTES`` is the job's per-iteration volume; ``COMP_TIME`` (the
+    ACK-gap threshold) defaults to a fraction of the computation phase —
+    far above any RTT, far below the real gap, as §3.2 prescribes.
+    """
+    if not 0 < comp_time_fraction <= 1:
+        raise ValueError(
+            f"comp_time_fraction must be in (0, 1], got {comp_time_fraction!r}"
+        )
+    params = {
+        "total_bytes": job.comm_bytes,
+        "comp_time": max(1e-4, comp_time_fraction * job.compute_time),
+    }
+    params.update(overrides)
+    return MLTCPConfig(**params)
+
+
+@dataclass
+class PacketLabResult:
+    """Apps, senders and network of one packet-level run."""
+
+    sim: Simulator
+    network: Network
+    jobs: tuple[JobSpec, ...]
+    apps: dict[str, TrainingApp]
+    senders: dict[str, TcpSender]
+
+    def iteration_times(self, job: str) -> np.ndarray:
+        """Durations (s) of the job's completed iterations."""
+        return self.apps[job].iteration_times()
+
+    def mean_iteration_by_round(self) -> np.ndarray:
+        """Average duration of the i-th iteration across jobs."""
+        per_job = [app.iteration_times() for app in self.apps.values()]
+        rounds = min(len(t) for t in per_job)
+        if rounds == 0:
+            return np.array([])
+        return np.array(
+            [float(np.mean([t[i] for t in per_job])) for i in range(rounds)]
+        )
+
+    def all_iteration_times(self, skip: int = 0) -> np.ndarray:
+        """Pooled iteration durations of every job (skipping warm-up)."""
+        return np.concatenate(
+            [app.iteration_times()[skip:] for app in self.apps.values()]
+        )
+
+    def throughput(self, job: str, dt: float = 0.005) -> tuple[np.ndarray, np.ndarray]:
+        """Per-job goodput (Gbps) over time, from the sender's ACK log."""
+        return throughput_timeline(
+            self.senders[job].acked_bytes_log, self.sim.now, dt=dt
+        )
+
+
+def run_packet_jobs(
+    jobs: Sequence[JobSpec],
+    cc_factory: CcFactory,
+    bottleneck_bps: float = 1e9,
+    edge_bps: Optional[float] = None,
+    queue_packets: int = 64,
+    max_iterations: int = 40,
+    until: Optional[float] = None,
+    seed: int = 0,
+    link_delay: float = 5e-6,
+) -> PacketLabResult:
+    """Run ``jobs`` over a dumbbell with per-job congestion control.
+
+    ``cc_factory`` builds a fresh congestion-control instance per job —
+    e.g. ``lambda job: MLTCPReno(mltcp_config_for(job))``.
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    sim = Simulator()
+    network = build_dumbbell(
+        sim,
+        n_pairs=len(jobs),
+        bottleneck_bps=bottleneck_bps,
+        edge_bps=edge_bps,
+        link_delay=link_delay,
+        bottleneck_queue=DropTailQueue(queue_packets),
+    )
+    rng = np.random.default_rng(seed)
+    apps: dict[str, TrainingApp] = {}
+    senders: dict[str, TcpSender] = {}
+    for i, job in enumerate(jobs):
+        sender_host, receiver_host = network.hosts[f"s{i}"], network.hosts[f"r{i}"]
+        cc = cc_factory(job)
+        sender = TcpSender(sim, sender_host, job.name, receiver_host.name, cc)
+        TcpReceiver(sim, receiver_host, job.name, sender_host.name)
+        app = TrainingApp(sim, sender, job, max_iterations=max_iterations, rng=rng)
+        app.start()
+        apps[job.name] = app
+        senders[job.name] = sender
+
+    if until is None:
+        longest = max(job.ideal_iteration_time for job in jobs)
+        until = 4.0 * longest * max_iterations
+    sim.run(until=until)
+    return PacketLabResult(
+        sim=sim, network=network, jobs=tuple(jobs), apps=apps, senders=senders
+    )
+
+
+def throughput_timeline(
+    acked_log: Sequence[tuple[float, int]], end_time: float, dt: float = 0.005
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bin an (time, acked_bytes) log into a goodput series in Gbps."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt!r}")
+    if end_time <= 0:
+        raise ValueError(f"end_time must be positive, got {end_time!r}")
+    bins = max(1, int(np.ceil(end_time / dt)))
+    times = np.arange(bins) * dt
+    series = np.zeros(bins)
+    for t, nbytes in acked_log:
+        index = min(bins - 1, int(t / dt))
+        series[index] += nbytes * 8
+    return times, series / dt / 1e9

@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Benchmarks and examples print through these helpers so every figure's
+regenerated rows/series look uniform in terminal output and in
+bench_output.txt.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "sparkline", "format_seconds"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_seconds(value: float) -> str:
+    """Human-scaled seconds (ms below 1 s)."""
+    if value < 1.0:
+        return f"{value * 1000:.1f} ms"
+    return f"{value:.3f} s"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    if not headers:
+        raise ValueError("need at least one header")
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    for i, row in enumerate(string_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in string_rows)) if string_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, values: Sequence[float], width: int = 60, unit: str = ""
+) -> str:
+    """One labelled sparkline row with min/max annotations."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{name}: (empty)"
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{name}: {sparkline(arr, width=width)}  "
+        f"[min {arr.min():.3f}, max {arr.max():.3f}{suffix}]"
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode sparkline, resampled to ``width`` points."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Average-pool down to the target width.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(s))] for s in scaled)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,98 @@
+"""Multi-seed experiment repetition with summary statistics.
+
+Single-seed simulation results can hinge on noise realizations (the §5
+fairness experiments especially).  :func:`repeat_with_seeds` runs a
+seed-parameterized experiment several times and reports mean, std and a
+normal-approximation confidence interval; :func:`sweep` crosses that with a
+parameter grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SeedSummary", "repeat_with_seeds", "sweep"]
+
+#: z-value for a 95% two-sided normal confidence interval.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Aggregate of one scalar metric across seeds."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci95_halfwidth: float
+
+    @property
+    def n(self) -> int:
+        """Number of seeds aggregated."""
+        return len(self.values)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """95% confidence interval for the mean (normal approximation)."""
+        return (self.mean - self.ci95_halfwidth, self.mean + self.ci95_halfwidth)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4g} ± {self.ci95_halfwidth:.2g} (n={self.n})"
+
+
+def repeat_with_seeds(
+    experiment: Callable[[int], float], seeds: Sequence[int]
+) -> SeedSummary:
+    """Run ``experiment(seed)`` per seed and summarize the scalar results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = []
+    for seed in seeds:
+        value = float(experiment(seed))
+        if math.isnan(value):
+            raise ValueError(f"experiment returned NaN for seed {seed}")
+        values.append(value)
+    arr = np.array(values)
+    std = float(arr.std(ddof=1)) if len(values) > 1 else 0.0
+    halfwidth = _Z95 * std / math.sqrt(len(values)) if len(values) > 1 else 0.0
+    return SeedSummary(
+        values=tuple(values),
+        mean=float(arr.mean()),
+        std=std,
+        ci95_halfwidth=halfwidth,
+    )
+
+
+def sweep(
+    experiment: Callable[..., float],
+    grid: Mapping[str, Sequence],
+    seeds: Sequence[int],
+) -> list[dict]:
+    """Cross a parameter grid with seed repetition.
+
+    ``experiment`` is called as ``experiment(seed=..., **point)`` for every
+    point in the Cartesian product of ``grid``.  Returns one row per point:
+    the parameter values plus a ``summary`` :class:`SeedSummary`.
+    """
+    if not grid:
+        raise ValueError("grid must name at least one parameter")
+    names = list(grid)
+    rows: list[dict] = []
+
+    def recurse(index: int, point: dict) -> None:
+        if index == len(names):
+            summary = repeat_with_seeds(
+                lambda seed: experiment(seed=seed, **point), seeds
+            )
+            rows.append({**point, "summary": summary})
+            return
+        name = names[index]
+        for value in grid[name]:
+            recurse(index + 1, {**point, name: value})
+
+    recurse(0, {})
+    return rows

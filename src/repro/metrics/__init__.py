@@ -1,0 +1,29 @@
+"""Metrics: iteration-time statistics and convergence detection."""
+
+from .convergence import (
+    ConvergenceReport,
+    detect_convergence,
+    is_stable_after,
+    relative_gap,
+)
+from .stats import (
+    SeriesSummary,
+    empirical_cdf,
+    jain_fairness,
+    percentile,
+    summarize,
+    tail_speedup,
+)
+
+__all__ = [
+    "empirical_cdf",
+    "percentile",
+    "tail_speedup",
+    "jain_fairness",
+    "SeriesSummary",
+    "summarize",
+    "ConvergenceReport",
+    "detect_convergence",
+    "relative_gap",
+    "is_stable_after",
+]

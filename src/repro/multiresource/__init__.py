@@ -1,0 +1,23 @@
+"""§5 generalization: MLTCP-style progress weighting beyond the network."""
+
+from .scheduler import (
+    EqualShare,
+    MultiResourceResult,
+    MultiResourceSimulator,
+    ProgressWeighted,
+    TaskIteration,
+    run_multiresource,
+)
+from .task import MultiResourceTask, ResourcePhase, two_phase_task
+
+__all__ = [
+    "MultiResourceTask",
+    "ResourcePhase",
+    "two_phase_task",
+    "EqualShare",
+    "ProgressWeighted",
+    "MultiResourceSimulator",
+    "MultiResourceResult",
+    "TaskIteration",
+    "run_multiresource",
+]

@@ -1,0 +1,117 @@
+"""Periodic multi-resource tasks (paper §5's generalization).
+
+The paper's discussion extends MLTCP beyond the network: "the aggressiveness
+function F(bytes_ratio) is generalizable to other resource scheduling
+problems by replacing bytes_ratio with the progress of the job".  A
+:class:`MultiResourceTask` is a periodic job whose iteration is a *cycle of
+phases*, each consuming one named resource (e.g. ``cpu`` then ``network``
+then ``gpu``); the next iteration starts when the cycle completes — the same
+arrival/completion dependency DNN traffic has on every resource it touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ResourcePhase", "MultiResourceTask"]
+
+
+@dataclass(frozen=True)
+class ResourcePhase:
+    """One phase of a task's iteration on one resource.
+
+    ``work`` is in resource-units × seconds (e.g. core-seconds); ``demand``
+    is the peak number of units the phase can consume in parallel, so the
+    phase lasts ``work / demand`` seconds when fully served.
+    """
+
+    resource: str
+    work: float
+    demand: float
+
+    def __post_init__(self) -> None:
+        if not self.resource:
+            raise ValueError("resource name must be non-empty")
+        if self.work <= 0:
+            raise ValueError(f"{self.resource}: work must be positive, got {self.work!r}")
+        if self.demand <= 0:
+            raise ValueError(
+                f"{self.resource}: demand must be positive, got {self.demand!r}"
+            )
+
+    @property
+    def ideal_duration(self) -> float:
+        """Phase length when the task gets its full demand."""
+        return self.work / self.demand
+
+
+@dataclass(frozen=True)
+class MultiResourceTask:
+    """A periodic task cycling through resource phases.
+
+    The network-only model is the special case of two phases where the
+    second ("compute") resource is uncontended.
+    """
+
+    name: str
+    phases: tuple[ResourcePhase, ...]
+    start_offset: float = 0.0
+    jitter_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError(f"{self.name}: need at least one phase")
+        if self.start_offset < 0:
+            raise ValueError(f"{self.name}: start_offset must be non-negative")
+        if self.jitter_sigma < 0:
+            raise ValueError(f"{self.name}: jitter_sigma must be non-negative")
+
+    @property
+    def ideal_iteration_time(self) -> float:
+        """Cycle length when every phase gets its full demand."""
+        return sum(phase.ideal_duration for phase in self.phases)
+
+    def resources(self) -> set[str]:
+        """Names of the resources this task touches."""
+        return {phase.resource for phase in self.phases}
+
+    def phase_fraction(self, resource: str) -> float:
+        """Fraction of the ideal iteration spent on ``resource``."""
+        ideal = self.ideal_iteration_time
+        return (
+            sum(p.ideal_duration for p in self.phases if p.resource == resource)
+            / ideal
+        )
+
+    def sample_jitter(self, rng: Optional[np.random.Generator]) -> float:
+        """Extra per-iteration delay from the §4 Gaussian noise model."""
+        if self.jitter_sigma == 0.0 or rng is None:
+            return 0.0
+        return max(0.0, float(rng.normal(0.0, self.jitter_sigma)))
+
+
+def two_phase_task(
+    name: str,
+    resource: str,
+    work: float,
+    demand: float,
+    think_time: float,
+    jitter_sigma: float = 0.0,
+) -> MultiResourceTask:
+    """Convenience: one contended phase plus an uncontended think phase.
+
+    The think phase is modelled as a private resource ``{name}-think`` with
+    demand 1, so it never competes with anything — exactly the network
+    model's computation gap.
+    """
+    return MultiResourceTask(
+        name=name,
+        phases=(
+            ResourcePhase(resource=resource, work=work, demand=demand),
+            ResourcePhase(resource=f"{name}-think", work=think_time, demand=1.0),
+        ),
+        jitter_sigma=jitter_sigma,
+    )

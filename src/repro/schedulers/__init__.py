@@ -1,0 +1,13 @@
+"""Centralized scheduling baseline (Cassini-like offset optimization)."""
+
+from .centralized import CentralizedScheduler, Schedule, unified_period
+from .compatibility import are_compatible, best_compatibility, compatibility_score
+
+__all__ = [
+    "CentralizedScheduler",
+    "Schedule",
+    "unified_period",
+    "compatibility_score",
+    "best_compatibility",
+    "are_compatible",
+]

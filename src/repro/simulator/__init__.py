@@ -1,0 +1,40 @@
+"""Packet-level discrete-event network simulator."""
+
+from .app import (
+    AppIteration,
+    MultiFlowTrainingApp,
+    RequestApp,
+    SenderLike,
+    TrainingApp,
+)
+from .engine import EventHandle, Simulator
+from .link import Link
+from .node import Host, Node, Switch
+from .packet import ACK_SIZE_BYTES, DATA_HEADER_BYTES, Packet
+from .queues import DropTailQueue, EcnQueue, PriorityQueue, QueueDiscipline
+from .topology import Network, build_dumbbell, build_from_graph, build_leaf_spine
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Packet",
+    "DATA_HEADER_BYTES",
+    "ACK_SIZE_BYTES",
+    "Link",
+    "QueueDiscipline",
+    "DropTailQueue",
+    "EcnQueue",
+    "PriorityQueue",
+    "Node",
+    "Host",
+    "Switch",
+    "Network",
+    "build_dumbbell",
+    "build_leaf_spine",
+    "build_from_graph",
+    "TrainingApp",
+    "MultiFlowTrainingApp",
+    "RequestApp",
+    "AppIteration",
+    "SenderLike",
+]

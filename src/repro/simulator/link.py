@@ -1,0 +1,103 @@
+"""Point-to-point links: serialization, propagation, queueing, loss.
+
+A :class:`Link` is unidirectional.  Packets handed to :meth:`Link.send` are
+buffered in the link's queue discipline while the transmitter is busy; each
+transmission takes ``size_bits / rate_bps`` seconds, after which the packet
+propagates for ``delay`` seconds and is delivered to the receiving node.
+
+``random_loss`` drops packets Bernoulli-independently before queueing — used
+by the §5 fairness experiment, which needs a controlled loss probability to
+measure the throughput-vs-loss response of Reno and MLTCP-Reno.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Unidirectional link with a rate, propagation delay and queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay: float,
+        queue: Optional[QueueDiscipline] = None,
+        deliver: Optional[Callable[[Packet], None]] = None,
+        random_loss: float = 0.0,
+        loss_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"{name}: rate_bps must be positive, got {rate_bps!r}")
+        if delay < 0:
+            raise ValueError(f"{name}: delay must be non-negative, got {delay!r}")
+        if not 0.0 <= random_loss < 1.0:
+            raise ValueError(f"{name}: random_loss must be in [0, 1), got {random_loss!r}")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue(capacity_packets=100)
+        self._deliver = deliver
+        self.random_loss = random_loss
+        self._loss_rng = loss_rng if loss_rng is not None else np.random.default_rng(0)
+        self._busy = False
+        # Counters for utilization/telemetry.
+        self.bits_sent = 0
+        self.packets_sent = 0
+        self.random_drops = 0
+
+    def connect(self, deliver: Callable[[Packet], None]) -> None:
+        """Attach the receiving node's packet handler."""
+        self._deliver = deliver
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link (may be queued or dropped)."""
+        if self._deliver is None:
+            raise RuntimeError(f"link {self.name} has no receiver connected")
+        if self.random_loss > 0.0 and self._loss_rng.random() < self.random_loss:
+            self.random_drops += 1
+            return
+        if not self.queue.push(packet):
+            return  # tail drop, counted by the queue
+        if not self._busy:
+            self._transmit_next()
+
+    @property
+    def utilization_bits(self) -> int:
+        """Total bits serialized onto the wire so far."""
+        return self.bits_sent
+
+    def mean_rate_bps(self, elapsed: float) -> float:
+        """Average throughput over ``elapsed`` seconds of simulation."""
+        if elapsed <= 0:
+            raise ValueError(f"elapsed must be positive, got {elapsed!r}")
+        return self.bits_sent / elapsed
+
+    # -- internals --------------------------------------------------------
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size_bits / self.rate_bps
+        self.bits_sent += packet.size_bits
+        self.packets_sent += 1
+        self.sim.schedule(tx_time, lambda p=packet: self._on_tx_complete(p))
+
+    def _on_tx_complete(self, packet: Packet) -> None:
+        assert self._deliver is not None
+        self.sim.schedule(self.delay, lambda p=packet: self._deliver(p))
+        self._transmit_next()

@@ -1,0 +1,80 @@
+"""Packet model for the discrete-event simulator.
+
+Segments carry byte-counted sequence numbers like real TCP, but every data
+segment is exactly one MSS so that the congestion window can be expressed in
+packets ("Following Linux's implementation … the congestion window (cwnd) is
+expressed in packets", paper §3.1).  ACKs are pure (no piggybacked data).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Packet", "DATA_HEADER_BYTES", "ACK_SIZE_BYTES"]
+
+#: TCP/IP header overhead carried by every data segment.
+DATA_HEADER_BYTES = 40
+#: Size of a pure ACK on the wire.
+ACK_SIZE_BYTES = 40
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One packet on the wire (data segment or pure ACK)."""
+
+    flow_id: str
+    src: str
+    dst: str
+    is_ack: bool
+    #: Data: sequence number of this segment (segment index, not bytes).
+    #: ACK: cumulative acknowledgement (next expected segment index).
+    seq: int
+    #: Payload bytes (0 for ACKs).
+    payload_bytes: int
+    #: Simulation time the *original* transmission of this segment left the
+    #: sender; used for RTT sampling (Karn's rule clears it on retransmit).
+    sent_time: Optional[float] = None
+    #: True when this is a retransmission (Karn: no RTT sample).
+    retransmitted: bool = False
+    #: ECN: sender marks capability; queue sets congestion-experienced.
+    ecn_capable: bool = False
+    ecn_ce: bool = False
+    #: ECN echo bit on ACKs (receiver reflects CE back to the sender).
+    ecn_echo: bool = False
+    #: Scheduling priority for priority queues (e.g. pFabric: remaining
+    #: bytes; lower value = higher priority).
+    priority: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative, got {self.payload_bytes!r}")
+        if self.is_ack and self.payload_bytes != 0:
+            raise ValueError("pure ACKs carry no payload")
+        if not self.is_ack and self.payload_bytes == 0:
+            raise ValueError("data segments must carry payload")
+        if self.seq < 0:
+            raise ValueError(f"seq must be non-negative, got {self.seq!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size including headers."""
+        if self.is_ack:
+            return ACK_SIZE_BYTES
+        return self.payload_bytes + DATA_HEADER_BYTES
+
+    @property
+    def size_bits(self) -> int:
+        """Wire size in bits."""
+        return 8 * self.size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return (
+            f"<{kind} {self.flow_id} {self.src}->{self.dst} seq={self.seq} "
+            f"{self.payload_bytes}B>"
+        )

@@ -1,0 +1,33 @@
+"""Transport layer: TCP variants, MLTCP augmentations, rate-based DCQCN."""
+
+from .base import DEFAULT_MSS_BYTES, CongestionControl, TcpReceiver, TcpSender
+from .classes import TrafficClassRegistry, default_registry
+from .cubic import CubicCC
+from .dcqcn import DcqcnController, MltcpDcqcnController, RateSender
+from .dctcp import DctcpCC
+from .pfabric import PFabricSender
+from .mltcp import MLTCPCubic, MLTCPDctcp, MLTCPReno, MltcpState
+from .reno import RenoCC
+from .swift import MLTCPSwift, SwiftCC
+
+__all__ = [
+    "CongestionControl",
+    "TcpSender",
+    "TcpReceiver",
+    "DEFAULT_MSS_BYTES",
+    "RenoCC",
+    "CubicCC",
+    "DctcpCC",
+    "MLTCPReno",
+    "MLTCPCubic",
+    "MLTCPDctcp",
+    "MltcpState",
+    "DcqcnController",
+    "MltcpDcqcnController",
+    "RateSender",
+    "PFabricSender",
+    "TrafficClassRegistry",
+    "default_registry",
+    "SwiftCC",
+    "MLTCPSwift",
+]

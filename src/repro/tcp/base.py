@@ -1,0 +1,434 @@
+"""TCP connection machinery for the packet-level simulator.
+
+:class:`TcpSender` and :class:`TcpReceiver` implement the transport the
+paper's kernel module plugs into: MSS-sized segments, cumulative immediate
+ACKs, duplicate-ACK fast retransmit with NewReno-style partial-ACK recovery,
+and an RFC 6298 retransmission timer with Karn's rule and exponential
+backoff.  Congestion control is pluggable via :class:`CongestionControl`
+(mirroring Linux's pluggable congestion modules, which is exactly the hook
+MLTCP uses — paper §3.2).
+
+Windows are counted in *segments*, "following Linux's implementation …
+the congestion window (cwnd) is expressed in packets" (§3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from ..simulator.engine import EventHandle, Simulator
+from ..simulator.node import Host
+from ..simulator.packet import Packet
+
+__all__ = ["CongestionControl", "TcpSender", "TcpReceiver", "DEFAULT_MSS_BYTES"]
+
+#: Default maximum segment size (payload bytes), the paper's MTU assumption.
+DEFAULT_MSS_BYTES = 1460
+
+#: Initial congestion window in segments (Linux default, RFC 6928).
+INITIAL_CWND = 10.0
+
+#: Minimum congestion window after any reduction.
+MIN_CWND = 1.0
+
+
+class CongestionControl(ABC):
+    """Pluggable congestion-control algorithm.
+
+    The algorithm owns ``cwnd`` (float, segments) and ``ssthresh``; the
+    connection reads ``cwnd`` to clock transmissions and calls the hooks on
+    protocol events.
+    """
+
+    #: Whether data packets should be marked ECN-capable.
+    ecn_enabled: bool = False
+    name: str = "cc"
+
+    def __init__(self) -> None:
+        self.cwnd: float = INITIAL_CWND
+        self.ssthresh: float = float("inf")
+
+    @abstractmethod
+    def on_ack(self, newly_acked: int, conn: "TcpSender") -> None:
+        """New data acknowledged (``newly_acked`` segments, ``num_acks``)."""
+
+    def on_fast_retransmit(self, conn: "TcpSender") -> None:
+        """Triple-duplicate-ACK loss: multiplicative decrease + recovery."""
+        self.ssthresh = max(conn.flight_size() / 2.0, 2.0)
+        self.cwnd = self.ssthresh + 3.0
+
+    def on_dup_ack_in_recovery(self, conn: "TcpSender") -> None:
+        """Window inflation for each further dup ACK during fast recovery."""
+        self.cwnd += 1.0
+
+    def on_partial_ack(self, newly_acked: int, conn: "TcpSender") -> None:
+        """NewReno partial ACK: deflate by the amount acked, keep recovering."""
+        self.cwnd = max(MIN_CWND, self.cwnd - newly_acked + 1.0)
+
+    def on_recovery_exit(self, conn: "TcpSender") -> None:
+        """Full ACK of the recovery point: deflate to ssthresh."""
+        self.cwnd = max(MIN_CWND, self.ssthresh)
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        """Retransmission timeout: collapse to one segment, slow start."""
+        self.ssthresh = max(conn.flight_size() / 2.0, 2.0)
+        self.cwnd = MIN_CWND
+
+    def on_ecn_echo(self, echoed: int, total: int, conn: "TcpSender") -> None:
+        """ECN feedback for one window (DCTCP-style algorithms override)."""
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the window is still below the slow-start threshold."""
+        return self.cwnd < self.ssthresh
+
+
+class TcpReceiver:
+    """Receive side: in-order reassembly and cumulative ACK generation.
+
+    ``delayed_ack`` enables RFC 1122-style ACK coalescing: an ACK is sent
+    every ``delayed_ack`` in-order segments, or after ``delack_timeout``
+    seconds, or immediately when a segment arrives out of order (so the
+    sender's dup-ACK machinery keeps working).  Coalesced ACKs acknowledge
+    multiple segments at once — exactly the cumulative-ACK case Algorithm 1
+    handles with its ``num_acks`` term (paper §3.1: "a cumulative ack
+    mechanism to acknowledge multiple in-flight packets with a single ack").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: str,
+        peer: str,
+        delayed_ack: int = 1,
+        delack_timeout: float = 500e-6,
+    ) -> None:
+        if delayed_ack < 1:
+            raise ValueError(f"delayed_ack must be at least 1, got {delayed_ack!r}")
+        if delack_timeout <= 0:
+            raise ValueError(f"delack_timeout must be positive, got {delack_timeout!r}")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.peer = peer
+        self.delayed_ack = delayed_ack
+        self.delack_timeout = delack_timeout
+        self.recv_next = 0
+        self._out_of_order: set[int] = set()
+        self.segments_received = 0
+        self.acks_sent = 0
+        self._unacked_segments = 0
+        self._delack_timer: Optional[EventHandle] = None
+        self._pending_echo = False
+        self._pending_ts: Optional[float] = None
+        self._pending_retransmitted = False
+        host.register_flow(flow_id, self)
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving data segment; emit or schedule an ACK."""
+        if packet.is_ack:
+            raise RuntimeError(f"receiver for {self.flow_id} got an ACK: {packet!r}")
+        self.segments_received += 1
+        in_order = packet.seq == self.recv_next
+        if in_order:
+            self.recv_next += 1
+            while self.recv_next in self._out_of_order:
+                self._out_of_order.discard(self.recv_next)
+                self.recv_next += 1
+        elif packet.seq > self.recv_next:
+            self._out_of_order.add(packet.seq)
+        # seq < recv_next: duplicate of delivered data; still ACK it.
+
+        # Remember timestamp/ECN state for the (possibly coalesced) ACK.
+        self._pending_echo = self._pending_echo or packet.ecn_ce
+        self._pending_ts = packet.sent_time
+        self._pending_retransmitted = packet.retransmitted
+
+        if not in_order or self.delayed_ack == 1:
+            # Out-of-order (or delack disabled): ACK immediately so the
+            # sender sees duplicate ACKs without delay.
+            self._send_ack()
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= self.delayed_ack:
+            self._send_ack()
+        elif self._delack_timer is None:
+            self._delack_timer = self.sim.schedule(
+                self.delack_timeout, self._on_delack_timeout
+            )
+
+    # -- internals ----------------------------------------------------------
+
+    def _on_delack_timeout(self) -> None:
+        self._delack_timer = None
+        if self._unacked_segments > 0:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+        self._unacked_segments = 0
+        # The ACK echoes the newest data packet's original send time and
+        # retransmission flag (RFC 1323 timestamps), so the sender can take
+        # accurate RTT samples even across recovery episodes.
+        ack = Packet(
+            flow_id=self.flow_id,
+            src=self.host.name,
+            dst=self.peer,
+            is_ack=True,
+            seq=self.recv_next,
+            payload_bytes=0,
+            ecn_echo=self._pending_echo,
+            sent_time=self._pending_ts,
+            retransmitted=self._pending_retransmitted,
+        )
+        self._pending_echo = False
+        self.acks_sent += 1
+        self.host.send(ack)
+
+
+class TcpSender:
+    """Send side of one flow: window clocking, loss recovery, timers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: str,
+        peer: str,
+        cc: CongestionControl,
+        mss_bytes: int = DEFAULT_MSS_BYTES,
+        min_rto: float = 2e-3,
+        max_rto: float = 1.0,
+        on_all_acked: Optional[Callable[[], None]] = None,
+        slow_start_after_idle: bool = True,
+    ) -> None:
+        if mss_bytes <= 0:
+            raise ValueError(f"mss_bytes must be positive, got {mss_bytes!r}")
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError(f"need 0 < min_rto <= max_rto, got {min_rto!r}, {max_rto!r}")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.peer = peer
+        self.cc = cc
+        self.mss_bytes = mss_bytes
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.on_all_acked = on_all_acked
+        self.slow_start_after_idle = slow_start_after_idle
+        self._last_activity = 0.0
+
+        # Sequence state (segment indices).
+        self.snd_una = 0  # oldest unacknowledged
+        self.snd_nxt = 0  # next new segment to send
+        self.target = 0   # segments the application has asked to deliver
+
+        # Loss recovery.
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover_point = 0
+
+        # RTT estimation (RFC 6298).
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = 4 * min_rto
+        self._rto_backoff = 1.0
+        self._rto_timer: Optional[EventHandle] = None
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+
+        # Telemetry.
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.acked_bytes_log: list[tuple[float, int]] = []
+        #: Optional cwnd trace: (time, cwnd) appended on every new ACK when
+        #: :attr:`record_cwnd` is set (off by default — it grows unbounded).
+        self.record_cwnd = False
+        self.cwnd_log: list[tuple[float, float]] = []
+
+        host.register_flow(flow_id, self)
+
+    # -- application interface --------------------------------------------
+
+    def send_bytes(self, nbytes: int) -> int:
+        """Queue ``nbytes`` for delivery; returns the segments enqueued."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes!r}")
+        if (
+            self.slow_start_after_idle
+            and self.flight_size() == 0
+            and self.sim.now - self._last_activity > self.rto
+        ):
+            # Linux tcp_slow_start_after_idle: restart from the initial
+            # window after an idle period (the compute phase), so a flow's
+            # history does not carry an incumbency advantage across
+            # iterations.
+            self.cc.cwnd = min(self.cc.cwnd, INITIAL_CWND)
+        segments = -(-nbytes // self.mss_bytes)  # ceil division
+        self.target += segments
+        self._try_send()
+        return segments
+
+    def bytes_outstanding(self) -> int:
+        """Bytes queued or in flight but not yet acknowledged."""
+        return (self.target - self.snd_una) * self.mss_bytes
+
+    def all_acked(self) -> bool:
+        """Whether everything the application queued has been acknowledged."""
+        return self.snd_una >= self.target
+
+    def flight_size(self) -> int:
+        """Segments in flight (sent, not yet cumulatively acknowledged)."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def smoothed_rtt(self) -> Optional[float]:
+        """Current SRTT estimate, or None before the first sample."""
+        return self.srtt
+
+    # -- packet handling ---------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving ACK."""
+        if not packet.is_ack:
+            raise RuntimeError(f"sender for {self.flow_id} got data: {packet!r}")
+        ack = packet.seq
+        if ack > self.snd_una:
+            self._on_new_ack(ack, packet)
+        elif ack == self.snd_una and self.flight_size() > 0:
+            self._on_dup_ack()
+        self._try_send()
+
+    # -- internals ----------------------------------------------------------
+
+    def _on_new_ack(self, ack: int, packet: Packet) -> None:
+        newly_acked = ack - self.snd_una
+        self._sample_rtt(packet)
+        for seq in range(self.snd_una, ack):
+            self._send_times.pop(seq, None)
+            self._retransmitted.discard(seq)
+        self.snd_una = ack
+        if ack > self.snd_nxt:
+            # After an RTO rewinds snd_nxt (go-back-N), segments still in
+            # flight can be acknowledged past the rewound send point; accept
+            # the evidence of delivery and jump forward.
+            self.snd_nxt = ack
+        self._rto_backoff = 1.0
+
+        if self.in_recovery:
+            if ack >= self.recover_point:
+                self.in_recovery = False
+                self.dup_acks = 0
+                self.cc.on_recovery_exit(self)
+            else:
+                # NewReno partial ACK: retransmit the next hole immediately.
+                self.cc.on_partial_ack(newly_acked, self)
+                self._retransmit(self.snd_una)
+        else:
+            self.dup_acks = 0
+            self.cc.on_ack(newly_acked, self)
+        if packet.ecn_echo:
+            self.cc.on_ecn_echo(1, 1, self)
+
+        self.acked_bytes_log.append((self.sim.now, newly_acked * self.mss_bytes))
+        if self.record_cwnd:
+            self.cwnd_log.append((self.sim.now, self.cc.cwnd))
+        self._last_activity = self.sim.now
+        self._restart_rto_timer()
+        if self.all_acked() and self.on_all_acked is not None and self.target > 0:
+            self._cancel_rto_timer()
+            self.on_all_acked()
+
+    def _on_dup_ack(self) -> None:
+        self.dup_acks += 1
+        if self.in_recovery:
+            self.cc.on_dup_ack_in_recovery(self)
+        elif self.dup_acks == 3:
+            self.in_recovery = True
+            self.recover_point = self.snd_nxt
+            self.fast_retransmits += 1
+            self.cc.on_fast_retransmit(self)
+            self._retransmit(self.snd_una)
+
+    def _try_send(self) -> None:
+        window = int(self.cc.cwnd)
+        while self.snd_nxt < self.target and self.snd_nxt < self.snd_una + window:
+            self._transmit(self.snd_nxt, retransmission=False)
+            self.snd_nxt += 1
+        if self.flight_size() > 0 and self._rto_timer is None:
+            self._restart_rto_timer()
+
+    def _transmit(self, seq: int, retransmission: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.host.name,
+            dst=self.peer,
+            is_ack=False,
+            seq=seq,
+            payload_bytes=self.mss_bytes,
+            sent_time=self.sim.now,
+            retransmitted=retransmission,
+            ecn_capable=self.cc.ecn_enabled,
+            priority=float(self.target - self.snd_una),
+        )
+        if retransmission:
+            self.retransmissions += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self.sim.now
+        self.segments_sent += 1
+        self.host.send(packet)
+
+    def _retransmit(self, seq: int) -> None:
+        self._transmit(seq, retransmission=True)
+        self._restart_rto_timer()
+
+    def _sample_rtt(self, ack_packet: Packet) -> None:
+        """Timestamp-echo sampling with Karn's rule: the ACK carries the
+        triggering data packet's original send time; retransmitted segments
+        give no sample."""
+        if ack_packet.retransmitted or ack_packet.sent_time is None:
+            return
+        sample = self.sim.now - ack_packet.sent_time
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(
+            self.max_rto, max(self.min_rto, self.srtt + 4.0 * (self.rttvar or 0.0))
+        )
+
+    def _restart_rto_timer(self) -> None:
+        self._cancel_rto_timer()
+        if self.flight_size() <= 0:
+            return
+        timeout = min(self.max_rto, self.rto * self._rto_backoff)
+        self._rto_timer = self.sim.schedule(timeout, self._on_rto)
+
+    def _cancel_rto_timer(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.flight_size() <= 0:
+            return
+        self.timeouts += 1
+        self.cc.on_rto(self)
+        self.in_recovery = False
+        self.dup_acks = 0
+        self._rto_backoff = min(64.0, self._rto_backoff * 2.0)
+        # Go-back-N: rewind the send point and retransmit the first hole.
+        self.snd_nxt = self.snd_una + 1
+        self._retransmit(self.snd_una)
+        self._try_send()

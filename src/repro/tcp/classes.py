@@ -1,0 +1,102 @@
+"""Per-traffic-class congestion-control selection (paper §5).
+
+"To safeguard high-priority legacy TCP traffic, we modify NCCL's FAST
+socket plugin to support selecting a desired congestion control algorithm.
+This allows for choosing different aggressiveness functions for different
+classes of traffic.  For latency-sensitive traffic, in order to acquire most
+of the bandwidth, we recommend using a bandwidth aggressiveness function
+with larger values."
+
+:class:`TrafficClassRegistry` is the library analogue of that plugin hook: a
+named map from traffic class to a congestion-control factory, with the
+paper's three roles pre-registered:
+
+* ``ml`` — MLTCP-Reno with the paper's linear function (needs the job's
+  iteration shape);
+* ``legacy`` — plain TCP Reno;
+* ``latency`` — MLTCP-Reno pinned to a large constant aggressiveness, so
+  short latency-sensitive flows out-compete the ML bulk traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.aggressiveness import ConstantAggressiveness
+from ..core.config import MLTCPConfig
+from ..workloads.job import JobSpec
+from .base import CongestionControl
+from .mltcp import MLTCPReno
+from .reno import RenoCC
+
+__all__ = ["CcFactory", "TrafficClassRegistry", "default_registry", "LATENCY_AGGRESSIVENESS"]
+
+CcFactory = Callable[[Optional[JobSpec]], CongestionControl]
+
+#: The constant weight recommended for latency-sensitive traffic; above the
+#: ML class's maximum (slope + intercept = 2.0), so shorts win contention.
+LATENCY_AGGRESSIVENESS = 3.0
+
+
+class TrafficClassRegistry:
+    """Named congestion-control factories, one per traffic class."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, CcFactory] = {}
+
+    def register(self, traffic_class: str, factory: CcFactory) -> None:
+        """Register (or replace) the factory for ``traffic_class``."""
+        if not traffic_class:
+            raise ValueError("traffic_class must be non-empty")
+        self._factories[traffic_class] = factory
+
+    def classes(self) -> list[str]:
+        """Registered class names, sorted."""
+        return sorted(self._factories)
+
+    def create(
+        self, traffic_class: str, job: Optional[JobSpec] = None
+    ) -> CongestionControl:
+        """Build a fresh congestion-control instance for one flow."""
+        try:
+            factory = self._factories[traffic_class]
+        except KeyError:
+            raise KeyError(
+                f"unknown traffic class {traffic_class!r}; registered: "
+                f"{self.classes()}"
+            ) from None
+        return factory(job)
+
+
+def _ml_factory(job: Optional[JobSpec]) -> CongestionControl:
+    if job is None:
+        # No shape information: learn TOTAL_BYTES / COMP_TIME online (§3.2).
+        return MLTCPReno(MLTCPConfig())
+    return MLTCPReno(
+        MLTCPConfig(
+            total_bytes=job.comm_bytes,
+            comp_time=max(1e-4, 0.3 * job.compute_time),
+        )
+    )
+
+
+def _legacy_factory(job: Optional[JobSpec]) -> CongestionControl:
+    return RenoCC()
+
+
+def _latency_factory(job: Optional[JobSpec]) -> CongestionControl:
+    config = MLTCPConfig(
+        function=ConstantAggressiveness(LATENCY_AGGRESSIVENESS),
+        total_bytes=1,       # ratio saturates immediately: constant weight
+        comp_time=1e9,       # no iteration structure for request traffic
+    )
+    return MLTCPReno(config)
+
+
+def default_registry() -> TrafficClassRegistry:
+    """The paper's three classes, pre-registered."""
+    registry = TrafficClassRegistry()
+    registry.register("ml", _ml_factory)
+    registry.register("legacy", _legacy_factory)
+    registry.register("latency", _latency_factory)
+    return registry

@@ -1,0 +1,79 @@
+"""MLTCP congestion-control variants (paper §3, Algorithm 1).
+
+Each MLTCP-X class derives from its base algorithm X and does exactly two
+things, mirroring the paper's kernel module:
+
+1. On every ACK it feeds the :class:`~repro.core.iteration.IterationTracker`
+   (Algorithm 1's state: ``bytes_sent``, ``bytes_ratio``, iteration-boundary
+   detection via ACK gaps, optional online learning of TOTAL_BYTES and
+   COMP_TIME).
+2. It scales the base algorithm's window-increase step by
+   ``F(bytes_ratio)`` — Eq. 1 for Reno, and "other congestion control
+   schemes are augmented in a similar way" (§6) for CUBIC and DCTCP.
+
+Everything else — slow start, loss recovery, timers — is inherited
+unchanged, which is the paper's deployability argument.
+"""
+
+from __future__ import annotations
+
+from ..core.config import MLTCPConfig
+from ..core.iteration import IterationTracker
+from .base import TcpSender
+from .cubic import CubicCC
+from .dctcp import DctcpCC
+from .reno import RenoCC
+
+__all__ = ["MltcpState", "MLTCPReno", "MLTCPCubic", "MLTCPDctcp"]
+
+
+class MltcpState:
+    """Per-flow MLTCP bookkeeping shared by all MLTCP-X variants."""
+
+    def __init__(self, config: MLTCPConfig | None = None) -> None:
+        self.config = config if config is not None else MLTCPConfig()
+        self.tracker = IterationTracker(self.config)
+
+    def observe_ack(self, newly_acked: int, conn: TcpSender) -> None:
+        """Algorithm 1 lines 7–17: update bytes_sent / bytes_ratio."""
+        self.tracker.on_ack(
+            now=conn.sim.now,
+            acked_bytes=newly_acked * conn.mss_bytes,
+            smoothed_rtt=conn.smoothed_rtt,
+        )
+
+    def aggressiveness(self) -> float:
+        """``F(bytes_ratio)`` with the current tracker state."""
+        return self.tracker.aggressiveness()
+
+
+class _MltcpMixin:
+    """Shared plumbing: construct state, wire the two hooks."""
+
+    def __init__(self, config: MLTCPConfig | None = None) -> None:
+        super().__init__()
+        self.mltcp = MltcpState(config)
+
+    def _observe(self, newly_acked: int, conn: TcpSender) -> None:
+        self.mltcp.observe_ack(newly_acked, conn)
+
+    def _ai_scale(self, conn: TcpSender) -> float:
+        return self.mltcp.aggressiveness()
+
+
+class MLTCPReno(_MltcpMixin, RenoCC):
+    """MLTCP-Reno: Algorithm 1 — ``cwnd += F(bytes_ratio) * num_acks/cwnd``."""
+
+    name = "mltcp-reno"
+
+
+class MLTCPCubic(_MltcpMixin, CubicCC):
+    """MLTCP-CUBIC: the cubic increment scaled by ``F(bytes_ratio)``."""
+
+    name = "mltcp-cubic"
+
+
+class MLTCPDctcp(_MltcpMixin, DctcpCC):
+    """MLTCP-DCTCP: DCTCP's additive increase scaled by ``F(bytes_ratio)``."""
+
+    name = "mltcp-dctcp"

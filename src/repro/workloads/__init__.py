@@ -1,0 +1,55 @@
+"""Periodic DNN job models, paper-calibrated scenarios and demand traces."""
+
+from .job import GBPS, JobSpec, feasible_on_link, gbit, total_mean_load_gbps
+from .presets import (
+    BOTTLENECK_GBPS,
+    DEFAULT_JITTER_SIGMA,
+    four_job_scenario,
+    gpt2_fast_job,
+    gpt2_heavy_job,
+    gpt2_job,
+    gpt3_job,
+    identical_jobs,
+    six_job_scenario,
+    three_job_scenario,
+    two_job_scenario,
+)
+from .traceio import (
+    load_demand_trace,
+    load_iterations,
+    load_scenario,
+    save_demand_trace,
+    save_iterations,
+    save_scenario,
+)
+from .traffic import DOUBLE_HUMP, SQUARE, PulseShape, aggregate_trace, demand_trace
+
+__all__ = [
+    "JobSpec",
+    "GBPS",
+    "gbit",
+    "feasible_on_link",
+    "total_mean_load_gbps",
+    "BOTTLENECK_GBPS",
+    "DEFAULT_JITTER_SIGMA",
+    "gpt3_job",
+    "gpt2_job",
+    "gpt2_fast_job",
+    "gpt2_heavy_job",
+    "four_job_scenario",
+    "three_job_scenario",
+    "six_job_scenario",
+    "two_job_scenario",
+    "identical_jobs",
+    "PulseShape",
+    "SQUARE",
+    "DOUBLE_HUMP",
+    "demand_trace",
+    "aggregate_trace",
+    "save_demand_trace",
+    "load_demand_trace",
+    "save_iterations",
+    "load_iterations",
+    "save_scenario",
+    "load_scenario",
+]

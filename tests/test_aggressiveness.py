@@ -1,0 +1,129 @@
+"""Unit tests for the bandwidth aggressiveness functions (paper §3.1)."""
+
+import math
+
+import pytest
+
+from repro.core.aggressiveness import (
+    ConcaveQuadraticAggressiveness,
+    ConstantAggressiveness,
+    DecreasingLinearAggressiveness,
+    DecreasingQuarticAggressiveness,
+    LinearAggressiveness,
+    PAPER_INTERCEPT,
+    PAPER_SLOPE,
+    QuadraticAggressiveness,
+    ReciprocalAggressiveness,
+    default_aggressiveness,
+    is_monotone_non_decreasing,
+    paper_functions,
+)
+
+
+class TestLinear:
+    def test_paper_constants(self):
+        f = default_aggressiveness()
+        assert f.slope == PAPER_SLOPE == 1.75
+        assert f.intercept == PAPER_INTERCEPT == 0.25
+
+    def test_endpoints_match_paper_range(self):
+        f = LinearAggressiveness()
+        assert f(0.0) == pytest.approx(0.25)
+        assert f(1.0) == pytest.approx(2.0)
+
+    def test_midpoint(self):
+        f = LinearAggressiveness()
+        assert f(0.5) == pytest.approx(1.75 * 0.5 + 0.25)
+
+    def test_custom_slope_intercept(self):
+        f = LinearAggressiveness(slope=3.0, intercept=0.5)
+        assert f(1.0) == pytest.approx(3.5)
+
+    def test_rejects_non_positive_intercept(self):
+        with pytest.raises(ValueError, match="intercept"):
+            LinearAggressiveness(intercept=0.0)
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(ValueError, match="slope"):
+            LinearAggressiveness(slope=-1.0)
+
+    def test_clamps_out_of_range_ratio(self):
+        f = LinearAggressiveness()
+        assert f(1.5) == pytest.approx(f(1.0))
+        assert f(-0.5) == pytest.approx(f(0.0))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            LinearAggressiveness()(math.nan)
+
+
+class TestPaperFunctionFamily:
+    """The six functions of Figure 3."""
+
+    def test_registry_has_six(self):
+        assert set(paper_functions()) == {"F1", "F2", "F3", "F4", "F5", "F6"}
+
+    @pytest.mark.parametrize("key", ["F1", "F2", "F3", "F4", "F5", "F6"])
+    def test_shared_range(self, key):
+        """All six have range 0.25 – 2 (paper: 'same range (0.25 - 2)')."""
+        f = paper_functions()[key]
+        values = [f(i / 100) for i in range(101)]
+        assert min(values) == pytest.approx(0.25, abs=1e-9)
+        assert max(values) == pytest.approx(2.0, abs=1e-9)
+
+    @pytest.mark.parametrize("key", ["F1", "F2", "F3", "F4"])
+    def test_increasing_functions(self, key):
+        assert paper_functions()[key].is_increasing()
+
+    @pytest.mark.parametrize("key", ["F5", "F6"])
+    def test_decreasing_functions(self, key):
+        assert not paper_functions()[key].is_increasing()
+
+    def test_f2_quadratic_value(self):
+        assert QuadraticAggressiveness()(0.5) == pytest.approx(1.75 * 0.25 + 0.25)
+
+    def test_f3_reciprocal_value(self):
+        assert ReciprocalAggressiveness()(0.5) == pytest.approx(1.0 / 2.25)
+
+    def test_f4_concave_value(self):
+        f = ConcaveQuadraticAggressiveness()
+        assert f(0.5) == pytest.approx(-1.75 * 0.25 + 3.5 * 0.5 + 0.25)
+
+    def test_f5_decreasing_linear(self):
+        f = DecreasingLinearAggressiveness()
+        assert f(0.0) == pytest.approx(2.0)
+        assert f(1.0) == pytest.approx(0.25)
+
+    def test_f6_decreasing_quartic(self):
+        f = DecreasingQuarticAggressiveness()
+        assert f(0.5) == pytest.approx(-1.75 * 0.5**4 + 2.0)
+
+    def test_range_span_requirement(self):
+        """Requirement (i): all paper functions share a 1.75 range span."""
+        for f in paper_functions().values():
+            assert f.range_span() == pytest.approx(1.75, abs=1e-9)
+
+
+class TestConstant:
+    def test_identity_element(self):
+        f = ConstantAggressiveness(1.0)
+        assert f(0.0) == f(0.5) == f(1.0) == 1.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ConstantAggressiveness(0.0)
+
+    def test_constant_counts_as_non_decreasing(self):
+        assert ConstantAggressiveness(2.0).is_increasing()
+
+
+class TestMonotonicityCheck:
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            is_monotone_non_decreasing(LinearAggressiveness(), samples=1)
+
+    def test_linear_passes(self):
+        assert is_monotone_non_decreasing(LinearAggressiveness())
+
+    def test_decreasing_fails(self):
+        assert not is_monotone_non_decreasing(DecreasingLinearAggressiveness())

@@ -1,0 +1,218 @@
+"""Tests for the fluid bandwidth-allocation policies."""
+
+import pytest
+
+from repro.core.aggressiveness import ConstantAggressiveness, LinearAggressiveness
+from repro.fluid.allocation import (
+    FairShare,
+    FlowView,
+    MLTCPWeighted,
+    PDQ,
+    PIAS,
+    SRPT,
+    water_fill,
+)
+
+
+def flow(fid, demand=25e9, remaining=1e9, sent=0.0, total=2e9):
+    return FlowView(
+        flow_id=fid,
+        demand_bps=demand,
+        remaining_bits=remaining,
+        sent_bits=sent,
+        total_bits=total,
+    )
+
+
+class TestFlowView:
+    def test_bytes_ratio(self):
+        assert flow("a", sent=1e9, total=2e9).bytes_ratio == pytest.approx(0.5)
+
+    def test_bytes_ratio_capped(self):
+        assert flow("a", sent=3e9, total=2e9).bytes_ratio == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="demand"):
+            flow("a", demand=0)
+        with pytest.raises(ValueError, match="total"):
+            flow("a", total=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            flow("a", remaining=-1)
+
+
+class TestWaterFill:
+    def test_equal_weights_equal_shares(self):
+        rates = water_fill({"a": 100.0, "b": 100.0}, {"a": 1.0, "b": 1.0}, 50.0)
+        assert rates["a"] == pytest.approx(25.0)
+        assert rates["b"] == pytest.approx(25.0)
+
+    def test_weights_divide_proportionally(self):
+        rates = water_fill({"a": 100.0, "b": 100.0}, {"a": 3.0, "b": 1.0}, 40.0)
+        assert rates["a"] == pytest.approx(30.0)
+        assert rates["b"] == pytest.approx(10.0)
+
+    def test_caps_respected_and_surplus_redistributed(self):
+        rates = water_fill({"a": 10.0, "b": 100.0}, {"a": 1.0, "b": 1.0}, 50.0)
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(40.0)
+
+    def test_never_exceeds_capacity(self):
+        rates = water_fill(
+            {"a": 100.0, "b": 100.0, "c": 100.0},
+            {"a": 5.0, "b": 1.0, "c": 0.5},
+            60.0,
+        )
+        assert sum(rates.values()) <= 60.0 + 1e-9
+
+    def test_underload_gives_everyone_demand(self):
+        rates = water_fill({"a": 10.0, "b": 20.0}, {"a": 1.0, "b": 9.0}, 100.0)
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(20.0)
+
+    def test_all_zero_weights_split_evenly(self):
+        """No flow fully starves (§5: non-zero bandwidth for all)."""
+        rates = water_fill({"a": 100.0, "b": 100.0}, {"a": 0.0, "b": 0.0}, 50.0)
+        assert rates["a"] == pytest.approx(25.0)
+        assert rates["b"] == pytest.approx(25.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            water_fill({"a": 10.0}, {"a": -1.0}, 50.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            water_fill({"a": 10.0}, {"a": 1.0}, 0.0)
+
+
+class TestFairShare:
+    def test_empty(self):
+        assert FairShare().allocate([], 50e9) == {}
+
+    def test_splits_equally_up_to_demand(self):
+        rates = FairShare().allocate([flow("a"), flow("b"), flow("c")], 50e9)
+        for fid in ("a", "b", "c"):
+            assert rates[fid] == pytest.approx(50e9 / 3)
+
+    def test_two_flows_reach_demand(self):
+        rates = FairShare().allocate([flow("a"), flow("b")], 50e9)
+        assert rates["a"] == pytest.approx(25e9)
+        assert rates["b"] == pytest.approx(25e9)
+
+
+class TestMLTCPWeighted:
+    def test_progress_wins_bandwidth(self):
+        """The flow closer to finishing its iteration gets the larger share
+        (the paper's key insight, §3.1)."""
+        ahead = flow("ahead", sent=1.8e9, total=2e9)
+        behind = flow("behind", sent=0.2e9, total=2e9)
+        rates = MLTCPWeighted().allocate([ahead, behind], 30e9)
+        assert rates["ahead"] > rates["behind"]
+
+    def test_share_ratio_follows_f(self):
+        f = LinearAggressiveness()
+        ahead = flow("ahead", demand=1e12, sent=1.0e9, total=2e9)
+        behind = flow("behind", demand=1e12, sent=0.0, total=2e9)
+        rates = MLTCPWeighted(f).allocate([ahead, behind], 30e9)
+        expected = f(0.5) / f(0.0)
+        assert rates["ahead"] / rates["behind"] == pytest.approx(expected)
+
+    def test_constant_function_reduces_to_fair_share(self):
+        flows = [flow("a", sent=1.5e9), flow("b", sent=0.1e9)]
+        mltcp = MLTCPWeighted(ConstantAggressiveness(1.0)).allocate(flows, 30e9)
+        fair = FairShare().allocate(flows, 30e9)
+        assert mltcp == pytest.approx(fair)
+
+    def test_nobody_starves(self):
+        """§5: MLTCP allocates non-zero bandwidth to all competing flows."""
+        flows = [flow(f"f{i}", sent=i * 0.4e9) for i in range(5)]
+        rates = MLTCPWeighted().allocate(flows, 50e9)
+        assert all(rate > 0 for rate in rates.values())
+
+
+class TestSRPT:
+    def test_shortest_flow_first(self):
+        short = flow("short", remaining=0.1e9)
+        long = flow("long", remaining=1.9e9)
+        rates = SRPT().allocate([short, long], 25e9)
+        assert rates["short"] == pytest.approx(25e9)
+        assert rates["long"] == 0.0
+
+    def test_leftover_goes_to_next(self):
+        short = flow("short", remaining=0.1e9, demand=20e9)
+        long = flow("long", remaining=1.9e9, demand=20e9)
+        rates = SRPT().allocate([short, long], 50e9)
+        assert rates["short"] == pytest.approx(20e9)
+        assert rates["long"] == pytest.approx(20e9)
+
+    def test_ties_share_fairly(self):
+        """Near-equal remaining bytes split the link (packet interleaving)."""
+        a = flow("a", remaining=1.00e9)
+        b = flow("b", remaining=1.01e9)
+        rates = SRPT(tie_fraction=0.05).allocate([a, b], 30e9)
+        assert rates["a"] == pytest.approx(rates["b"])
+
+    def test_zero_tie_fraction_is_strict(self):
+        a = flow("a", remaining=1.00e9)
+        b = flow("b", remaining=1.01e9)
+        rates = SRPT(tie_fraction=0.0).allocate([a, b], 25e9)
+        assert rates["a"] == pytest.approx(25e9)
+        assert rates["b"] == 0.0
+
+    def test_rejects_bad_tie_fraction(self):
+        with pytest.raises(ValueError, match="tie_fraction"):
+            SRPT(tie_fraction=1.0)
+
+
+class TestPDQ:
+    def test_limits_concurrent_senders(self):
+        flows = [flow(f"f{i}", remaining=(i + 1) * 0.1e9, demand=5e9) for i in range(5)]
+        rates = PDQ(max_senders=2).allocate(flows, 50e9)
+        active = [fid for fid, rate in rates.items() if rate > 0]
+        assert active == ["f0", "f1"]
+
+    def test_paused_flows_get_zero(self):
+        flows = [flow("a", remaining=0.1e9), flow("b", remaining=0.2e9)]
+        rates = PDQ(max_senders=1).allocate(flows, 50e9)
+        assert rates["b"] == 0.0
+
+    def test_rejects_bad_max_senders(self):
+        with pytest.raises(ValueError, match="max_senders"):
+            PDQ(max_senders=0)
+
+
+class TestPIAS:
+    def test_fresh_flow_beats_old_flow(self):
+        """Flows demote as they send (LAS approximation)."""
+        fresh = flow("fresh", sent=0.0)
+        old = flow("old", sent=1.5e9)
+        rates = PIAS().allocate([fresh, old], 25e9)
+        assert rates["fresh"] == pytest.approx(25e9)
+        assert rates["old"] == 0.0
+
+    def test_same_level_shares_fairly(self):
+        a = flow("a", sent=0.0)
+        b = flow("b", sent=0.0)
+        rates = PIAS().allocate([a, b], 30e9)
+        assert rates["a"] == pytest.approx(rates["b"])
+
+    def test_leftover_flows_down_levels(self):
+        fresh = flow("fresh", sent=0.0, demand=10e9)
+        old = flow("old", sent=1.5e9, demand=10e9)
+        rates = PIAS().allocate([fresh, old], 30e9)
+        assert rates["fresh"] == pytest.approx(10e9)
+        assert rates["old"] == pytest.approx(10e9)
+
+    def test_explicit_thresholds(self):
+        pias = PIAS(thresholds_bits=[1e9])
+        below = flow("below", sent=0.5e9)
+        above = flow("above", sent=1.5e9)
+        rates = pias.allocate([below, above], 25e9)
+        assert rates["below"] == pytest.approx(25e9)
+        assert rates["above"] == 0.0
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError, match="positive"):
+            PIAS(thresholds_bits=[0.0])
+
+    def test_empty(self):
+        assert PIAS().allocate([], 50e9) == {}

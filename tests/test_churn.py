@@ -1,0 +1,101 @@
+"""Churn and perturbation tests: jobs arriving, departing, and noise spikes.
+
+Production clusters are not static: jobs join mid-run and finish at
+different times.  MLTCP's distributed nature means the remaining jobs simply
+re-run the gradient descent from the perturbed configuration — no controller
+recomputation.  These tests inject that churn into the fluid simulator.
+"""
+
+import pytest
+
+from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.flowsim import run_fluid
+from repro.workloads.presets import gpt2_heavy_job, gpt2_job, identical_jobs
+
+
+class TestLateArrival:
+    def test_new_job_joining_converged_system(self):
+        """Three jobs converge; a fourth arrives late; all four re-converge."""
+        jobs = identical_jobs(gpt2_job(), 3)
+        late = gpt2_job().with_name("Late").with_offset(15.0)  # ~8 iterations in
+        result = run_fluid(
+            jobs + [late], 50.0, policy=MLTCPWeighted(), max_iterations=40, seed=3
+        )
+        for job in jobs:
+            tail = result.iteration_times(job.name)[-8:]
+            assert tail.mean() == pytest.approx(1.8, rel=0.04)
+        late_tail = result.iteration_times("Late")[-8:]
+        assert late_tail.mean() == pytest.approx(1.8, rel=0.04)
+
+    def test_arrival_perturbs_then_recovers(self):
+        """The incumbents may slow transiently when the newcomer lands on
+        their phase, but recover within a handful of iterations."""
+        jobs = identical_jobs(gpt2_heavy_job(), 1)
+        late = gpt2_heavy_job().with_name("Late").with_offset(10.0)
+        result = run_fluid(
+            jobs + [late], 50.0, policy=MLTCPWeighted(), max_iterations=40, seed=3
+        )
+        times = result.iteration_times("Job1")
+        assert times[-5:].mean() == pytest.approx(1.8, rel=0.05)
+
+
+class TestDeparture:
+    def test_job_departs_after_iteration_limit(self):
+        short = gpt2_job().with_name("Short").with_iteration_limit(5)
+        result = run_fluid([short], 50.0, max_iterations=50, seed=None)
+        assert len(result.iterations_of("Short")) == 5
+
+    def test_survivors_keep_ideal_after_departure(self):
+        """Six jobs interleave; three finish training; the survivors stay at
+        the ideal (more slack, no re-congestion)."""
+        jobs = identical_jobs(gpt2_job(), 6)
+        jobs = [
+            job.with_iteration_limit(20) if i % 2 == 0 else job
+            for i, job in enumerate(jobs)
+        ]
+        result = run_fluid(
+            jobs, 50.0, policy=MLTCPWeighted(), max_iterations=50, seed=5
+        )
+        for i, job in enumerate(jobs):
+            times = result.iteration_times(job.name)
+            if i % 2 == 0:
+                assert len(times) == 20
+            else:
+                assert len(times) == 50
+                assert times[-8:].mean() == pytest.approx(1.8, rel=0.03)
+
+    def test_all_done_stops_simulation_early(self):
+        jobs = [
+            gpt2_job().with_name("A").with_iteration_limit(3),
+            gpt2_job().with_name("B").with_iteration_limit(3),
+        ]
+        result = run_fluid(jobs, 50.0, end_time=1000.0, seed=None)
+        assert result.end_time < 20.0
+
+    def test_iteration_limit_validation(self):
+        with pytest.raises(ValueError, match="iteration_limit"):
+            gpt2_job().with_iteration_limit(0)
+
+
+class TestNoiseSpike:
+    def test_interleaving_restored_after_noise_burst(self):
+        """§4: interleaving is a *stable* optimum — after a large one-off
+        perturbation (modelled as a big start offset on one job), the
+        system descends back."""
+        jobs = identical_jobs(gpt2_heavy_job(), 2)
+        # Start the pair maximally mis-aligned relative to the interleave.
+        jobs = [jobs[0], jobs[1].with_offset(0.05)]
+        result = run_fluid(
+            jobs, 50.0, policy=MLTCPWeighted(), max_iterations=40, seed=7
+        )
+        rounds = result.mean_iteration_by_round()
+        assert rounds[-5:].mean() == pytest.approx(1.8, rel=0.03)
+
+    def test_high_jitter_still_converges_on_average(self):
+        """With sigma at ~2% of the iteration time, convergence holds."""
+        jobs = [j.with_jitter(0.04) for j in identical_jobs(gpt2_job(), 4)]
+        result = run_fluid(
+            jobs, 50.0, policy=MLTCPWeighted(), max_iterations=80, seed=11
+        )
+        rounds = result.mean_iteration_by_round()
+        assert rounds[-15:].mean() < 1.1 * 1.8

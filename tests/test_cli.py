@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestList:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_no_command_defaults_to_list(self, capsys):
+        assert main([]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_run_fig5_fast(self, capsys):
+        assert main(["run", "fig5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum at delta" in out
+        assert "0.900" in out
+
+    def test_run_fig1_fast(self, capsys):
+        assert main(["run", "fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "J1" in out and "J4" in out
+
+    def test_run_fig3_fast(self, capsys):
+        assert main(["run", "fig3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        for key in ("F1", "F6"):
+            assert key in out
+
+    def test_run_noise_fast(self, capsys):
+        assert main(["run", "noise", "--fast"]) == 0
+        assert "bound" in capsys.readouterr().out
+
+
+class TestCompat:
+    def test_compatible_scenario(self, tmp_path, capsys):
+        from repro.workloads import four_job_scenario, save_scenario
+
+        path = tmp_path / "scenario.json"
+        save_scenario(path, four_job_scenario())
+        assert main(["compat", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "guarantee applies" in out
+        assert "1.0000" in out
+
+    def test_incompatible_scenario(self, tmp_path, capsys):
+        from repro.workloads.job import JobSpec, gbit
+        from repro.workloads.traceio import save_scenario
+
+        jobs = [
+            JobSpec("A", gbit(50.0), 50.0, 0.0),
+            JobSpec("B", gbit(50.0), 50.0, 0.0),
+        ]
+        path = tmp_path / "overload.json"
+        save_scenario(path, jobs)
+        assert main(["compat", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no zero-contention interleave" in out
+
+    def test_custom_capacity(self, tmp_path, capsys):
+        from repro.workloads import two_job_scenario, save_scenario
+
+        path = tmp_path / "two.json"
+        save_scenario(path, two_job_scenario())
+        assert main(["compat", str(path), "--capacity", "100"]) == 0
+        assert "100 Gbps" in capsys.readouterr().out

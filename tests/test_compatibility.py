@@ -1,0 +1,73 @@
+"""Tests for the Cassini-style compatibility metric."""
+
+import pytest
+
+from repro.schedulers.compatibility import (
+    are_compatible,
+    best_compatibility,
+    compatibility_score,
+)
+from repro.workloads.job import JobSpec, gbit
+from repro.workloads.presets import four_job_scenario
+
+
+def heavy_job(name, offset=0.0):
+    # Full-link demand, 50% duty cycle.
+    return JobSpec(
+        name=name,
+        comm_bits=gbit(50.0),
+        demand_gbps=50.0,
+        compute_time=1.0,
+        start_offset=offset,
+    )
+
+
+class TestScore:
+    def test_synchronized_heavy_pair_half_compatible(self):
+        jobs = [heavy_job("A"), heavy_job("B")]
+        score = compatibility_score(jobs, 50.0)
+        assert score == pytest.approx(0.5, abs=0.02)
+
+    def test_offset_pair_fully_compatible(self):
+        jobs = [heavy_job("A"), heavy_job("B", offset=1.0)]
+        score = compatibility_score(jobs, 50.0)
+        assert score == pytest.approx(1.0)
+
+    def test_explicit_offsets_override_specs(self):
+        jobs = [heavy_job("A"), heavy_job("B")]
+        score = compatibility_score(jobs, 50.0, offsets={"A": 0.0, "B": 1.0})
+        assert score == pytest.approx(1.0)
+
+    def test_single_light_job_always_compatible(self):
+        job = JobSpec("A", gbit(5.0), 10.0, 1.0)
+        assert compatibility_score([job], 50.0) == 1.0
+
+
+class TestBestCompatibility:
+    def test_finds_the_interleave(self):
+        jobs = [heavy_job("A"), heavy_job("B")]
+        score, schedule = best_compatibility(jobs, 50.0)
+        assert score == pytest.approx(1.0)
+        assert schedule.is_interleaved
+
+    def test_overloaded_mix_below_one(self):
+        jobs = [
+            JobSpec("A", gbit(50.0), 50.0, 0.0),
+            JobSpec("B", gbit(50.0), 50.0, 0.0),
+        ]
+        score, _schedule = best_compatibility(jobs, 50.0)
+        assert score < 0.2
+
+
+class TestAreCompatible:
+    def test_paper_scenario_is_compatible(self):
+        """The §4 precondition holds for the paper's four-job mix."""
+        jobs = [j.with_jitter(0.0) for j in four_job_scenario()]
+        assert are_compatible(jobs, 50.0)
+
+    def test_overload_is_incompatible(self):
+        jobs = [
+            JobSpec("A", gbit(50.0), 50.0, 0.1),
+            JobSpec("B", gbit(50.0), 50.0, 0.1),
+        ]
+        assert not are_compatible(jobs, 50.0)

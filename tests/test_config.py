@@ -1,0 +1,71 @@
+"""Unit tests for MLTCPConfig."""
+
+import pytest
+
+from repro.core.aggressiveness import ConstantAggressiveness, QuadraticAggressiveness
+from repro.core.config import DEFAULT_MTU_BYTES, MLTCPConfig
+
+
+class TestDefaults:
+    def test_default_function_is_paper_linear(self):
+        config = MLTCPConfig()
+        assert config.slope == 1.75
+        assert config.intercept == 0.25
+
+    def test_default_mtu(self):
+        assert MLTCPConfig().mtu_bytes == DEFAULT_MTU_BYTES == 1500
+
+    def test_learning_mode_by_default(self):
+        config = MLTCPConfig()
+        assert config.total_bytes is None
+        assert config.comp_time is None
+        assert not config.knows_iteration_shape
+
+
+class TestValidation:
+    def test_rejects_non_positive_total_bytes(self):
+        with pytest.raises(ValueError, match="total_bytes"):
+            MLTCPConfig(total_bytes=0)
+
+    def test_rejects_non_positive_comp_time(self):
+        with pytest.raises(ValueError, match="comp_time"):
+            MLTCPConfig(comp_time=-1.0)
+
+    def test_rejects_non_positive_mtu(self):
+        with pytest.raises(ValueError, match="mtu"):
+            MLTCPConfig(mtu_bytes=0)
+
+    def test_rejects_zero_learn_iterations(self):
+        with pytest.raises(ValueError, match="learn_iterations"):
+            MLTCPConfig(learn_iterations=0)
+
+    def test_rejects_small_gap_multiplier(self):
+        with pytest.raises(ValueError, match="gap_rtt_multiplier"):
+            MLTCPConfig(gap_rtt_multiplier=1.0)
+
+
+class TestProperties:
+    def test_knows_iteration_shape(self):
+        config = MLTCPConfig(total_bytes=1_000_000, comp_time=0.5)
+        assert config.knows_iteration_shape
+
+    def test_slope_requires_linear_function(self):
+        config = MLTCPConfig(function=QuadraticAggressiveness())
+        with pytest.raises(TypeError, match="LinearAggressiveness"):
+            _ = config.slope
+
+    def test_intercept_requires_linear_function(self):
+        config = MLTCPConfig(function=ConstantAggressiveness(1.0))
+        with pytest.raises(TypeError, match="LinearAggressiveness"):
+            _ = config.intercept
+
+    def test_with_function_preserves_other_fields(self):
+        config = MLTCPConfig(total_bytes=123, comp_time=0.25)
+        swapped = config.with_function(ConstantAggressiveness(1.0))
+        assert swapped.total_bytes == 123
+        assert swapped.comp_time == 0.25
+        assert isinstance(swapped.function, ConstantAggressiveness)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MLTCPConfig().mtu_bytes = 9000  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(0.5, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_during_callback(self):
+        sim = Simulator()
+        hits = []
+
+        def chain():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.5, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(0.5, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+
+class TestRunHorizon:
+    def test_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run(until=1.0)
+        assert fired == []
+        assert sim.now == 1.0
+
+    def test_run_resumes_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run(until=1.0)
+        sim.run(until=3.0)
+        assert fired == [1]
+
+    def test_empty_queue_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.001, forever)
+        sim.run(max_events=100)
+        assert sim.events_processed == 100
+
+
+class TestIntrospection:
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(0.7, lambda: None)
+        assert sim.peek_time() == pytest.approx(0.7)
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        sim.schedule(0.9, lambda: None)
+        handle.cancel()
+        assert sim.peek_time() == pytest.approx(0.9)
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        handle = sim.schedule(0.2, lambda: None)
+        handle.cancel()
+        assert sim.pending_events() == 1

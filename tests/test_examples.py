@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public deliverable; these tests execute the fast
+ones as subprocesses (the same way a user would) and check their headline
+output.  The slowest examples are exercised indirectly by the benchmarks
+that share their code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "mltcp" in out
+        assert "ideal iteration time" in out
+
+    def test_four_jobs_vs_baselines(self):
+        out = run_example("four_jobs_vs_baselines.py")
+        assert "optimal (Cassini-like)" in out
+        assert "srpt" in out
+        assert "mltcp" in out
+
+    def test_aggressiveness_playground(self):
+        out = run_example("aggressiveness_playground.py")
+        assert "interleaved" in out
+        assert "congested" in out
+        assert "custom-sqrt" in out
+
+    def test_multi_resource_scheduling(self):
+        out = run_example("multi_resource_scheduling.py")
+        assert "progress-weighted" in out
+        assert "equal" in out
+
+    def test_cluster_scale(self):
+        out = run_example("cluster_scale.py")
+        assert "tcp-fair" in out
+        assert "mltcp" in out
+
+    @pytest.mark.slow
+    def test_packet_level_dumbbell(self):
+        out = run_example("packet_level_dumbbell.py")
+        assert "interleaved" in out
+
+    @pytest.mark.slow
+    def test_theory_and_fairness(self):
+        out = run_example("theory_and_fairness.py")
+        assert "gradient descent" in out
+        assert "share ratio" in out

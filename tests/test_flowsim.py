@@ -1,0 +1,168 @@
+"""Tests for the fluid (flow-level) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.allocation import FairShare, MLTCPWeighted
+from repro.fluid.flowsim import FluidSimulator, Phase, run_fluid
+from repro.workloads.job import JobSpec, gbit
+
+
+def make_job(name="J", comm_gbit=10.0, demand=25.0, compute=1.0, **kwargs):
+    return JobSpec(
+        name=name,
+        comm_bits=gbit(comm_gbit),
+        demand_gbps=demand,
+        compute_time=compute,
+        **kwargs,
+    )
+
+
+class TestSingleJob:
+    def test_isolated_job_runs_at_ideal(self):
+        job = make_job()
+        result = run_fluid([job], 50.0, max_iterations=5, seed=None)
+        times = result.iteration_times("J")
+        assert len(times) == 5
+        assert times == pytest.approx(
+            np.full(5, job.ideal_iteration_time), rel=1e-6
+        )
+
+    def test_comm_duration_matches_ideal(self):
+        job = make_job()
+        result = run_fluid([job], 50.0, max_iterations=3, seed=None)
+        for it in result.iterations_of("J"):
+            assert it.comm_duration == pytest.approx(job.ideal_comm_time, rel=1e-6)
+
+    def test_capacity_limits_comm(self):
+        """Demand above capacity stretches the communication phase."""
+        job = make_job(demand=100.0)  # wants 100 Gbps on a 50 Gbps link
+        result = run_fluid([job], 50.0, max_iterations=3, seed=None)
+        expected_comm = gbit(10.0) / (50e9)
+        for it in result.iterations_of("J"):
+            assert it.comm_duration == pytest.approx(expected_comm, rel=1e-6)
+
+    def test_start_offset_delays_first_iteration(self):
+        job = make_job().with_offset(0.75)
+        result = run_fluid([job], 50.0, max_iterations=2, seed=None)
+        assert result.iterations_of("J")[0].comm_start == pytest.approx(0.75)
+
+
+class TestMultipleJobs:
+    def test_contention_stretches_iterations(self):
+        jobs = [make_job("A", demand=40.0), make_job("B", demand=40.0)]
+        result = run_fluid(jobs, 50.0, max_iterations=3, seed=None)
+        # Synchronized start, fair share: both run at 25 < 40 Gbps.
+        first = result.iterations_of("A")[0]
+        assert first.comm_duration > jobs[0].ideal_comm_time * 1.3
+
+    def test_rate_conservation(self):
+        """Allocated rates never exceed capacity in any segment."""
+        jobs = [make_job(f"J{i}", demand=40.0) for i in range(3)]
+        result = run_fluid(jobs, 50.0, max_iterations=5, seed=0)
+        for segment in result.segments:
+            assert sum(segment.rates_bps.values()) <= 50e9 * (1 + 1e-9)
+
+    def test_volume_conservation(self):
+        """Every completed iteration delivered exactly its comm volume."""
+        jobs = [make_job("A", demand=40.0), make_job("B", demand=40.0)]
+        result = run_fluid(jobs, 50.0, max_iterations=4, seed=None)
+        for job in jobs:
+            for it in result.iterations_of(job.name):
+                delivered = sum(
+                    seg.rates_bps.get(job.name, 0.0) * (seg.end - seg.start)
+                    for seg in result.segments
+                    if it.comm_start <= seg.start < it.comm_end
+                )
+                assert delivered == pytest.approx(job.comm_bits, rel=1e-6)
+
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError, match="unique"):
+            FluidSimulator([make_job("X"), make_job("X")], 50.0)
+
+
+class TestResultAccessors:
+    def test_mean_iteration_time_with_skip(self):
+        job = make_job()
+        result = run_fluid([job], 50.0, max_iterations=5, seed=None)
+        assert result.mean_iteration_time("J", skip=2) == pytest.approx(
+            job.ideal_iteration_time, rel=1e-6
+        )
+
+    def test_mean_iteration_time_empty_raises(self):
+        result = run_fluid([make_job()], 50.0, max_iterations=2, seed=None)
+        with pytest.raises(ValueError, match="no completed iterations"):
+            result.mean_iteration_time("J", skip=10)
+
+    def test_mean_iteration_by_round_shape(self):
+        jobs = [make_job("A"), make_job("B")]
+        result = run_fluid(jobs, 50.0, max_iterations=4, seed=None)
+        rounds = result.mean_iteration_by_round()
+        assert len(rounds) == 4
+
+    def test_rate_timeline_peaks_at_demand(self):
+        job = make_job(demand=25.0)
+        result = run_fluid([job], 50.0, max_iterations=3, seed=None)
+        _times, rates = result.rate_timeline("J", dt=0.005)
+        assert rates.max() == pytest.approx(25.0, rel=1e-6)
+
+    def test_comm_starts_are_increasing(self):
+        result = run_fluid([make_job()], 50.0, max_iterations=4, seed=None)
+        starts = result.comm_starts("J")
+        assert np.all(np.diff(starts) > 0)
+
+    def test_all_iteration_times_pools_jobs(self):
+        jobs = [make_job("A"), make_job("B")]
+        result = run_fluid(jobs, 50.0, max_iterations=3, seed=None)
+        assert len(result.all_iteration_times()) == 6
+
+
+class TestStoppingCriteria:
+    def test_requires_a_criterion(self):
+        with pytest.raises(ValueError, match="end_time"):
+            FluidSimulator([make_job()], 50.0).run()
+
+    def test_end_time_stops_clock(self):
+        result = run_fluid([make_job()], 50.0, end_time=2.0, seed=None)
+        assert result.end_time <= 2.0 + 1e-9
+
+    def test_max_iterations_completes_exactly(self):
+        result = run_fluid([make_job()], 50.0, max_iterations=7, seed=None)
+        assert len(result.iterations_of("J")) == 7
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FluidSimulator([make_job()], 0.0)
+        with pytest.raises(ValueError, match="quantum"):
+            FluidSimulator([make_job()], 50.0, quantum=0.0)
+        with pytest.raises(ValueError, match="at least one job"):
+            FluidSimulator([], 50.0)
+
+
+class TestDeterminism:
+    def test_seeded_runs_identical(self):
+        jobs = [make_job("A", jitter_sigma=0.01), make_job("B", jitter_sigma=0.01)]
+        r1 = run_fluid(jobs, 50.0, max_iterations=5, seed=42)
+        r2 = run_fluid(jobs, 50.0, max_iterations=5, seed=42)
+        assert np.allclose(r1.iteration_times("A"), r2.iteration_times("A"))
+
+    def test_different_seeds_differ(self):
+        jobs = [make_job("A", jitter_sigma=0.01), make_job("B", jitter_sigma=0.01)]
+        r1 = run_fluid(jobs, 50.0, max_iterations=5, seed=1)
+        r2 = run_fluid(jobs, 50.0, max_iterations=5, seed=2)
+        assert not np.allclose(r1.iteration_times("A"), r2.iteration_times("A"))
+
+
+class TestPolicyIntegration:
+    def test_policy_name_recorded(self):
+        result = run_fluid([make_job()], 50.0, policy=MLTCPWeighted(), max_iterations=2)
+        assert result.policy_name == "mltcp"
+
+    def test_default_policy_is_fair_share(self):
+        result = run_fluid([make_job()], 50.0, max_iterations=2)
+        assert result.policy_name == FairShare().name
+
+    def test_phase_enum_values(self):
+        assert Phase.COMM.value == "comm"
+        assert Phase.COMPUTE.value == "compute"
+        assert Phase.WAITING.value == "waiting"

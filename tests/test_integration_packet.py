@@ -1,0 +1,135 @@
+"""Integration tests over the packet-level simulator (Figure 6, CC family)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLTCPConfig
+from repro.harness.experiments import fig6_packet_two_jobs
+from repro.harness.packetlab import mltcp_config_for, run_packet_jobs
+from repro.tcp.mltcp import MLTCPCubic, MLTCPReno
+from repro.tcp.reno import RenoCC
+from repro.workloads.job import JobSpec
+
+
+class TestFig6TwoJobs:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_packet_two_jobs(iterations=40)
+
+    def test_starts_congested(self, result):
+        """Synchronized start: the first iterations exceed the ideal."""
+        first = np.mean(
+            [times[:3].mean() for times in result.iteration_times.values()]
+        )
+        assert first > 1.25 * result.ideal_iteration_time
+
+    def test_converges_to_interleaved_state(self, result):
+        """Figure 6: MLTCP-Reno slides the two jobs apart within tens of
+        iterations; iteration times return to the ideal."""
+        assert result.converged_at is not None
+        assert result.converged_at <= 35
+        assert result.final_mean == pytest.approx(
+            result.ideal_iteration_time, rel=0.08
+        )
+
+    def test_throughput_timelines_cover_run(self, result):
+        for _job, (times, rates) in result.throughput.items():
+            assert len(times) == len(rates)
+            assert rates.max() > 0.5  # near line rate once interleaved
+
+
+class TestCcFamilyOnPeriodicJobs:
+    """§6: 'Other congestion control schemes are augmented in a similar
+    way' — MLTCP-CUBIC also interleaves the two-job scenario."""
+
+    def _jobs(self):
+        template = JobSpec(
+            name="Job",
+            comm_bits=8e6,
+            demand_gbps=1.0,
+            compute_time=0.010,
+            jitter_sigma=0.0005,
+        )
+        return [template.with_name("Job1"), template.with_name("Job2")]
+
+    def _run(self, factory, iterations=35):
+        return run_packet_jobs(self._jobs(), factory, max_iterations=iterations, seed=2)
+
+    def test_mltcp_cubic_interleaves(self):
+        lab = self._run(lambda j: MLTCPCubic(mltcp_config_for(j)))
+        rounds = lab.mean_iteration_by_round()
+        overhead = 1500 / 1460
+        ideal = 8e6 / 1e9 * overhead + 0.010
+        assert rounds[-5:].mean() == pytest.approx(ideal, rel=0.1)
+
+    def test_mltcp_reno_vs_plain_reno_same_substrate(self):
+        """Both complete; MLTCP reaches the ideal at least as fast."""
+        mltcp = self._run(lambda j: MLTCPReno(mltcp_config_for(j)))
+        reno = self._run(lambda j: RenoCC())
+        assert mltcp.mean_iteration_by_round()[-5:].mean() <= (
+            1.05 * reno.mean_iteration_by_round()[-5:].mean()
+        )
+
+
+class TestOnlineLearningConvergence:
+    def test_learning_mode_still_interleaves(self):
+        """With TOTAL_BYTES/COMP_TIME learned online (§3.2), the two-job
+        scenario still converges — a few extra iterations at most."""
+        template = JobSpec(
+            name="Job",
+            comm_bits=8e6,
+            demand_gbps=1.0,
+            compute_time=0.010,
+            jitter_sigma=0.0005,
+        )
+        jobs = [template.with_name("Job1"), template.with_name("Job2")]
+        lab = run_packet_jobs(
+            jobs,
+            lambda j: MLTCPReno(MLTCPConfig()),  # learn everything online
+            max_iterations=45,
+            seed=2,
+        )
+        overhead = 1500 / 1460
+        ideal = 8e6 / 1e9 * overhead + 0.010
+        tail = lab.mean_iteration_by_round()[-5:].mean()
+        assert tail == pytest.approx(ideal, rel=0.12)
+
+
+class TestLargeIterationScale:
+    """Reduced time compression: 160 ms communication phases (10x the other
+    packet tests), where slow-start transients are a small fraction of the
+    phase.  The early-window contrast of the paper emerges — MLTCP descends
+    toward the ideal measurably faster than plain Reno — although with two
+    jobs the intrinsic drift still interleaves Reno eventually (see
+    EXPERIMENTS.md "Known fidelity limits")."""
+
+    @pytest.mark.slow
+    def test_mltcp_converges_faster_than_reno_at_scale(self):
+        from repro.core.config import MLTCPConfig
+        from repro.tcp.reno import RenoCC
+
+        template = JobSpec(
+            name="Job", comm_bits=160e6, demand_gbps=1.0, compute_time=0.160,
+            jitter_sigma=0.004,
+        )
+        jobs = [template.with_name("Job1"), template.with_name("Job2")]
+
+        def run(mltcp):
+            factory = (
+                (lambda j: MLTCPReno(mltcp_config_for(j)))
+                if mltcp
+                else (lambda j: RenoCC())
+            )
+            lab = run_packet_jobs(
+                jobs, factory, max_iterations=18, seed=3, until=12.0
+            )
+            return lab.mean_iteration_by_round()
+
+        reno = run(False)
+        mltcp = run(True)
+        ideal = 160e6 / 1e9 * (1500 / 1460) + 0.160
+        # Both reach the ideal in the end ...
+        assert mltcp[-4:].mean() == pytest.approx(ideal, rel=0.05)
+        assert reno[-4:].mean() == pytest.approx(ideal, rel=0.08)
+        # ... but MLTCP's mid-run window is strictly closer to it.
+        assert mltcp[6:12].mean() < reno[6:12].mean()

@@ -1,0 +1,135 @@
+"""Unit tests for the Algorithm 1 state machine (IterationTracker)."""
+
+import pytest
+
+from repro.core.config import MLTCPConfig
+from repro.core.iteration import IterationTracker
+
+
+def make_tracker(total_bytes=15000, comp_time=0.1, **kwargs):
+    return IterationTracker(
+        MLTCPConfig(total_bytes=total_bytes, comp_time=comp_time, **kwargs)
+    )
+
+
+class TestBytesRatio:
+    def test_starts_at_zero(self):
+        tracker = make_tracker()
+        assert tracker.bytes_ratio == 0.0
+        assert tracker.bytes_sent == 0
+
+    def test_ratio_grows_with_acks(self):
+        tracker = make_tracker(total_bytes=15000)
+        assert tracker.on_ack(0.0, 1500) == pytest.approx(0.1)
+        assert tracker.on_ack(0.001, 3000) == pytest.approx(0.3)
+
+    def test_ratio_capped_at_one(self):
+        """Algorithm 1 line 16: bytes_ratio = min(1, ...)."""
+        tracker = make_tracker(total_bytes=1500)
+        tracker.on_ack(0.0, 1500)
+        assert tracker.on_ack(0.001, 1500) == 1.0
+
+    def test_aggressiveness_uses_ratio(self):
+        tracker = make_tracker(total_bytes=3000)
+        tracker.on_ack(0.0, 1500)
+        # F(0.5) with the paper's linear function = 1.125.
+        assert tracker.aggressiveness() == pytest.approx(1.75 * 0.5 + 0.25)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError, match="acked_bytes"):
+            make_tracker().on_ack(0.0, -1)
+
+    def test_rejects_time_reversal(self):
+        tracker = make_tracker()
+        tracker.on_ack(1.0, 1500)
+        with pytest.raises(ValueError, match="backwards"):
+            tracker.on_ack(0.5, 1500)
+
+
+class TestIterationBoundary:
+    def test_gap_resets_state(self):
+        """Algorithm 1 lines 10-13: gap > COMP_TIME starts a new iteration."""
+        tracker = make_tracker(total_bytes=15000, comp_time=0.05)
+        tracker.on_ack(0.000, 7500)
+        tracker.on_ack(0.001, 7500)
+        assert tracker.bytes_ratio == 1.0
+        ratio = tracker.on_ack(0.2, 1500)  # gap of ~0.2 > 0.05
+        assert ratio == pytest.approx(1500 / 15000)
+        assert tracker.bytes_sent == 1500
+
+    def test_sub_threshold_gap_does_not_reset(self):
+        tracker = make_tracker(total_bytes=15000, comp_time=0.05)
+        tracker.on_ack(0.0, 1500)
+        tracker.on_ack(0.04, 1500)
+        assert tracker.bytes_sent == 3000
+
+    def test_boundary_records_iteration(self):
+        tracker = make_tracker(total_bytes=3000, comp_time=0.05)
+        tracker.on_ack(0.000, 1500)
+        tracker.on_ack(0.001, 1500)
+        tracker.on_ack(0.2, 1500)
+        records = tracker.completed_iterations
+        assert len(records) == 1
+        assert records[0].bytes_sent == 3000
+        assert records[0].index == 0
+        assert records[0].comm_duration == pytest.approx(0.001)
+
+    def test_iteration_index_increments(self):
+        tracker = make_tracker(total_bytes=1500, comp_time=0.05)
+        tracker.on_ack(0.0, 1500)
+        tracker.on_ack(0.2, 1500)
+        tracker.on_ack(0.4, 1500)
+        assert tracker.iteration_index == 2
+
+    def test_explicit_boundary_notification(self):
+        tracker = make_tracker(total_bytes=3000, comp_time=0.05)
+        tracker.on_ack(0.0, 3000)
+        assert tracker.bytes_ratio == 1.0
+        tracker.notify_iteration_boundary(0.5)
+        assert tracker.bytes_sent == 0
+        assert tracker.bytes_ratio == 0.0
+        assert len(tracker.completed_iterations) == 1
+
+
+class TestOnlineLearning:
+    """§3.2: TOTAL_BYTES and COMP_TIME are learned in the first iterations."""
+
+    def test_learns_total_bytes_after_enough_iterations(self):
+        tracker = IterationTracker(
+            MLTCPConfig(comp_time=0.05, learn_iterations=2)
+        )
+        # Two iterations of 3000 bytes each, separated by big gaps.
+        for start in (0.0, 1.0, 2.0):
+            tracker.on_ack(start, 1500)
+            tracker.on_ack(start + 0.001, 1500)
+        assert tracker.total_bytes == pytest.approx(3000)
+
+    def test_ratio_zero_while_learning(self):
+        """Unknown TOTAL_BYTES behaves like plain TCP (least aggressive)."""
+        tracker = IterationTracker(MLTCPConfig(comp_time=0.05))
+        tracker.on_ack(0.0, 1500)
+        assert tracker.bytes_ratio == 0.0
+        assert tracker.aggressiveness() == pytest.approx(0.25)
+
+    def test_learns_comp_time_from_rtt_gaps(self):
+        """Boundary detection falls back to an SRTT multiple (§3.2)."""
+        tracker = IterationTracker(MLTCPConfig(total_bytes=3000))
+        srtt = 0.001
+        tracker.on_ack(0.0, 1500, smoothed_rtt=srtt)
+        tracker.on_ack(0.001, 1500, smoothed_rtt=srtt)
+        # Gap of 0.5 s >> 4 * srtt: new iteration even without comp_time.
+        tracker.on_ack(0.5, 1500, smoothed_rtt=srtt)
+        assert tracker.bytes_sent == 1500
+        assert tracker.comp_time is not None
+
+    def test_no_boundary_without_any_threshold(self):
+        """No comp_time and no RTT estimate: no resets can happen."""
+        tracker = IterationTracker(MLTCPConfig(total_bytes=3000))
+        tracker.on_ack(0.0, 1500)
+        tracker.on_ack(10.0, 1500)
+        assert tracker.bytes_sent == 3000
+
+    def test_configured_values_take_precedence(self):
+        tracker = make_tracker(total_bytes=9999, comp_time=0.123)
+        assert tracker.total_bytes == 9999
+        assert tracker.comp_time == 0.123

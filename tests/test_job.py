@@ -1,0 +1,134 @@
+"""Unit tests for the periodic job model (JobSpec)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.job import (
+    GBPS,
+    JobSpec,
+    feasible_on_link,
+    gbit,
+    total_mean_load_gbps,
+)
+
+
+def make_job(**overrides):
+    params = dict(
+        name="J", comm_bits=gbit(10.0), demand_gbps=25.0, compute_time=1.0
+    )
+    params.update(overrides)
+    return JobSpec(**params)
+
+
+class TestDerivedQuantities:
+    def test_comm_bytes(self):
+        assert make_job(comm_bits=8e9).comm_bytes == 1_000_000_000
+
+    def test_demand_bps(self):
+        assert make_job(demand_gbps=25.0).demand_bps == 25 * GBPS
+
+    def test_ideal_comm_time(self):
+        job = make_job(comm_bits=gbit(10.0), demand_gbps=25.0)
+        assert job.ideal_comm_time == pytest.approx(0.4)
+
+    def test_ideal_iteration_time(self):
+        job = make_job(comm_bits=gbit(10.0), demand_gbps=25.0, compute_time=1.0)
+        assert job.ideal_iteration_time == pytest.approx(1.4)
+
+    def test_alpha_fraction(self):
+        job = make_job(comm_bits=gbit(25.0), demand_gbps=25.0, compute_time=1.0)
+        assert job.alpha == pytest.approx(0.5)
+
+    def test_mean_load(self):
+        job = make_job(comm_bits=gbit(10.0), demand_gbps=25.0, compute_time=1.0)
+        assert job.mean_load_bps == pytest.approx(gbit(10.0) / 1.4)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("comm_bits", 0),
+            ("demand_gbps", -1.0),
+            ("compute_time", -0.1),
+            ("start_offset", -1.0),
+            ("jitter_sigma", -0.5),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            make_job(**{field: value})
+
+    def test_zero_compute_time_allowed(self):
+        """Pure-communication jobs (alpha = 1) are legal."""
+        assert make_job(compute_time=0.0).alpha == 1.0
+
+
+class TestCopies:
+    def test_with_offset(self):
+        assert make_job().with_offset(0.5).start_offset == 0.5
+
+    def test_with_jitter(self):
+        assert make_job().with_jitter(0.01).jitter_sigma == 0.01
+
+    def test_with_name(self):
+        assert make_job().with_name("X").name == "X"
+
+    def test_scaled_preserves_alpha(self):
+        job = make_job()
+        scaled = job.scaled(0.01)
+        assert scaled.alpha == pytest.approx(job.alpha)
+        assert scaled.comm_bits == pytest.approx(job.comm_bits * 0.01)
+        assert scaled.compute_time == pytest.approx(job.compute_time * 0.01)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="factor"):
+            make_job().scaled(0.0)
+
+    def test_originals_unchanged(self):
+        job = make_job()
+        job.with_offset(9.0)
+        assert job.start_offset == 0.0
+
+
+class TestJitterSampling:
+    def test_no_jitter_is_deterministic(self):
+        job = make_job(jitter_sigma=0.0)
+        assert job.sample_compute_time(np.random.default_rng(0)) == job.compute_time
+
+    def test_none_rng_is_deterministic(self):
+        job = make_job(jitter_sigma=0.5)
+        assert job.sample_compute_time(None) == job.compute_time
+
+    def test_jitter_centers_on_compute_time(self):
+        job = make_job(compute_time=1.0, jitter_sigma=0.05)
+        rng = np.random.default_rng(0)
+        samples = [job.sample_compute_time(rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+        assert np.std(samples) == pytest.approx(0.05, rel=0.15)
+
+    def test_jitter_never_negative(self):
+        job = make_job(compute_time=0.001, jitter_sigma=1.0)
+        rng = np.random.default_rng(0)
+        assert all(job.sample_compute_time(rng) >= 0.0 for _ in range(200))
+
+
+class TestFeasibility:
+    def test_empty_mix_feasible(self):
+        assert feasible_on_link([], 50.0)
+
+    def test_light_load_feasible(self):
+        assert feasible_on_link([make_job()], 50.0)
+
+    def test_overload_infeasible(self):
+        heavy = make_job(comm_bits=gbit(50.0), demand_gbps=50.0, compute_time=0.0)
+        assert not feasible_on_link([heavy, heavy.with_name("J2")], 50.0)
+
+    def test_total_mean_load(self):
+        job = make_job(comm_bits=gbit(14.0), demand_gbps=25.0, compute_time=0.84)
+        # comm time 0.56, T = 1.4, mean load = 14/1.4 = 10 Gbps per job
+        assert total_mean_load_gbps([job, job.with_name("J2")]) == pytest.approx(20.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            feasible_on_link([make_job()], 0.0)

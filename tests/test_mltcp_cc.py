@@ -1,0 +1,195 @@
+"""Tests for the MLTCP congestion-control variants (Algorithm 1 end to end)."""
+
+import pytest
+
+from repro.core.aggressiveness import ConstantAggressiveness
+from repro.core.config import MLTCPConfig
+from repro.simulator.engine import Simulator
+from repro.simulator.queues import DropTailQueue
+from repro.simulator.topology import build_dumbbell
+from repro.tcp.base import TcpReceiver, TcpSender
+from repro.tcp.mltcp import MLTCPCubic, MLTCPDctcp, MLTCPReno, MltcpState
+from repro.tcp.reno import RenoCC
+
+
+class FakeSim:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class FakeConn:
+    def __init__(self, now=0.0, mss=1500, srtt=0.001):
+        self.sim = FakeSim(now)
+        self.mss_bytes = mss
+        self._srtt = srtt
+
+    @property
+    def smoothed_rtt(self):
+        return self._srtt
+
+
+class TestMltcpState:
+    def test_eq1_window_update(self):
+        """cwnd += F(bytes_ratio) * num_acks / cwnd (paper Eq. 1)."""
+        config = MLTCPConfig(total_bytes=15000, comp_time=0.5)
+        cc = MLTCPReno(config)
+        cc.ssthresh = 10.0  # force congestion avoidance
+        cc.cwnd = 10.0
+        conn = FakeConn(now=0.0)
+        cc.on_ack(2, conn)  # 3000 of 15000 bytes -> ratio 0.2
+        expected_f = 1.75 * 0.2 + 0.25
+        assert cc.cwnd == pytest.approx(10.0 + expected_f * 2 / 10.0)
+
+    def test_ratio_accumulates_across_acks(self):
+        config = MLTCPConfig(total_bytes=15000, comp_time=0.5)
+        cc = MLTCPReno(config)
+        cc.ssthresh = 1.0
+        cc.cwnd = 10.0
+        conn = FakeConn()
+        cc.on_ack(5, conn)
+        conn.sim.now = 0.001
+        cc.on_ack(5, conn)
+        assert cc.mltcp.tracker.bytes_ratio == pytest.approx(1.0)
+        assert cc.mltcp.aggressiveness() == pytest.approx(2.0)
+
+    def test_iteration_boundary_resets_aggressiveness(self):
+        config = MLTCPConfig(total_bytes=3000, comp_time=0.01)
+        cc = MLTCPReno(config)
+        cc.ssthresh = 1.0
+        cc.cwnd = 10.0
+        conn = FakeConn()
+        cc.on_ack(2, conn)  # ratio 1.0
+        assert cc.mltcp.aggressiveness() == pytest.approx(2.0)
+        conn.sim.now = 1.0  # gap >> comp_time: new iteration
+        cc.on_ack(1, conn)  # ratio 0.5
+        assert cc.mltcp.tracker.bytes_ratio == pytest.approx(0.5)
+
+    def test_constant_function_equals_plain_reno(self):
+        """F == 1 reduces MLTCP-Reno exactly to Reno."""
+        config = MLTCPConfig(
+            function=ConstantAggressiveness(1.0), total_bytes=15000, comp_time=0.5
+        )
+        mltcp = MLTCPReno(config)
+        reno = RenoCC()
+        for cc in (mltcp, reno):
+            cc.ssthresh = 10.0
+            cc.cwnd = 10.0
+        conn = FakeConn()
+        mltcp.on_ack(3, conn)
+        reno.on_ack(3, conn)
+        assert mltcp.cwnd == pytest.approx(reno.cwnd)
+
+    def test_default_config(self):
+        state = MltcpState()
+        assert state.config.total_bytes is None
+        assert state.aggressiveness() == pytest.approx(0.25)
+
+
+class TestVariants:
+    def test_names(self):
+        assert MLTCPReno().name == "mltcp-reno"
+        assert MLTCPCubic().name == "mltcp-cubic"
+        assert MLTCPDctcp().name == "mltcp-dctcp"
+
+    def test_dctcp_variant_keeps_ecn(self):
+        assert MLTCPDctcp().ecn_enabled
+
+    def test_cubic_scales_increment(self):
+        config = MLTCPConfig(total_bytes=1500, comp_time=0.5)
+        low = MLTCPCubic(config)
+        high = MLTCPCubic(config)
+        for cc in (low, high):
+            cc.ssthresh = 10.0
+            cc.cwnd = 10.0
+            cc._w_max = 50.0
+        conn_low = FakeConn()
+        low.on_ack(0, conn_low)  # ratio stays 0 -> F = 0.25
+        conn_high = FakeConn()
+        high.on_ack(1, conn_high)  # ratio 1 -> F = 2
+        # Same cubic target; the high-ratio variant must have grown more.
+        assert high.cwnd - 10.0 > 0
+        assert high.cwnd >= low.cwnd
+
+
+def run_competition(cc_a, cc_b, nbytes=30_000_000, until=0.25, queue_packets=64):
+    """Two long flows share the bottleneck; returns (bytes_a, bytes_b) acked."""
+    sim = Simulator()
+    net = build_dumbbell(
+        sim, 2, bottleneck_bps=1e9, bottleneck_queue=DropTailQueue(queue_packets)
+    )
+    senders = []
+    for i, cc in enumerate((cc_a, cc_b)):
+        sender = TcpSender(sim, net.hosts[f"s{i}"], f"f{i}", f"r{i}", cc)
+        TcpReceiver(sim, net.hosts[f"r{i}"], f"f{i}", f"s{i}")
+        sender.send_bytes(nbytes)
+        senders.append(sender)
+    sim.run(until=until)
+    return tuple(s.snd_una * s.mss_bytes for s in senders)
+
+
+class TestBandwidthCompetition:
+    def test_saturated_mltcp_beats_reno(self):
+        """§5: at equal loss, an MLTCP flow deep in its iteration (F -> 2)
+        claims more bandwidth than a plain Reno flow."""
+        mltcp = MLTCPReno(MLTCPConfig(total_bytes=1, comp_time=1e9))
+        reno = RenoCC()
+        got_mltcp, got_reno = run_competition(mltcp, reno)
+        assert got_mltcp > 1.2 * got_reno
+
+    def test_fresh_mltcp_yields_to_reno(self):
+        """A flow early in its iteration (F -> 0.25) is less aggressive."""
+        mltcp = MLTCPReno(MLTCPConfig(total_bytes=10**12, comp_time=1e9))
+        reno = RenoCC()
+        got_mltcp, got_reno = run_competition(mltcp, reno)
+        assert got_mltcp < got_reno
+
+    def test_no_starvation(self):
+        """§5: MLTCP does not starve legacy flows."""
+        mltcp = MLTCPReno(MLTCPConfig(total_bytes=1, comp_time=1e9))
+        reno = RenoCC()
+        got_mltcp, got_reno = run_competition(mltcp, reno, until=0.5)
+        assert got_reno > 0.1 * got_mltcp
+
+
+class TestPacketLevelIterationTracking:
+    def test_tracker_sees_iterations_over_real_network(self):
+        """The ACK-gap boundary detector works over the packet simulator."""
+        from repro.simulator.app import TrainingApp
+        from repro.workloads.job import JobSpec
+
+        sim = Simulator()
+        net = build_dumbbell(sim, 1, bottleneck_bps=1e9)
+        job = JobSpec(
+            name="J", comm_bits=2e6, demand_gbps=1.0, compute_time=0.02
+        )
+        cc = MLTCPReno(MLTCPConfig(total_bytes=job.comm_bytes, comp_time=0.005))
+        sender = TcpSender(sim, net.hosts["s0"], "J", "r0", cc)
+        TcpReceiver(sim, net.hosts["r0"], "J", "s0")
+        app = TrainingApp(sim, sender, job, max_iterations=5)
+        app.start()
+        sim.run(until=1.0)
+        assert app.completed == 5
+        # 5 iterations -> at least 4 boundaries observed by the tracker.
+        assert cc.mltcp.tracker.iteration_index >= 4
+        for record in cc.mltcp.tracker.completed_iterations:
+            assert record.bytes_sent >= job.comm_bytes * 0.95
+
+    def test_online_learning_over_real_network(self):
+        """§3.2: TOTAL_BYTES and COMP_TIME learned from the first iterations."""
+        from repro.simulator.app import TrainingApp
+        from repro.workloads.job import JobSpec
+
+        sim = Simulator()
+        net = build_dumbbell(sim, 1, bottleneck_bps=1e9)
+        job = JobSpec(name="J", comm_bits=2e6, demand_gbps=1.0, compute_time=0.02)
+        cc = MLTCPReno(MLTCPConfig())  # learn everything online
+        sender = TcpSender(sim, net.hosts["s0"], "J", "r0", cc)
+        TcpReceiver(sim, net.hosts["r0"], "J", "s0")
+        app = TrainingApp(sim, sender, job, max_iterations=6)
+        app.start()
+        sim.run(until=1.0)
+        tracker = cc.mltcp.tracker
+        assert tracker.total_bytes is not None
+        assert tracker.total_bytes == pytest.approx(job.comm_bytes, rel=0.1)
+        assert tracker.comp_time is not None
+        assert tracker.comp_time < job.compute_time

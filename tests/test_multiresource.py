@@ -1,0 +1,166 @@
+"""Tests for the §5 multi-resource generalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggressiveness import DecreasingLinearAggressiveness
+from repro.multiresource import (
+    EqualShare,
+    MultiResourceSimulator,
+    MultiResourceTask,
+    ProgressWeighted,
+    ResourcePhase,
+    run_multiresource,
+    two_phase_task,
+)
+
+
+def cpu_task(name, work=16.0, demand=16.0, think=1.0, jitter=0.01):
+    return two_phase_task(
+        name, "cpu", work=work, demand=demand, think_time=think, jitter_sigma=jitter
+    )
+
+
+class TestTaskModel:
+    def test_ideal_iteration_time(self):
+        task = cpu_task("T", work=16.0, demand=16.0, think=1.0)
+        assert task.ideal_iteration_time == pytest.approx(2.0)
+
+    def test_phase_fraction(self):
+        task = cpu_task("T", work=16.0, demand=16.0, think=1.0)
+        assert task.phase_fraction("cpu") == pytest.approx(0.5)
+
+    def test_resources(self):
+        task = cpu_task("T")
+        assert task.resources() == {"cpu", "T-think"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="work"):
+            ResourcePhase("cpu", work=0.0, demand=1.0)
+        with pytest.raises(ValueError, match="demand"):
+            ResourcePhase("cpu", work=1.0, demand=0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            ResourcePhase("", work=1.0, demand=1.0)
+        with pytest.raises(ValueError, match="phase"):
+            MultiResourceTask("T", phases=())
+
+    def test_jitter_sampling(self):
+        task = cpu_task("T", jitter=0.1)
+        rng = np.random.default_rng(0)
+        samples = [task.sample_jitter(rng) for _ in range(500)]
+        assert all(s >= 0 for s in samples)
+        assert max(samples) > 0
+
+    def test_no_jitter_without_rng(self):
+        assert cpu_task("T", jitter=0.5).sample_jitter(None) == 0.0
+
+
+class TestSimulatorBasics:
+    def test_isolated_task_at_ideal(self):
+        task = cpu_task("T", jitter=0.0)
+        result = run_multiresource([task], {"cpu": 16.0}, max_iterations=4, seed=None)
+        assert result.iteration_times("T") == pytest.approx(
+            np.full(4, 2.0), rel=1e-6
+        )
+
+    def test_contention_stretches(self):
+        tasks = [cpu_task("A", jitter=0.0), cpu_task("B", jitter=0.0)]
+        result = run_multiresource(tasks, {"cpu": 16.0}, max_iterations=3, seed=None)
+        # Two tasks want all 16 cores simultaneously: phases take 2x.
+        assert result.iteration_times("A")[0] == pytest.approx(3.0, rel=0.02)
+
+    def test_unknown_resource_rejected(self):
+        task = cpu_task("T")
+        with pytest.raises(ValueError, match="no capacity"):
+            MultiResourceSimulator([task], {"gpu": 8.0})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            MultiResourceSimulator([cpu_task("T"), cpu_task("T")], {"cpu": 16.0})
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            MultiResourceSimulator([cpu_task("T")], {"cpu": 0.0})
+
+    def test_start_offsets_respected(self):
+        task = cpu_task("T", jitter=0.0)
+        from dataclasses import replace
+
+        offset_task = replace(task, start_offset=1.5)
+        result = run_multiresource(
+            [offset_task], {"cpu": 16.0}, max_iterations=2, seed=None
+        )
+        first = [it for it in result.iterations if it.index == 0][0]
+        assert first.start == pytest.approx(1.5)
+
+
+class TestSection5Generalization:
+    """The paper's §5 claims, reproduced for CPU-core scheduling."""
+
+    def test_progress_weighting_interleaves_cpu_tasks(self):
+        tasks = [cpu_task("A"), cpu_task("B")]
+        result = run_multiresource(
+            tasks, {"cpu": 16.0}, policy=ProgressWeighted(), max_iterations=40, seed=1
+        )
+        rounds = result.mean_iteration_by_round()
+        assert rounds[0] > 2.8  # starts contended
+        assert rounds[-5:].mean() == pytest.approx(2.0, rel=0.03)
+
+    def test_equal_share_stays_contended(self):
+        tasks = [cpu_task("A"), cpu_task("B")]
+        result = run_multiresource(
+            tasks, {"cpu": 16.0}, policy=EqualShare(), max_iterations=40, seed=1
+        )
+        assert result.mean_iteration_by_round()[-5:].mean() > 2.8
+
+    def test_cross_resource_pipelining(self):
+        """Two tasks cycling cpu -> net interleave into a pipeline where
+        one computes while the other communicates (the Muri/Cassini picture
+        the paper generalizes to)."""
+        from dataclasses import replace
+
+        def task(name):
+            t = MultiResourceTask(
+                name,
+                (
+                    ResourcePhase("cpu", 16.0, 16.0),
+                    ResourcePhase("net", 10.0, 10.0),
+                ),
+            )
+            return replace(t, jitter_sigma=0.01)
+
+        tasks = [task("A"), task("B")]
+        capacities = {"cpu": 16.0, "net": 10.0}
+        weighted = run_multiresource(
+            tasks, capacities, policy=ProgressWeighted(), max_iterations=50, seed=2
+        )
+        equal = run_multiresource(
+            tasks, capacities, policy=EqualShare(), max_iterations=50, seed=2
+        )
+        assert weighted.mean_iteration_by_round()[-5:].mean() == pytest.approx(
+            2.0, rel=0.05
+        )
+        assert equal.mean_iteration_by_round()[-5:].mean() > 3.5
+
+    def test_decreasing_function_does_not_interleave(self):
+        """Requirement (ii) carries over to the multi-resource setting."""
+        tasks = [cpu_task("A"), cpu_task("B")]
+        result = run_multiresource(
+            tasks,
+            {"cpu": 16.0},
+            policy=ProgressWeighted(DecreasingLinearAggressiveness()),
+            max_iterations=40,
+            seed=1,
+        )
+        assert result.mean_iteration_by_round()[-5:].mean() > 2.8
+
+    def test_three_tasks_converge(self):
+        tasks = [cpu_task(f"T{i}", work=8.0, think=2.0) for i in range(3)]
+        # Each needs 16 cores for 0.5 s every 2.5 s: 3 x 0.5 = 1.5 < 2.5.
+        result = run_multiresource(
+            tasks, {"cpu": 16.0}, policy=ProgressWeighted(), max_iterations=60, seed=3
+        )
+        ideal = tasks[0].ideal_iteration_time
+        assert result.mean_iteration_by_round()[-5:].mean() == pytest.approx(
+            ideal, rel=0.05
+        )

@@ -1,0 +1,98 @@
+"""Tests for the packet-level experiment assembly helpers."""
+
+import pytest
+
+from repro.harness.packetlab import (
+    mltcp_config_for,
+    run_packet_jobs,
+    throughput_timeline,
+)
+from repro.tcp.mltcp import MLTCPReno
+from repro.tcp.reno import RenoCC
+from repro.workloads.job import JobSpec
+
+
+def small_job(name="J1", comm_mbit=2.0, compute_ms=15.0):
+    return JobSpec(
+        name=name,
+        comm_bits=comm_mbit * 1e6,
+        demand_gbps=1.0,
+        compute_time=compute_ms / 1000.0,
+    )
+
+
+class TestMltcpConfigFor:
+    def test_matches_job_shape(self):
+        job = small_job()
+        config = mltcp_config_for(job)
+        assert config.total_bytes == job.comm_bytes
+        assert 0 < config.comp_time < job.compute_time
+
+    def test_overrides(self):
+        config = mltcp_config_for(small_job(), comp_time=0.001)
+        assert config.comp_time == 0.001
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            mltcp_config_for(small_job(), comp_time_fraction=0.0)
+
+
+class TestRunPacketJobs:
+    def test_single_job_ideal_iterations(self):
+        job = small_job()
+        lab = run_packet_jobs(job_list := [job], lambda j: RenoCC(), max_iterations=4)
+        times = lab.iteration_times("J1")
+        assert len(times) == 4
+        # Ideal comm time plus wire overhead; generous 10% envelope.
+        overhead = 1500 / 1460
+        ideal = job.ideal_comm_time * overhead + job.compute_time
+        assert times.mean() == pytest.approx(ideal, rel=0.1)
+
+    def test_two_jobs_complete(self):
+        jobs = [small_job("J1"), small_job("J2")]
+        lab = run_packet_jobs(
+            jobs,
+            lambda j: MLTCPReno(mltcp_config_for(j)),
+            max_iterations=5,
+        )
+        for job in jobs:
+            assert len(lab.iteration_times(job.name)) == 5
+
+    def test_mean_iteration_by_round(self):
+        jobs = [small_job("J1"), small_job("J2")]
+        lab = run_packet_jobs(jobs, lambda j: RenoCC(), max_iterations=3)
+        assert len(lab.mean_iteration_by_round()) == 3
+
+    def test_all_iteration_times_with_skip(self):
+        lab = run_packet_jobs([small_job()], lambda j: RenoCC(), max_iterations=4)
+        assert len(lab.all_iteration_times(skip=1)) == 3
+
+    def test_throughput_accessor(self):
+        lab = run_packet_jobs([small_job()], lambda j: RenoCC(), max_iterations=3)
+        times, rates = lab.throughput("J1")
+        assert len(times) == len(rates)
+        # A 2 Mbit comm phase delivered inside one 5 ms bin averages 0.4 Gbps.
+        assert rates.max() > 0.3
+
+    def test_rejects_empty_jobs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_packet_jobs([], lambda j: RenoCC())
+
+
+class TestThroughputTimeline:
+    def test_bins_bytes_into_gbps(self):
+        log = [(0.001, 125_000), (0.002, 125_000)]  # 2 Mbit total in bin 0
+        times, series = throughput_timeline(log, end_time=0.02, dt=0.01)
+        assert series[0] == pytest.approx(2e6 / 0.01 / 1e9)
+        assert series[1] == 0.0
+
+    def test_clamps_to_last_bin(self):
+        log = [(0.999, 1000)]
+        _times, series = throughput_timeline(log, end_time=0.5, dt=0.1)
+        assert series[-1] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="dt"):
+            throughput_timeline([], end_time=1.0, dt=0.0)
+        with pytest.raises(ValueError, match="end_time"):
+            throughput_timeline([], end_time=0.0)

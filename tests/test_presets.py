@@ -1,0 +1,95 @@
+"""Tests for the paper-calibrated scenarios (workloads.presets)."""
+
+import pytest
+
+from repro.workloads.job import feasible_on_link
+from repro.workloads.presets import (
+    BOTTLENECK_GBPS,
+    four_job_scenario,
+    gpt2_fast_job,
+    gpt2_heavy_job,
+    gpt2_job,
+    gpt3_job,
+    identical_jobs,
+    six_job_scenario,
+    three_job_scenario,
+    two_job_scenario,
+)
+
+
+class TestCalibration:
+    """Ideal iteration times must match the values the paper reports."""
+
+    def test_gpt3_iteration_time(self):
+        assert gpt3_job().ideal_iteration_time == pytest.approx(1.2)
+
+    def test_gpt2_iteration_time(self):
+        assert gpt2_job().ideal_iteration_time == pytest.approx(1.8)
+
+    def test_gpt2_fast_iteration_time(self):
+        """Figure 3 variant: ideal ~1.05 s (paper y-axis 1000–1600 ms)."""
+        assert gpt2_fast_job().ideal_iteration_time == pytest.approx(1.05)
+
+    def test_gpt2_heavy_alpha_half(self):
+        """Figure 6 / §4 running example needs alpha = 1/2."""
+        assert gpt2_heavy_job().alpha == pytest.approx(0.5)
+        assert gpt3_job().alpha == pytest.approx(0.5)
+
+    def test_srpt_size_ordering(self):
+        """GPT-3's collective must be the largest so SRPT defers it (§2)."""
+        assert gpt3_job().comm_bits > gpt2_job().comm_bits
+
+
+class TestScenarios:
+    def test_four_job_names(self):
+        names = [j.name for j in four_job_scenario()]
+        assert names == ["J1", "J2", "J3", "J4"]
+
+    def test_four_job_mix(self):
+        jobs = four_job_scenario()
+        assert jobs[0].comm_bits != jobs[1].comm_bits
+        assert jobs[1].comm_bits == jobs[2].comm_bits == jobs[3].comm_bits
+
+    def test_four_job_synchronized_start(self):
+        assert all(j.start_offset == 0.0 for j in four_job_scenario())
+
+    def test_four_job_staggered_variant(self):
+        offsets = [j.start_offset for j in four_job_scenario(synchronized_start=False)]
+        assert len(set(offsets)) == 4
+
+    def test_three_job_identical(self):
+        jobs = three_job_scenario()
+        assert len(jobs) == 3
+        assert len({j.comm_bits for j in jobs}) == 1
+
+    def test_six_job_identical(self):
+        jobs = six_job_scenario()
+        assert len(jobs) == 6
+        assert len({j.name for j in jobs}) == 6
+
+    def test_two_job_contention_exists(self):
+        """Figure 6 needs overlap to congest: 2x demand > capacity."""
+        jobs = two_job_scenario()
+        assert sum(j.demand_gbps for j in jobs) > BOTTLENECK_GBPS
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [four_job_scenario, three_job_scenario, six_job_scenario, two_job_scenario],
+    )
+    def test_average_load_feasible(self, scenario):
+        """Paper's compatibility assumption: an interleave must exist, so
+        at minimum the average load must fit the link."""
+        assert feasible_on_link(scenario(), BOTTLENECK_GBPS)
+
+    def test_jitter_override(self):
+        assert all(j.jitter_sigma == 0.0 for j in four_job_scenario(jitter_sigma=0.0))
+
+
+class TestIdenticalJobs:
+    def test_names_are_numbered(self):
+        jobs = identical_jobs(gpt2_job(), 3)
+        assert [j.name for j in jobs] == ["Job1", "Job2", "Job3"]
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="count"):
+            identical_jobs(gpt2_job(), 0)

@@ -1,0 +1,75 @@
+"""Tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.harness.report import format_seconds, render_series, render_table, sparkline
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["job", "time"], [["J1", 1.2], ["J2", 1.8]])
+        lines = out.splitlines()
+        assert lines[0].startswith("job")
+        assert "----" in lines[1]
+        assert "J1" in lines[2]
+        assert "1.200" in lines[2]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Figure 2")
+        assert out.splitlines()[0] == "Figure 2"
+
+    def test_column_width_accommodates_data(self):
+        out = render_table(["x"], [["a-very-long-cell"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) >= len("a-very-long-cell")
+
+    def test_scientific_for_extremes(self):
+        out = render_table(["v"], [[1e-9]])
+        assert "e-09" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError, match="header"):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_resamples_long_series(self):
+        assert len(sparkline(list(range(1000)), width=40)) <= 40
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestRenderSeries:
+    def test_includes_name_and_range(self):
+        out = render_series("iters", [1.0, 2.0, 3.0], unit="s")
+        assert out.startswith("iters:")
+        assert "min 1.000" in out
+        assert "max 3.000 s" in out
+
+    def test_empty_series(self):
+        assert "(empty)" in render_series("x", [])
+
+
+class TestFormatSeconds:
+    def test_milliseconds(self):
+        assert format_seconds(0.0123) == "12.3 ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.8) == "1.800 s"

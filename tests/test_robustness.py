@@ -1,0 +1,106 @@
+"""Robustness tests: assumptions of §4 relaxed (volume jitter, mixed RTTs).
+
+The paper's analysis assumes each job's per-iteration volume is constant and
+(implicitly, through the testbed) that competing flows see similar RTTs.
+These tests perturb both and check that the interleaving dynamics survive —
+requirement (i)'s "range large enough to absorb the noise" in action.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLTCPConfig
+from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.flowsim import run_fluid
+from repro.simulator.app import TrainingApp
+from repro.simulator.engine import Simulator
+from repro.simulator.queues import DropTailQueue
+from repro.simulator.topology import Network
+from repro.tcp.base import TcpReceiver, TcpSender
+from repro.tcp.mltcp import MLTCPReno
+from repro.workloads.job import JobSpec
+from repro.workloads.presets import gpt2_heavy_job, identical_jobs
+
+
+class TestVolumeJitter:
+    def test_volume_jitter_validated(self):
+        with pytest.raises(ValueError, match="volume_jitter_fraction"):
+            JobSpec("J", 1e9, 25.0, 1.0, volume_jitter_fraction=1.5)
+
+    def test_sampled_volumes_center_on_nominal(self):
+        job = JobSpec("J", 1e9, 25.0, 1.0, volume_jitter_fraction=0.05)
+        rng = np.random.default_rng(0)
+        samples = [job.sample_comm_bits(rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(1e9, rel=0.01)
+        assert np.std(samples) == pytest.approx(0.05e9, rel=0.15)
+
+    def test_no_jitter_without_rng(self):
+        job = JobSpec("J", 1e9, 25.0, 1.0, volume_jitter_fraction=0.5)
+        assert job.sample_comm_bits(None) == 1e9
+
+    def test_interleaving_survives_volume_jitter(self):
+        """5% per-iteration volume noise: MLTCP still holds the interleave
+        (Algorithm 1 normalizes by the *nominal* TOTAL_BYTES, so ratios
+        saturate slightly early/late — absorbed by F's range)."""
+        jobs = [
+            job.with_jitter(0.005)
+            for job in identical_jobs(gpt2_heavy_job(), 2)
+        ]
+        from dataclasses import replace
+
+        jobs = [replace(j, volume_jitter_fraction=0.05) for j in jobs]
+        result = run_fluid(
+            jobs, 50.0, policy=MLTCPWeighted(), max_iterations=50, seed=4
+        )
+        rounds = result.mean_iteration_by_round()
+        assert rounds[-10:].mean() < 1.06 * 1.8
+
+
+def build_mixed_rtt_dumbbell(sim, delays):
+    """Dumbbell with a different edge delay per sender/receiver pair."""
+    network = Network(sim=sim)
+    network.add_switch("sw_l")
+    network.add_switch("sw_r")
+    network.add_link("sw_l", "sw_r", 1e9, 5e-6, queue=DropTailQueue(64))
+    network.add_link("sw_r", "sw_l", 1e9, 5e-6, queue=DropTailQueue(1024))
+    for i, delay in enumerate(delays):
+        s, r = f"s{i}", f"r{i}"
+        network.add_host(s)
+        network.add_host(r)
+        for a, b in ((s, "sw_l"), ("sw_l", s), (r, "sw_r"), ("sw_r", r)):
+            network.add_link(a, b, 4e9, delay, queue=DropTailQueue(256))
+        network.install_route(s, r, [s, "sw_l", "sw_r", r])
+        network.install_route(r, s, [r, "sw_r", "sw_l", s])
+    return network
+
+
+class TestHeterogeneousRtt:
+    def test_mixed_rtts_still_interleave(self):
+        """One job has ~10x the propagation delay of the other; MLTCP-Reno
+        still slides them apart ("regardless of ... number of flows
+        competing for bandwidth" — and, here, their RTTs)."""
+        sim = Simulator()
+        net = build_mixed_rtt_dumbbell(sim, delays=[5e-6, 50e-6])
+        rng = np.random.default_rng(2)
+        template = JobSpec(
+            name="Job", comm_bits=8e6, demand_gbps=1.0, compute_time=0.010,
+            jitter_sigma=0.0005,
+        )
+        apps = []
+        for i, job in enumerate(
+            (template.with_name("near"), template.with_name("far"))
+        ):
+            cc = MLTCPReno(MLTCPConfig(total_bytes=job.comm_bytes, comp_time=0.003))
+            sender = TcpSender(sim, net.hosts[f"s{i}"], job.name, f"r{i}", cc)
+            TcpReceiver(sim, net.hosts[f"r{i}"], job.name, f"s{i}")
+            app = TrainingApp(sim, sender, job, max_iterations=35, rng=rng)
+            app.start()
+            apps.append(app)
+        sim.run(until=2.0)
+
+        overhead = 1500 / 1460
+        ideal = 8e6 / 1e9 * overhead + 0.010
+        for app in apps:
+            times = app.iteration_times()
+            assert len(times) == 35
+            assert times[-5:].mean() == pytest.approx(ideal, rel=0.1), app.job.name

@@ -1,0 +1,70 @@
+"""Tests for the multi-seed repetition/sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.flowsim import run_fluid
+from repro.harness.sweep import SeedSummary, repeat_with_seeds, sweep
+from repro.workloads.presets import gpt2_heavy_job, identical_jobs
+
+
+class TestRepeatWithSeeds:
+    def test_deterministic_experiment(self):
+        summary = repeat_with_seeds(lambda seed: 4.2, seeds=[1, 2, 3])
+        assert summary.mean == pytest.approx(4.2)
+        assert summary.std == 0.0
+        assert summary.ci95 == (pytest.approx(4.2), pytest.approx(4.2))
+
+    def test_seed_dependent_experiment(self):
+        summary = repeat_with_seeds(
+            lambda seed: float(np.random.default_rng(seed).normal(10.0, 1.0)),
+            seeds=range(30),
+        )
+        assert summary.mean == pytest.approx(10.0, abs=0.7)
+        assert summary.n == 30
+        lo, hi = summary.ci95
+        assert lo < summary.mean < hi
+
+    def test_single_seed_has_zero_ci(self):
+        summary = repeat_with_seeds(lambda seed: float(seed), seeds=[7])
+        assert summary.ci95_halfwidth == 0.0
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError, match="seed"):
+            repeat_with_seeds(lambda seed: 1.0, seeds=[])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            repeat_with_seeds(lambda seed: float("nan"), seeds=[1])
+
+
+class TestSweep:
+    def test_grid_crossing(self):
+        rows = sweep(
+            lambda seed, a, b: a * 10 + b + 0.0 * seed,
+            grid={"a": [1, 2], "b": [3, 4]},
+            seeds=[0, 1],
+        )
+        assert len(rows) == 4
+        points = {(r["a"], r["b"]) for r in rows}
+        assert points == {(1, 3), (1, 4), (2, 3), (2, 4)}
+        assert all(isinstance(r["summary"], SeedSummary) for r in rows)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="grid"):
+            sweep(lambda seed: 1.0, grid={}, seeds=[1])
+
+    def test_real_experiment_convergence_is_seed_stable(self):
+        """The headline result holds across seeds, not just seed 1."""
+
+        def final_iteration_time(seed: int) -> float:
+            jobs = identical_jobs(gpt2_heavy_job(), 2)
+            result = run_fluid(
+                jobs, 50.0, policy=MLTCPWeighted(), max_iterations=30, seed=seed
+            )
+            return float(result.mean_iteration_by_round()[-5:].mean())
+
+        summary = repeat_with_seeds(final_iteration_time, seeds=[1, 2, 3, 4, 5])
+        assert summary.mean == pytest.approx(1.8, rel=0.02)
+        assert summary.std < 0.02

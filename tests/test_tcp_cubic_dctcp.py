@@ -1,0 +1,120 @@
+"""Tests for CUBIC and DCTCP congestion control."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.queues import DropTailQueue, EcnQueue
+from repro.simulator.topology import build_dumbbell
+from repro.tcp.base import TcpReceiver, TcpSender
+from repro.tcp.cubic import CubicCC
+from repro.tcp.dctcp import DctcpCC
+from repro.tcp.reno import RenoCC
+
+
+def run_transfer(cc, nbytes=2_000_000, queue=None, until=1.0):
+    sim = Simulator()
+    net = build_dumbbell(
+        sim,
+        1,
+        bottleneck_bps=1e9,
+        bottleneck_queue=queue if queue is not None else DropTailQueue(64),
+    )
+    sender = TcpSender(sim, net.hosts["s0"], "f", "r0", cc)
+    TcpReceiver(sim, net.hosts["r0"], "f", "s0")
+    finished = {}
+    sender.on_all_acked = lambda: finished.setdefault("t", sim.now)
+    sender.send_bytes(nbytes)
+    sim.run(until=until)
+    return sim, net, sender, finished.get("t")
+
+
+class TestCubic:
+    def test_transfer_completes_with_good_throughput(self):
+        _sim, _net, sender, t = run_transfer(CubicCC())
+        assert t is not None
+        assert 2_000_000 * 8 / t > 0.8e9
+
+    def test_loss_reduces_window_by_beta(self):
+        cc = CubicCC()
+        cc.cwnd = 100.0
+
+        class FakeConn:
+            def flight_size(self):
+                return 100
+
+        cc.on_fast_retransmit(FakeConn())
+        # ssthresh = 0.7 * 100; cwnd = ssthresh + 3 during recovery.
+        assert cc.ssthresh == pytest.approx(70.0)
+        cc.on_recovery_exit(FakeConn())
+        assert cc.cwnd == pytest.approx(70.0)
+
+    def test_concave_growth_toward_w_max(self):
+        """After a loss, CUBIC approaches the old W_max along the cubic."""
+        cc = CubicCC()
+        cc.ssthresh = 50.0
+        cc.cwnd = 50.0
+
+        class FakeConn:
+            smoothed_rtt = 0.001
+
+            class sim:
+                now = 0.0
+
+            def flight_size(self):
+                return 50
+
+        cc.on_fast_retransmit(FakeConn())
+        cc.on_recovery_exit(FakeConn())
+        start = cc.cwnd
+        FakeConn.sim.now = 0.05
+        cc.on_ack(1, FakeConn())
+        grown_early = cc.cwnd - start
+        FakeConn.sim.now = 1.0
+        before = cc.cwnd
+        cc.on_ack(1, FakeConn())
+        grown_late = cc.cwnd - before
+        assert grown_early > 0
+        assert grown_late > 0
+
+    def test_window_never_collapses_below_min(self):
+        cc = CubicCC()
+
+        class FakeConn:
+            def flight_size(self):
+                return 2
+
+        cc.on_rto(FakeConn())
+        assert cc.cwnd >= 1.0
+
+
+class TestDctcp:
+    def test_marks_ecn_capable(self):
+        assert DctcpCC().ecn_enabled
+        assert not RenoCC().ecn_enabled
+
+    def test_transfer_completes_over_ecn_queue(self):
+        queue = EcnQueue(capacity_packets=100, mark_threshold=20)
+        _sim, _net, sender, t = run_transfer(DctcpCC(), queue=queue)
+        assert t is not None
+        assert 2_000_000 * 8 / t > 0.7e9
+
+    def test_dctcp_keeps_queue_shorter_than_reno(self):
+        """DCTCP's raison d'etre: low queue occupancy at high throughput."""
+        reno_queue = EcnQueue(capacity_packets=200, mark_threshold=20)
+        dctcp_queue = EcnQueue(capacity_packets=200, mark_threshold=20)
+        run_transfer(RenoCC(), queue=reno_queue, nbytes=3_000_000)
+        run_transfer(DctcpCC(), queue=dctcp_queue, nbytes=3_000_000)
+        # Reno (loss-driven) must fill the 200-packet buffer; DCTCP reacts
+        # to marks at 20 packets, so its drops should be far fewer.
+        assert dctcp_queue.drops < reno_queue.drops
+
+    def test_alpha_rises_under_marks(self):
+        queue = EcnQueue(capacity_packets=100, mark_threshold=5)
+        _sim, _net, sender, _t = run_transfer(DctcpCC(), queue=queue)
+        assert sender.cc.alpha > 0.0
+
+    def test_alpha_stays_zero_without_marks(self):
+        _sim, _net, sender, _t = run_transfer(
+            DctcpCC(), nbytes=10 * 1460, queue=DropTailQueue(1000)
+        )
+        assert sender.cc.alpha == 0.0

@@ -1,0 +1,156 @@
+"""Tests for per-class CC selection and latency-sensitive request traffic."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.app import RequestApp, TrainingApp
+from repro.simulator.engine import Simulator
+from repro.simulator.queues import DropTailQueue
+from repro.simulator.topology import build_dumbbell
+from repro.tcp.base import TcpReceiver, TcpSender
+from repro.tcp.classes import (
+    LATENCY_AGGRESSIVENESS,
+    TrafficClassRegistry,
+    default_registry,
+)
+from repro.tcp.mltcp import MLTCPReno
+from repro.tcp.reno import RenoCC
+from repro.workloads.job import JobSpec
+
+
+class TestRegistry:
+    def test_default_classes(self):
+        registry = default_registry()
+        assert registry.classes() == ["latency", "legacy", "ml"]
+
+    def test_ml_class_uses_job_shape(self):
+        job = JobSpec("J", comm_bits=8e6, demand_gbps=1.0, compute_time=0.01)
+        cc = default_registry().create("ml", job)
+        assert isinstance(cc, MLTCPReno)
+        assert cc.mltcp.config.total_bytes == job.comm_bytes
+
+    def test_ml_class_without_job_learns_online(self):
+        cc = default_registry().create("ml")
+        assert isinstance(cc, MLTCPReno)
+        assert cc.mltcp.config.total_bytes is None
+
+    def test_legacy_class_is_plain_reno(self):
+        cc = default_registry().create("legacy")
+        assert type(cc) is RenoCC
+
+    def test_latency_class_has_large_constant_weight(self):
+        cc = default_registry().create("latency")
+        assert isinstance(cc, MLTCPReno)
+        assert cc.mltcp.config.function(0.0) == LATENCY_AGGRESSIVENESS
+        assert cc.mltcp.config.function(1.0) == LATENCY_AGGRESSIVENESS
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError, match="unknown traffic class"):
+            default_registry().create("bulk")
+
+    def test_custom_registration(self):
+        registry = TrafficClassRegistry()
+        registry.register("mine", lambda job: RenoCC())
+        assert type(registry.create("mine")) is RenoCC
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            TrafficClassRegistry().register("", lambda job: RenoCC())
+
+
+class TestRequestApp:
+    def _wire(self, cc, **app_kwargs):
+        sim = Simulator()
+        net = build_dumbbell(sim, 1, bottleneck_bps=1e9)
+        sender = TcpSender(sim, net.hosts["s0"], "rpc", "r0", cc)
+        TcpReceiver(sim, net.hosts["r0"], "rpc", "s0")
+        app = RequestApp(sim, sender, **app_kwargs)
+        return sim, app
+
+    def test_requests_complete(self):
+        sim, app = self._wire(
+            RenoCC(), request_bytes=100_000, interval=0.01, max_requests=5
+        )
+        app.start()
+        sim.run(until=1.0)
+        assert app.completed == 5
+
+    def test_fct_reasonable_in_isolation(self):
+        sim, app = self._wire(
+            RenoCC(), request_bytes=100_000, interval=0.01, max_requests=5
+        )
+        app.start()
+        sim.run(until=1.0)
+        # 100 KB at 1 Gbps is ~0.85 ms; slow start stretches it somewhat.
+        assert app.fct().max() < 0.01
+
+    def test_poisson_arrivals(self):
+        sim, app = self._wire(
+            RenoCC(),
+            request_bytes=50_000,
+            interval=0.01,
+            max_requests=10,
+            poisson=True,
+            rng=np.random.default_rng(1),
+        )
+        app.start()
+        sim.run(until=2.0)
+        assert app.completed == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="request_bytes"):
+            self._wire(RenoCC(), request_bytes=0, interval=0.01)
+        with pytest.raises(ValueError, match="interval"):
+            self._wire(RenoCC(), request_bytes=1000, interval=0.0)
+        with pytest.raises(ValueError, match="max_requests"):
+            self._wire(RenoCC(), request_bytes=1000, interval=0.01, max_requests=0)
+
+    def test_start_twice_rejected(self):
+        sim, app = self._wire(
+            RenoCC(), request_bytes=1000, interval=0.01, max_requests=1
+        )
+        app.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            app.start()
+
+
+class TestMixedTraffic:
+    def _mixed_run(self, latency_class: str, seed=3):
+        """One ML job plus one RPC stream sharing the bottleneck."""
+        registry = default_registry()
+        sim = Simulator()
+        net = build_dumbbell(
+            sim, 2, bottleneck_bps=1e9, bottleneck_queue=DropTailQueue(64)
+        )
+        job = JobSpec(
+            "ML", comm_bits=8e6, demand_gbps=1.0, compute_time=0.004,
+            jitter_sigma=0.0003,
+        )
+        ml_sender = TcpSender(
+            sim, net.hosts["s0"], "ML", "r0", registry.create("ml", job)
+        )
+        TcpReceiver(sim, net.hosts["r0"], "ML", "s0")
+        ml_app = TrainingApp(
+            sim, ml_sender, job, max_iterations=None, rng=np.random.default_rng(seed)
+        )
+        ml_app.start()
+
+        rpc_sender = TcpSender(
+            sim, net.hosts["s1"], "rpc", "r1", registry.create(latency_class)
+        )
+        TcpReceiver(sim, net.hosts["r1"], "rpc", "s1")
+        rpc_app = RequestApp(
+            sim, rpc_sender, request_bytes=200_000, interval=0.004,
+            max_requests=60, rng=np.random.default_rng(seed),
+        )
+        rpc_app.start()
+        sim.run(until=2.0)
+        return rpc_app.fct()
+
+    def test_latency_class_beats_legacy_for_shorts(self):
+        """§5: the 'larger values' function lets latency traffic grab
+        bandwidth from the ML bulk flows, cutting its tail FCT."""
+        legacy_fct = self._mixed_run("legacy")
+        latency_fct = self._mixed_run("latency")
+        assert len(legacy_fct) > 20 and len(latency_fct) > 20
+        assert np.percentile(latency_fct, 90) < 0.9 * np.percentile(legacy_fct, 90)
