@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench figures examples clean
+.PHONY: install test test-fast bench bench-smoke figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,16 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# One fluid benchmark through the parallel runner with a throwaway cache,
+# then validate its JSON run-report against the schema in docs/.
+bench-smoke:
+	@tmp=$$(mktemp -d) && \
+	REPRO_CACHE_DIR=$$tmp REPRO_WORKERS=2 \
+		$(PYTHON) -m pytest benchmarks/bench_ablation_noise.py --benchmark-only -q && \
+	$(PYTHON) -m repro validate-report bench_reports/ablation_noise.run.json \
+		--schema docs/run_report.schema.json; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
 # Regenerate every paper figure via the CLI (text reports to stdout).
 figures:
 	$(PYTHON) -m repro run all
@@ -27,5 +37,5 @@ examples:
 	done
 
 clean:
-	rm -rf bench_reports .pytest_cache .benchmarks
+	rm -rf bench_reports .pytest_cache .benchmarks .repro_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,15 +6,62 @@ produced.  pytest captures stdout, so :func:`emit` both prints (visible with
 ``bench_reports/<name>.txt`` next to the repository root, where it is always
 inspectable after a run.  :func:`emit_csv` additionally saves the raw series
 as CSV for external plotting.
+
+Benches whose experiment decomposes into independent points execute them
+through :func:`runner_from_env` — an
+:class:`repro.harness.runner.ExperimentRunner` configured from environment
+variables (docs/HARNESS.md):
+
+* ``REPRO_WORKERS=N``  — run points on an N-process pool (default:
+  sequential, so results are reproducible without any setup);
+* ``REPRO_CACHE_DIR``  — cache directory (default: ``.repro_cache/`` at the
+  repository root);
+* ``REPRO_NO_CACHE=1`` — disable the result cache entirely.
+
+:func:`emit_run_report` then writes the runner's instrumentation as
+``bench_reports/<name>.run.json`` (schema: docs/run_report.schema.json).
 """
 
 from __future__ import annotations
 
 import csv
+import os
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from repro.harness.cache import ResultCache
+from repro.harness.runner import ExperimentRunner
+from repro.harness.telemetry import RunTelemetry
+
 REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
+
+#: Repository-local default so `make clean` / `git clean` semantics stay
+#: obvious; overridden by REPRO_CACHE_DIR (e.g. `make bench-smoke` uses a
+#: temp dir).
+DEFAULT_CACHE_DIR = REPORT_DIR.parent / ".repro_cache"
+
+
+def runner_from_env(name: str) -> ExperimentRunner:
+    """Build the bench's point runner from REPRO_* environment variables."""
+    workers_env = os.environ.get("REPRO_WORKERS", "").strip()
+    workers = int(workers_env) if workers_env else None
+    if workers is not None and workers < 2:
+        workers = None
+    if os.environ.get("REPRO_NO_CACHE"):
+        cache = None
+    else:
+        cache = ResultCache(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
+    return ExperimentRunner(
+        name=name, workers=workers, cache=cache, telemetry=RunTelemetry(name)
+    )
+
+
+def emit_run_report(name: str, runner: ExperimentRunner) -> Path:
+    """Write the runner's JSON run-report to ``bench_reports/<name>.run.json``."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = runner.telemetry.write(REPORT_DIR / f"{name}.run.json")
+    print(runner.telemetry.summary_line())
+    return path
 
 
 def emit(name: str, text: str) -> None:

@@ -9,7 +9,7 @@ the convergence iteration and final gap, plus a randomized-start variant
 
 import numpy as np
 
-from _common import emit
+from _common import emit, emit_run_report, runner_from_env
 from repro.fluid.allocation import MLTCPWeighted
 from repro.fluid.flowsim import run_fluid
 from repro.harness.report import render_table
@@ -44,12 +44,15 @@ def _run_one(count: int, randomized: bool):
     }
 
 
-def _sweep():
-    return [
-        _run_one(count, randomized)
-        for count in JOB_COUNTS
-        for randomized in (False, True)
-    ]
+def _sweep(runner):
+    return runner.run_points(
+        _run_one,
+        [
+            {"count": count, "randomized": randomized}
+            for count in JOB_COUNTS
+            for randomized in (False, True)
+        ],
+    )
 
 
 def _report(rows) -> str:
@@ -70,8 +73,10 @@ def _report(rows) -> str:
 
 
 def test_ablation_job_count(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    runner = runner_from_env("ablation_job_count")
+    rows = benchmark.pedantic(lambda: _sweep(runner), rounds=1, iterations=1)
     emit("ablation_job_count", _report(rows))
+    emit_run_report("ablation_job_count", runner)
 
     for row in rows:
         assert row["converged_at"] is not None, row

@@ -10,7 +10,7 @@ predicts graceful degradation, not a cliff.
 
 import numpy as np
 
-from _common import emit
+from _common import emit, emit_run_report, runner_from_env
 from repro.fluid.allocation import MLTCPWeighted
 from repro.fluid.flowsim import run_fluid
 from repro.harness.report import render_table
@@ -36,8 +36,8 @@ def _run_one(sigma: float):
     }
 
 
-def _sweep():
-    return [_run_one(s) for s in SIGMAS]
+def _sweep(runner):
+    return runner.run_points(_run_one, [{"sigma": s} for s in SIGMAS])
 
 
 def _report(rows) -> str:
@@ -57,8 +57,10 @@ def _report(rows) -> str:
 
 
 def test_ablation_noise(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    runner = runner_from_env("ablation_noise")
+    rows = benchmark.pedantic(lambda: _sweep(runner), rounds=1, iterations=1)
     emit("ablation_noise", _report(rows))
+    emit_run_report("ablation_noise", runner)
 
     for row in rows:
         assert row["converged_at"] is not None, row

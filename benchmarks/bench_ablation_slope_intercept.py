@@ -9,7 +9,7 @@ the theoretical error factor 2*(1 + I/S) for each setting.
 
 import numpy as np
 
-from _common import emit
+from _common import emit, emit_run_report, runner_from_env
 from repro.core.aggressiveness import LinearAggressiveness
 from repro.fluid.allocation import MLTCPWeighted
 from repro.fluid.flowsim import run_fluid
@@ -50,8 +50,10 @@ def _run_one(slope: float, intercept: float):
     }
 
 
-def _sweep():
-    return [_run_one(s, i) for s, i in SETTINGS]
+def _sweep(runner):
+    return runner.run_points(
+        _run_one, [{"slope": s, "intercept": i} for s, i in SETTINGS]
+    )
 
 
 def _report(rows) -> str:
@@ -82,8 +84,10 @@ def _report(rows) -> str:
 
 
 def test_ablation_slope_intercept(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    runner = runner_from_env("ablation_slope_intercept")
+    rows = benchmark.pedantic(lambda: _sweep(runner), rounds=1, iterations=1)
     emit("ablation_slope_intercept", _report(rows))
+    emit_run_report("ablation_slope_intercept", runner)
 
     by_key = {(r["slope"], r["intercept"]): r for r in rows}
     paper = by_key[(1.75, 0.25)]

@@ -8,7 +8,7 @@ minimal transport — against MLTCP-Reno on the same periodic four-job mix.
 
 import numpy as np
 
-from _common import emit
+from _common import emit, emit_run_report, runner_from_env
 from repro.harness.packetlab import mltcp_config_for, run_packet_jobs
 from repro.harness.report import render_table
 from repro.simulator.app import TrainingApp
@@ -58,9 +58,26 @@ def _run_mltcp(iterations=40):
     return jobs, {j.name: lab.iteration_times(j.name) for j in jobs}
 
 
-def _experiment():
-    jobs, pfabric = _run_pfabric()
-    _jobs2, mltcp = _run_mltcp()
+def _run_system(system: str):
+    """One runner point: the per-job iteration-time arrays of one transport.
+
+    Top-level (picklable) so the two packet simulations can run on separate
+    pool workers under ``REPRO_WORKERS`` and be cached independently.
+    """
+    if system == "pfabric":
+        _jobs_unused, times = _run_pfabric()
+    elif system == "mltcp":
+        _jobs_unused, times = _run_mltcp()
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    return times
+
+
+def _experiment(runner):
+    pfabric, mltcp = runner.run_points(
+        _run_system, [{"system": "pfabric"}, {"system": "mltcp"}]
+    )
+    jobs = _jobs()
     ideals = {
         j.name: j.ideal_comm_time * OVERHEAD + j.compute_time for j in jobs
     }
@@ -90,8 +107,12 @@ def _report(rows) -> str:
 
 
 def test_extension_pfabric_packet(benchmark):
-    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    runner = runner_from_env("extension_pfabric_packet")
+    rows = benchmark.pedantic(
+        lambda: _experiment(runner), rounds=1, iterations=1
+    )
     emit("extension_pfabric_packet", _report(rows))
+    emit_run_report("extension_pfabric_packet", runner)
 
     by_job = {r["job"]: r for r in rows}
     # pFabric penalizes the big job well beyond its ideal ...

@@ -14,7 +14,7 @@ make that concrete:
 
 import time
 
-from _common import emit
+from _common import emit, emit_run_report, runner_from_env
 from repro.fluid.network import PlacedJob, run_network_fluid
 from repro.harness.report import render_table
 from repro.metrics.convergence import detect_convergence
@@ -46,19 +46,21 @@ def _mltcp_cluster_convergence(n_uplinks: int) -> int | None:
     return report.converged_at
 
 
-def _experiment():
-    rows = []
-    for n_uplinks in UPLINK_COUNTS:
-        total = n_uplinks * JOBS_PER_UPLINK
-        rows.append(
-            {
-                "uplinks": n_uplinks,
-                "jobs": total,
-                "centralized_s": _centralized_cost(total),
-                "mltcp_converged_at": _mltcp_cluster_convergence(n_uplinks),
-            }
-        )
-    return rows
+def _cluster_point(n_uplinks: int):
+    """One runner point: centralized cost + MLTCP convergence at one size."""
+    total = n_uplinks * JOBS_PER_UPLINK
+    return {
+        "uplinks": n_uplinks,
+        "jobs": total,
+        "centralized_s": _centralized_cost(total),
+        "mltcp_converged_at": _mltcp_cluster_convergence(n_uplinks),
+    }
+
+
+def _experiment(runner):
+    return runner.run_points(
+        _cluster_point, [{"n_uplinks": n} for n in UPLINK_COUNTS]
+    )
 
 
 def _report(rows) -> str:
@@ -78,8 +80,12 @@ def _report(rows) -> str:
 
 
 def test_extension_scalability(benchmark):
-    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    runner = runner_from_env("extension_scalability")
+    rows = benchmark.pedantic(
+        lambda: _experiment(runner), rounds=1, iterations=1
+    )
     emit("extension_scalability", _report(rows))
+    emit_run_report("extension_scalability", runner)
 
     # Centralized: cost at 16 jobs clearly exceeds cost at 2 jobs.
     assert rows[-1]["centralized_s"] > 2.0 * rows[0]["centralized_s"]

@@ -8,7 +8,7 @@ Scaled units per DESIGN.md §2 (1 Gbps / MB-scale collectives, alpha = 1/2).
 
 import numpy as np
 
-from _common import emit
+from _common import emit, emit_run_report, runner_from_env
 from repro.harness.experiments import fig6_packet_two_jobs
 from repro.harness.report import render_table, sparkline
 
@@ -42,10 +42,16 @@ def _report(result) -> str:
 
 
 def test_fig6_packet_two_jobs(benchmark):
+    runner = runner_from_env("fig6_packet_level")
     result = benchmark.pedantic(
-        lambda: fig6_packet_two_jobs(iterations=40), rounds=1, iterations=1
+        lambda: runner.run_points(
+            fig6_packet_two_jobs, [{"iterations": 40, "seed": 2}]
+        )[0],
+        rounds=1,
+        iterations=1,
     )
     emit("fig6_packet_level", _report(result))
+    emit_run_report("fig6_packet_level", runner)
 
     assert result.converged_at is not None
     assert result.converged_at <= 35

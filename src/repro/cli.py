@@ -5,18 +5,29 @@ Usage::
     python -m repro list
     python -m repro run fig2
     python -m repro run fig4 --fast
-    python -m repro run all --fast
+    python -m repro run all --fast --workers 4
+    python -m repro run fig6 --no-cache --report fig6.run.json
+    python -m repro validate-report bench_reports/ablation_noise.run.json
 
 Each figure runner prints the same rows/series its benchmark emits.  The
 ``--fast`` flag shrinks iteration counts for a quick smoke run (shapes
 still hold, numbers are noisier).
+
+Figures execute through the experiment runner
+(:mod:`repro.harness.runner`): ``--workers N`` renders independent figures
+on a process pool, results are cached under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``) so an unchanged figure re-prints instantly, and
+``--no-cache`` forces recomputation.  ``--report PATH`` writes the JSON
+run-report; ``validate-report`` checks such a report against the schema in
+``docs/run_report.schema.json`` (see docs/HARNESS.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -31,7 +42,10 @@ from .harness.experiments import (
     fig6_packet_two_jobs,
     noise_error_bound,
 )
+from .harness.cache import ResultCache
 from .harness.report import render_table, sparkline
+from .harness.runner import ExperimentRunner
+from .harness.telemetry import RUN_REPORT_SCHEMA, RunTelemetry, validate_run_report
 
 __all__ = ["main", "FIGURES"]
 
@@ -171,6 +185,66 @@ FIGURES: dict[str, tuple[str, Callable[[bool], str]]] = {
 }
 
 
+def _render_figure(figure: str, fast: bool) -> str:
+    """Render one figure to its report text (a runner point; top-level so
+    ``--workers`` can execute figures on pool workers)."""
+    _description, fn = FIGURES[figure]
+    return fn(fast)
+
+
+def _run_command(args) -> int:
+    """Execute ``repro run`` through the cached/parallel experiment runner."""
+    targets = list(FIGURES) if args.figure == "all" else [args.figure]
+    runner = ExperimentRunner(
+        name="cli.run",
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        telemetry=RunTelemetry("cli.run"),
+    )
+    outputs = runner.run_points(
+        _render_figure, [{"figure": name, "fast": args.fast} for name in targets]
+    )
+    for text in outputs:
+        print(text)
+        print()
+    if args.report:
+        path = runner.telemetry.write(args.report)
+        print(f"run-report written to {path}")
+    print(runner.telemetry.summary_line())
+    return 0
+
+
+def _validate_report_command(report_path: str, schema_path: Optional[str]) -> int:
+    """Validate a JSON run-report; exit 0 when it conforms, 1 otherwise."""
+    import json
+
+    try:
+        report = json.loads(Path(report_path).read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read report {report_path}: {error}")
+        return 1
+    schema = RUN_REPORT_SCHEMA
+    if schema_path is not None:
+        try:
+            schema = json.loads(Path(schema_path).read_text())
+        except (OSError, ValueError) as error:
+            print(f"cannot read schema {schema_path}: {error}")
+            return 1
+    errors = validate_run_report(report, schema)
+    if errors:
+        print(f"{report_path}: {len(errors)} schema violation(s)")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    totals = report.get("totals", {})
+    print(
+        f"{report_path}: valid run-report "
+        f"({totals.get('points', '?')} points, "
+        f"{totals.get('cache_hits', '?')} cache hits)"
+    )
+    return 0
+
+
 def _compat_command(scenario_path: str, capacity_gbps: float) -> int:
     """Check a saved scenario (JSON) against the §4 compatibility precondition."""
     from .schedulers.compatibility import best_compatibility
@@ -202,6 +276,16 @@ def _compat_command(scenario_path: str, capacity_gbps: float) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: a clean error instead of a traceback."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -215,6 +299,27 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument(
         "--fast", action="store_true", help="smaller iteration counts"
     )
+    run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="render independent figures on an N-process pool "
+        "(default: sequential)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even when a cached result exists "
+        "(cache dir: $REPRO_CACHE_DIR, default ~/.cache/repro)",
+    )
+    run.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON run-report (wall time, event counts, "
+        "cache hits) to PATH",
+    )
     compat = subparsers.add_parser(
         "compat",
         help="check a saved scenario (JSON) for the §4 compatibility "
@@ -224,6 +329,17 @@ def main(argv: list[str] | None = None) -> int:
                         "repro.workloads.save_scenario")
     compat.add_argument("--capacity", type=float, default=50.0,
                         help="bottleneck capacity in Gbps (default 50)")
+    validate = subparsers.add_parser(
+        "validate-report",
+        help="check a JSON run-report against the run-report schema",
+    )
+    validate.add_argument("report", help="path to a .run.json run-report")
+    validate.add_argument(
+        "--schema",
+        default=None,
+        help="path to a JSON schema file (default: the built-in schema, "
+        "mirrored at docs/run_report.schema.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
@@ -234,12 +350,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "compat":
         return _compat_command(args.scenario, args.capacity)
 
-    targets = list(FIGURES) if args.figure == "all" else [args.figure]
-    for name in targets:
-        _description, fn = FIGURES[name]
-        print(fn(args.fast))
-        print()
-    return 0
+    if args.command == "validate-report":
+        return _validate_report_command(args.report, args.schema)
+
+    return _run_command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,4 +1,20 @@
-"""Experiment harness: per-figure runners, packet-level lab, text reports."""
+"""Experiment harness: figure runners, packet lab, execution layer, reports.
+
+The pipeline, end to end:
+
+1. :mod:`~repro.harness.experiments` — one callable per paper figure/claim.
+2. :mod:`~repro.harness.packetlab` — assembles packet-level runs (jobs on a
+   dumbbell with per-job congestion control) for the figures that need them.
+3. :mod:`~repro.harness.sweep` — crosses an experiment with seeds and a
+   parameter grid (:func:`repeat_with_seeds` / :func:`sweep`).
+4. :mod:`~repro.harness.runner` — executes the resulting points: optional
+   process-pool parallelism (``workers=N``), content-addressed result
+   caching (:mod:`~repro.harness.cache`) and per-point instrumentation
+   (:mod:`~repro.harness.telemetry`, emitted as a JSON run-report).
+5. :mod:`~repro.harness.report` — renders rows/series as terminal text.
+
+docs/HARNESS.md is the operator-facing guide to steps 3–4.
+"""
 
 from .experiments import (
     Fig2Result,
@@ -19,7 +35,15 @@ from .packetlab import (
     run_packet_jobs,
     throughput_timeline,
 )
+from .cache import ResultCache, default_cache_dir, point_key
+from .runner import ExperimentRunner
 from .sweep import SeedSummary, repeat_with_seeds, sweep
+from .telemetry import (
+    PointRecord,
+    RUN_REPORT_SCHEMA,
+    RunTelemetry,
+    validate_run_report,
+)
 from .report import format_seconds, render_series, render_table, sparkline
 
 __all__ = [
@@ -45,4 +69,12 @@ __all__ = [
     "SeedSummary",
     "repeat_with_seeds",
     "sweep",
+    "ExperimentRunner",
+    "ResultCache",
+    "point_key",
+    "default_cache_dir",
+    "RunTelemetry",
+    "PointRecord",
+    "RUN_REPORT_SCHEMA",
+    "validate_run_report",
 ]

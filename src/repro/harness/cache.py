@@ -1,0 +1,203 @@
+"""Content-addressed result cache for experiment points.
+
+Role in the pipeline: the experiment runner (:mod:`repro.harness.runner`)
+asks this module for a stable key per (experiment name, parameters, seed,
+package version) and stores each point's result under it, so re-running the
+benchmark suite or a parameter sweep only recomputes points whose inputs
+actually changed.  The packet-level simulator is 100-1000x slower than the
+fluid model (docs/SIMULATORS.md), so skipping unchanged packet points is
+where most wall-clock is saved.
+
+Entries are written as ``<digest[:2]>/<digest>.pkl`` under the cache
+directory: a small magic header, a SHA-256 checksum of the payload, then the
+pickled result.  A corrupted or truncated entry fails the checksum (or the
+unpickle) and is silently discarded and recomputed — never fatal.  Cache-key
+semantics and invalidation are documented in docs/HARNESS.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Mapping, Optional, Tuple
+
+__all__ = ["ResultCache", "point_key", "default_cache_dir"]
+
+#: Bump to invalidate every previously written entry (format change).
+CACHE_FORMAT_VERSION = 1
+
+#: File header guarding against reading arbitrary files as cache entries.
+_MAGIC = b"repro-cache-v1\n"
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve where cache entries live when no directory is given.
+
+    Precedence: ``$REPRO_CACHE_DIR``, then ``$XDG_CACHE_HOME/repro``, then
+    ``~/.cache/repro``.  The benchmark suite overrides this with a
+    repository-local directory (see ``benchmarks/_common.py``).
+    """
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical(value: object) -> object:
+    """Reduce a parameter value to a JSON-stable form for hashing.
+
+    Mappings are key-sorted, sequences become lists, numpy scalars collapse
+    to their Python equivalents, and anything else falls back to ``repr``
+    (stable for the dataclasses used as experiment parameters).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    # numpy scalars expose item(); arrays expose tolist().
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return _canonical(value.item())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _canonical(value.tolist())
+    return repr(value)
+
+
+def point_key(
+    experiment: str,
+    params: Mapping[str, object],
+    seed: Optional[int] = None,
+    version: Optional[str] = None,
+) -> str:
+    """Stable SHA-256 key of one experiment point.
+
+    The key covers the experiment name, the (order-insensitive) parameter
+    mapping, the seed, and the ``repro`` package version — so a version bump
+    invalidates every cached result, and two sweeps sharing a cache directory
+    never collide unless they are genuinely the same computation.
+    """
+    if version is None:
+        from .. import __version__ as version  # deferred: avoids import cycle
+    payload = json.dumps(
+        {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "experiment": experiment,
+            "params": _canonical(params),
+            "seed": _canonical(seed),
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of pickled experiment results, keyed by hash.
+
+    Role in the pipeline: handed to :class:`repro.harness.runner.\
+ExperimentRunner` (or to :func:`repro.harness.sweep.sweep` via its ``cache``
+    argument) to make repeated sweeps incremental.  All operations are
+    best-effort: a missing directory, unreadable entry, or unpicklable value
+    degrades to a cache miss / no-op rather than an error.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike | str] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, object]:
+        """Look up ``key``; returns ``(hit, value)``.
+
+        A corrupted entry (bad magic, checksum mismatch, unpicklable body) is
+        deleted and reported as a miss, so a damaged cache heals itself on
+        the next run instead of poisoning results or crashing the sweep.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return False, None
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic header")
+            digest_end = len(_MAGIC) + 32
+            checksum, payload = blob[len(_MAGIC):digest_end], blob[digest_end:]
+            if hashlib.sha256(payload).digest() != checksum:
+                raise ValueError("checksum mismatch")
+            return True, pickle.loads(payload)
+        except Exception:
+            # Corrupt entry: discard (best-effort) and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def put(self, key: str, value: object) -> bool:
+        """Store ``value`` under ``key``; returns whether it was written.
+
+        Unpicklable values (e.g. results holding open simulators) are
+        skipped silently — the sweep still returns them, they just will not
+        be cache hits next time.  Writes are atomic (temp file + rename) so
+        a crashed run never leaves a truncated entry behind.
+        """
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            return False
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(_MAGIC)
+                    handle.write(hashlib.sha256(payload).digest())
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed (invalidation)."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for entry in self.directory.glob("??/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently stored (for tests and reports)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultCache {self.directory} ({len(self)} entries)>"

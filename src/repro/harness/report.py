@@ -1,8 +1,10 @@
 """Plain-text rendering of experiment results (tables and series).
 
-Benchmarks and examples print through these helpers so every figure's
-regenerated rows/series look uniform in terminal output and in
-bench_output.txt.
+Final stage of the harness pipeline: benchmarks and examples print through
+these helpers so every figure's regenerated rows/series look uniform in
+terminal output and in the ``bench_reports/<name>.txt`` files the benchmark
+suite writes (the machine-readable counterpart is the JSON run-report from
+:mod:`repro.harness.telemetry`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,228 @@
+"""Parallel, cached, instrumented execution of experiment points.
+
+Role in the pipeline: everything between "here is a list of experiment
+points" and "here are their results" funnels through
+:class:`ExperimentRunner.run_points`.  The seed/grid helpers in
+:mod:`repro.harness.sweep` build their point lists and delegate here; the
+benchmark suite (``benchmarks/_common.runner_from_env``) and the CLI
+(``python -m repro run --workers N``) construct runners directly.
+
+Three orthogonal features, all opt-in:
+
+* **Parallelism** — ``workers=N`` fans cache-miss points out to a
+  ``ProcessPoolExecutor``.  Each point is an independent seeded computation,
+  so parallel results are bit-identical to sequential ones; the default
+  stays sequential for determinism-sensitive callers and tiny sweeps.
+  An experiment callable that cannot be pickled (a lambda, a closure) falls
+  back to sequential execution gracefully, with a note in the telemetry.
+* **Caching** — a :class:`repro.harness.cache.ResultCache` keyed by
+  experiment name + parameters + seed + package version turns re-runs of
+  unchanged points into lookups.
+* **Instrumentation** — a :class:`repro.harness.telemetry.RunTelemetry`
+  records per-point wall time, simulator event counts and cache hit/miss,
+  emitted as a structured JSON run-report.
+
+See docs/HARNESS.md for the operator-facing guide.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..simulator.engine import total_events_processed
+from .cache import ResultCache, point_key
+from .telemetry import RunTelemetry
+
+__all__ = ["ExperimentRunner"]
+
+
+def _measured_call(experiment: Callable, kwargs: dict) -> tuple:
+    """Run one point and measure it (top-level so worker processes can
+    unpickle it).  Returns ``(value, wall_time_s, events_processed)``; the
+    event delta is taken in the executing process, so pool workers report
+    their own simulator work back to the parent."""
+    start = time.perf_counter()
+    events_before = total_events_processed()
+    value = experiment(**kwargs)
+    return (
+        value,
+        time.perf_counter() - start,
+        total_events_processed() - events_before,
+    )
+
+
+def _is_picklable(obj: object) -> bool:
+    """Whether ``obj`` survives a round-trip to a pool worker."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+class ExperimentRunner:
+    """Executes experiment points with optional workers, cache, telemetry.
+
+    Parameters
+    ----------
+    name:
+        Logical experiment name; becomes part of every cache key and the
+        ``experiment`` field of the run-report.
+    workers:
+        Process-pool size for cache-miss points.  ``None`` or ``1`` keeps
+        execution sequential and in-process (the deterministic default).
+    cache:
+        A :class:`~repro.harness.cache.ResultCache`, or ``None`` to always
+        recompute.
+    telemetry:
+        A :class:`~repro.harness.telemetry.RunTelemetry` to append to; one
+        is created internally when not given (always available as
+        ``runner.telemetry``).
+    """
+
+    def __init__(
+        self,
+        name: str = "experiment",
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[RunTelemetry] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be a positive integer, got {workers!r}")
+        self.name = name
+        self.workers = workers
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry(name)
+        self.telemetry.workers = workers
+
+    def run_points(
+        self,
+        experiment: Callable[..., object],
+        points: Sequence[Mapping[str, object]],
+    ) -> list:
+        """Run ``experiment(**point)`` for every point, in point order.
+
+        Results are returned positionally (``results[i]`` belongs to
+        ``points[i]``) regardless of which worker finished first, so callers
+        can rely on the same ordering as a plain sequential loop.  Worker
+        exceptions propagate unless they stem from the pool machinery
+        itself, in which case the remaining points are re-run sequentially.
+        """
+        points = [dict(point) for point in points]
+        results: list = [None] * len(points)
+        done = [False] * len(points)
+        # Per-point stats buffered and recorded in point order at the end,
+        # so the run-report is deterministic even under a pool.
+        stats: list[Optional[tuple]] = [None] * len(points)
+        keys: list[Optional[str]] = [None] * len(points)
+        pending: list[int] = []
+
+        for i, params in enumerate(points):
+            if self.cache is not None:
+                lookup_start = time.perf_counter()
+                bare = {k: v for k, v in params.items() if k != "seed"}
+                key = point_key(self.name, bare, seed=params.get("seed"))
+                keys[i] = key
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[i] = value
+                    done[i] = True
+                    stats[i] = (time.perf_counter() - lookup_start, 0, True, "cached")
+                    continue
+            pending.append(i)
+
+        if pending:
+            self._execute(experiment, points, pending, results, done, stats, keys)
+
+        for i, params in enumerate(points):
+            wall, events, cache_hit, mode = stats[i]
+            self.telemetry.record_point(
+                params, wall, events, cache_hit=cache_hit, mode=mode
+            )
+        return results
+
+    # -- internals --------------------------------------------------------
+
+    def _execute(
+        self,
+        experiment: Callable,
+        points: list[dict],
+        pending: list[int],
+        results: list,
+        done: list[bool],
+        stats: list,
+        keys: list,
+    ) -> None:
+        """Compute the cache-miss points, in a pool when possible."""
+        want_pool = self.workers is not None and self.workers > 1 and len(pending) > 1
+        if want_pool and not _is_picklable(experiment):
+            self.telemetry.note(
+                f"experiment {getattr(experiment, '__name__', experiment)!r} is "
+                "not picklable; fell back to sequential execution"
+            )
+            want_pool = False
+
+        if want_pool:
+            try:
+                self._run_pool(experiment, points, pending, results, done, stats, keys)
+                return
+            except (BrokenProcessPool, pickle.PicklingError, ImportError, AttributeError, TypeError) as error:
+                # Pool infrastructure failed (worker died, callable or result
+                # not transferable on this platform).  Re-running the missing
+                # points sequentially either completes them or re-raises the
+                # experiment's own error with a clean traceback.
+                self.telemetry.note(
+                    f"process pool failed ({type(error).__name__}: {error}); "
+                    "re-ran remaining points sequentially"
+                )
+
+        for i in pending:
+            if done[i]:
+                continue
+            value, wall, events = _measured_call(experiment, points[i])
+            self._finish(i, value, wall, events, "sequential", results, done, stats, keys)
+
+    def _run_pool(
+        self,
+        experiment: Callable,
+        points: list[dict],
+        pending: list[int],
+        results: list,
+        done: list[bool],
+        stats: list,
+        keys: list,
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            try:
+                futures = {
+                    pool.submit(_measured_call, experiment, points[i]): i
+                    for i in pending
+                }
+                for future, i in futures.items():
+                    value, wall, events = future.result()
+                    self._finish(i, value, wall, events, "worker", results, done, stats, keys)
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    def _finish(
+        self,
+        i: int,
+        value: object,
+        wall: float,
+        events: int,
+        mode: str,
+        results: list,
+        done: list[bool],
+        stats: list,
+        keys: list,
+    ) -> None:
+        results[i] = value
+        done[i] = True
+        stats[i] = (wall, events, False, mode)
+        if self.cache is not None and keys[i] is not None:
+            self.cache.put(keys[i], value)

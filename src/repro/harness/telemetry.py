@@ -1,0 +1,310 @@
+"""Per-point instrumentation and structured JSON run-reports.
+
+Role in the pipeline: a :class:`RunTelemetry` rides along with the
+experiment runner (:mod:`repro.harness.runner`) and records, for every
+executed point, the wall time, the number of discrete-event callbacks the
+simulators processed (via :func:`repro.simulator.engine.\
+total_events_processed`), whether the point was a cache hit, and how it ran
+(cached / sequential / pool worker).  :meth:`RunTelemetry.as_report` turns
+that into the JSON run-report the benchmarks write next to their text
+output in ``bench_reports/`` (``<name>.run.json``); the report format is
+frozen by :data:`RUN_REPORT_SCHEMA` (checked into
+``docs/run_report.schema.json``) and checked by :func:`validate_run_report`.
+How to read a report is documented in docs/HARNESS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+__all__ = [
+    "PointRecord",
+    "RunTelemetry",
+    "RUN_REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "validate_run_report",
+]
+
+#: Version stamped into every run-report; bump on breaking format changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """Instrumentation of one executed experiment point.
+
+    ``mode`` says where the value came from: ``"cached"`` (served from the
+    result cache), ``"sequential"`` (computed in-process) or ``"worker"``
+    (computed in a process-pool worker).  ``events_processed`` counts the
+    simulator callbacks the point triggered (0 for cache hits).
+    """
+
+    params: dict
+    seed: Optional[int]
+    wall_time_s: float
+    events_processed: int
+    cache_hit: bool
+    mode: str
+
+    def as_dict(self) -> dict:
+        """JSON-ready form of this record (one entry of ``report["points"]``)."""
+        return {
+            "params": self.params,
+            "seed": self.seed,
+            "wall_time_s": self.wall_time_s,
+            "events_processed": self.events_processed,
+            "cache_hit": self.cache_hit,
+            "mode": self.mode,
+        }
+
+
+@dataclass
+class RunTelemetry:
+    """Accumulates per-point records and emits the JSON run-report.
+
+    Create one per logical experiment (one benchmark file, one CLI
+    invocation), pass it to the runner, then call :meth:`as_report` /
+    :meth:`write` once the sweep finishes.
+    """
+
+    experiment: str
+    workers: Optional[int] = None
+    records: list[PointRecord] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    _started: float = field(default_factory=time.perf_counter)
+
+    def record_point(
+        self,
+        params: Mapping[str, object],
+        wall_time_s: float,
+        events_processed: int,
+        cache_hit: bool,
+        mode: str,
+    ) -> None:
+        """Append one point's instrumentation (called by the runner)."""
+        params = dict(params)
+        seed = params.pop("seed", None)
+        self.records.append(
+            PointRecord(
+                params=params,
+                seed=seed if isinstance(seed, int) else None,
+                wall_time_s=float(wall_time_s),
+                events_processed=int(events_processed),
+                cache_hit=bool(cache_hit),
+                mode=mode,
+            )
+        )
+
+    def note(self, message: str) -> None:
+        """Record a free-form observation (e.g. a fallback to sequential)."""
+        self.notes.append(message)
+
+    @property
+    def cache_hits(self) -> int:
+        """Points served from the result cache."""
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Points that had to be computed."""
+        return sum(1 for r in self.records if not r.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of points served from cache (0.0 with no points)."""
+        if not self.records:
+            return 0.0
+        return self.cache_hits / len(self.records)
+
+    @property
+    def events_processed(self) -> int:
+        """Simulator callbacks executed across all computed points."""
+        return sum(r.events_processed for r in self.records)
+
+    def as_report(self) -> dict:
+        """The structured run-report (validated by ``RUN_REPORT_SCHEMA``)."""
+        from .. import __version__  # deferred: avoids import cycle
+
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "repro_version": __version__,
+            "workers": self.workers,
+            "totals": {
+                "points": len(self.records),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": self.cache_hit_rate,
+                "wall_time_s": time.perf_counter() - self._started,
+                "point_wall_time_s": sum(r.wall_time_s for r in self.records),
+                "events_processed": self.events_processed,
+            },
+            "points": [r.as_dict() for r in self.records],
+            "notes": list(self.notes),
+        }
+
+    def write(self, path: Path | str) -> Path:
+        """Write :meth:`as_report` as JSON to ``path`` and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_report(), indent=2, default=_json_default) + "\n")
+        return path
+
+    def summary_line(self) -> str:
+        """One-line human summary for terminal output."""
+        totals = self.as_report()["totals"]
+        return (
+            f"[runner] {self.experiment}: {totals['points']} points, "
+            f"{totals['cache_hits']} cache hits, "
+            f"{totals['events_processed']} sim events, "
+            f"{totals['wall_time_s']:.2f} s"
+            + (f", workers={self.workers}" if self.workers else "")
+        )
+
+
+def _json_default(value: object) -> object:
+    """Last-resort JSON encoding for parameter values (numpy scalars, ...)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return value.item()
+        except Exception:
+            pass
+    return repr(value)
+
+
+#: The run-report contract (a draft-07 JSON-Schema subset).  The canonical
+#: on-disk copy lives at docs/run_report.schema.json; a unit test keeps the
+#: two in sync so external tooling can rely on the checked-in file.
+RUN_REPORT_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro experiment run-report",
+    "type": "object",
+    "required": [
+        "schema_version",
+        "experiment",
+        "repro_version",
+        "workers",
+        "totals",
+        "points",
+        "notes",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [1]},
+        "experiment": {"type": "string"},
+        "repro_version": {"type": "string"},
+        "workers": {"type": ["integer", "null"], "minimum": 1},
+        "totals": {
+            "type": "object",
+            "required": [
+                "points",
+                "cache_hits",
+                "cache_misses",
+                "cache_hit_rate",
+                "wall_time_s",
+                "point_wall_time_s",
+                "events_processed",
+            ],
+            "properties": {
+                "points": {"type": "integer", "minimum": 0},
+                "cache_hits": {"type": "integer", "minimum": 0},
+                "cache_misses": {"type": "integer", "minimum": 0},
+                "cache_hit_rate": {"type": "number", "minimum": 0},
+                "wall_time_s": {"type": "number", "minimum": 0},
+                "point_wall_time_s": {"type": "number", "minimum": 0},
+                "events_processed": {"type": "integer", "minimum": 0},
+            },
+        },
+        "points": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "params",
+                    "seed",
+                    "wall_time_s",
+                    "events_processed",
+                    "cache_hit",
+                    "mode",
+                ],
+                "properties": {
+                    "params": {"type": "object"},
+                    "seed": {"type": ["integer", "null"]},
+                    "wall_time_s": {"type": "number", "minimum": 0},
+                    "events_processed": {"type": "integer", "minimum": 0},
+                    "cache_hit": {"type": "boolean"},
+                    "mode": {"enum": ["cached", "sequential", "worker"]},
+                },
+            },
+        },
+        "notes": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+
+def validate_run_report(report: object, schema: Optional[dict] = None) -> list[str]:
+    """Check a run-report against the schema; returns human-readable errors.
+
+    Implements the JSON-Schema subset the run-report contract actually uses
+    (``type`` — scalar or union list —, ``required``, ``properties``,
+    ``items``, ``enum``, ``minimum``) so validation needs no third-party
+    dependency.  An empty list means the report conforms.  Used by
+    ``python -m repro validate-report`` and ``make bench-smoke``.
+    """
+    if schema is None:
+        schema = RUN_REPORT_SCHEMA
+    errors: list[str] = []
+    _validate_node(report, schema, "$", errors)
+    return errors
+
+
+def _validate_node(value: object, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_matches_type(value, t) for t in types):
+            errors.append(
+                f"{path}: expected type {'/'.join(types)}, got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} is not one of {schema['enum']!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub_schema in schema.get("properties", {}).items():
+            if key in value:
+                _validate_node(value[key], sub_schema, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate_node(item, schema["items"], f"{path}[{i}]", errors)
+    if (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and "minimum" in schema
+        and value < schema["minimum"]
+    ):
+        errors.append(f"{path}: {value!r} is below the minimum {schema['minimum']!r}")
+
+
+def _matches_type(value: object, type_name: str) -> bool:
+    if type_name == "object":
+        return isinstance(value, dict)
+    if type_name == "array":
+        return isinstance(value, list)
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    if type_name == "null":
+        return value is None
+    return False

@@ -13,7 +13,25 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["Simulator", "EventHandle"]
+__all__ = ["Simulator", "EventHandle", "total_events_processed"]
+
+#: Cumulative callbacks executed by every :class:`Simulator` in this process.
+#: The harness telemetry layer (:mod:`repro.harness.telemetry`) snapshots it
+#: around each experiment point to attribute simulation work per point, even
+#: when the point builds several Simulator instances internally.
+_TOTAL_EVENTS_PROCESSED = 0
+
+
+def total_events_processed() -> int:
+    """Process-wide count of simulator callbacks executed so far.
+
+    Unlike :attr:`Simulator.events_processed` (one instance's counter), this
+    aggregates across all instances created in the current process, which is
+    what per-experiment-point instrumentation needs: one sweep point may run
+    many simulations.  In a worker process forked by the experiment runner,
+    the *delta* across a point is measured in that worker and shipped back.
+    """
+    return _TOTAL_EVENTS_PROCESSED
 
 
 @dataclass(order=True)
@@ -85,25 +103,29 @@ class Simulator:
         Stops when the queue empties, the clock passes ``until``, or
         ``max_events`` callbacks have run (a runaway guard for tests).
         """
+        global _TOTAL_EVENTS_PROCESSED
         processed = 0
-        while self._queue:
-            if max_events is not None and processed >= max_events:
-                break
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                # Put it back so a later run() can resume, and stop the clock
-                # exactly at the horizon.
-                heapq.heappush(self._queue, event)
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back so a later run() can resume, and stop the
+                    # clock exactly at the horizon.
+                    heapq.heappush(self._queue, event)
+                    self.now = until
+                    return
+                self.now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+            if until is not None and self.now < until:
                 self.now = until
-                return
-            self.now = event.time
-            event.callback()
-            processed += 1
-            self._events_processed += 1
-        if until is not None and self.now < until:
-            self.now = until
+        finally:
+            _TOTAL_EVENTS_PROCESSED += processed
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None when the queue is empty."""

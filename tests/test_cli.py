@@ -5,6 +5,12 @@ import pytest
 from repro.cli import FIGURES, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the user's ~/.cache/repro during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli_cache"))
+
+
 class TestList:
     def test_list_prints_all_figures(self, capsys):
         assert main(["list"]) == 0
@@ -76,3 +82,92 @@ class TestCompat:
         save_scenario(path, two_job_scenario())
         assert main(["compat", str(path), "--capacity", "100"]) == 0
         assert "100 Gbps" in capsys.readouterr().out
+
+
+class TestRunnerFlags:
+    def test_run_with_report_and_cache(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.harness.telemetry import validate_run_report
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = tmp_path / "fig5.run.json"
+        assert main(["run", "fig5", "--fast", "--report", str(report)]) == 0
+        parsed = json.loads(report.read_text())
+        assert validate_run_report(parsed) == []
+        assert parsed["totals"]["cache_misses"] == 1
+
+        # Second invocation of the unchanged figure is served from cache.
+        report2 = tmp_path / "fig5b.run.json"
+        assert main(["run", "fig5", "--fast", "--report", str(report2)]) == 0
+        parsed2 = json.loads(report2.read_text())
+        assert parsed2["totals"]["cache_hit_rate"] >= 0.9
+        assert "minimum at delta" in capsys.readouterr().out
+
+    def test_no_cache_forces_recompute(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        for _ in range(2):
+            report = tmp_path / "r.run.json"
+            assert main(
+                ["run", "fig1", "--fast", "--no-cache", "--report", str(report)]
+            ) == 0
+            assert json.loads(report.read_text())["totals"]["cache_hits"] == 0
+        capsys.readouterr()
+
+    def test_workers_flag_accepted(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = tmp_path / "w.run.json"
+        assert main(
+            ["run", "fig1", "--fast", "--workers", "2", "--report", str(report)]
+        ) == 0
+        assert json.loads(report.read_text())["workers"] == 2
+        assert "J1" in capsys.readouterr().out
+
+
+class TestValidateReport:
+    def _write_report(self, tmp_path, mutate=None):
+        import json
+
+        from repro.cli import _render_figure  # noqa: F401  (import sanity)
+        from repro.harness.runner import ExperimentRunner
+        from repro.harness.telemetry import RunTelemetry
+
+        telemetry = RunTelemetry("vr")
+        ExperimentRunner(name="vr", telemetry=telemetry).run_points(
+            lambda seed: float(seed), [{"seed": 1}]
+        )
+        report = telemetry.as_report()
+        if mutate:
+            mutate(report)
+        path = tmp_path / "vr.run.json"
+        path.write_text(json.dumps(report, default=repr))
+        return path
+
+    def test_valid_report_passes(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        assert main(["validate-report", str(path)]) == 0
+        assert "valid run-report" in capsys.readouterr().out
+
+    def test_valid_report_against_checked_in_schema(self, tmp_path, capsys):
+        from pathlib import Path
+
+        schema = Path(__file__).resolve().parent.parent / "docs" / "run_report.schema.json"
+        path = self._write_report(tmp_path)
+        assert main(["validate-report", str(path), "--schema", str(schema)]) == 0
+        capsys.readouterr()
+
+    def test_invalid_report_fails(self, tmp_path, capsys):
+        def strip_totals(report):
+            del report["totals"]
+
+        path = self._write_report(tmp_path, mutate=strip_totals)
+        assert main(["validate-report", str(path)]) == 1
+        assert "totals" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["validate-report", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().out

@@ -126,3 +126,33 @@ class TestIntrospection:
         handle = sim.schedule(0.2, lambda: None)
         handle.cancel()
         assert sim.pending_events() == 1
+
+
+class TestProcessWideCounter:
+    def test_total_events_accumulates_across_runs(self):
+        from repro.simulator.engine import total_events_processed
+
+        before = total_events_processed()
+        sim = Simulator()
+        for t in range(4):
+            sim.schedule(0.1 * (t + 1), lambda: None)
+        sim.run()
+        assert total_events_processed() == before + 4
+
+        other = Simulator()
+        other.schedule(0.1, lambda: None)
+        other.run()
+        assert total_events_processed() == before + 5
+
+    def test_counter_includes_early_stopped_runs(self):
+        from repro.simulator.engine import total_events_processed
+
+        before = total_events_processed()
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.001, forever)
+        sim.run(max_events=10)
+        assert total_events_processed() == before + 10
