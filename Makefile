@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke figures examples clean
+.PHONY: install test test-fast bench bench-smoke bench-faults-smoke figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,17 @@ bench-smoke:
 	REPRO_CACHE_DIR=$$tmp REPRO_WORKERS=2 \
 		$(PYTHON) -m pytest benchmarks/bench_ablation_noise.py --benchmark-only -q && \
 	$(PYTHON) -m repro validate-report bench_reports/ablation_noise.run.json \
+		--schema docs/run_report.schema.json; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
+# The fault-recovery bench with a deliberately crashing point injected:
+# the sweep must survive the crash (isolate_failures), record it in the
+# run-report's degradations section, and the report must still validate.
+bench-faults-smoke:
+	@tmp=$$(mktemp -d) && \
+	REPRO_CACHE_DIR=$$tmp REPRO_WORKERS=2 REPRO_FAULTS_INJECT_CRASH=1 \
+		$(PYTHON) -m pytest benchmarks/bench_fault_recovery.py --benchmark-only -q && \
+	$(PYTHON) -m repro validate-report bench_reports/fault_recovery.run.json \
 		--schema docs/run_report.schema.json; \
 	status=$$?; rm -rf $$tmp; exit $$status
 

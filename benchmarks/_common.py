@@ -41,8 +41,14 @@ REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
 DEFAULT_CACHE_DIR = REPORT_DIR.parent / ".repro_cache"
 
 
-def runner_from_env(name: str) -> ExperimentRunner:
-    """Build the bench's point runner from REPRO_* environment variables."""
+def runner_from_env(name: str, **kwargs) -> ExperimentRunner:
+    """Build the bench's point runner from REPRO_* environment variables.
+
+    Extra keyword arguments pass straight to
+    :class:`~repro.harness.runner.ExperimentRunner` — e.g.
+    ``isolate_failures=True, retries=1`` for benches that exercise the
+    resilience features (docs/FAULTS.md).
+    """
     workers_env = os.environ.get("REPRO_WORKERS", "").strip()
     workers = int(workers_env) if workers_env else None
     if workers is not None and workers < 2:
@@ -52,7 +58,8 @@ def runner_from_env(name: str) -> ExperimentRunner:
     else:
         cache = ResultCache(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
     return ExperimentRunner(
-        name=name, workers=workers, cache=cache, telemetry=RunTelemetry(name)
+        name=name, workers=workers, cache=cache, telemetry=RunTelemetry(name),
+        **kwargs,
     )
 
 

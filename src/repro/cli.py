@@ -8,6 +8,9 @@ Usage::
     python -m repro run all --fast --workers 4
     python -m repro run fig6 --no-cache --report fig6.run.json
     python -m repro validate-report bench_reports/ablation_noise.run.json
+    python -m repro faults --fast --workers 4
+    python -m repro faults --resume --report faults.run.json
+    python -m repro faults --schedule my_faults.json --substrate packet
 
 Each figure runner prints the same rows/series its benchmark emits.  The
 ``--fast`` flag shrinks iteration counts for a quick smoke run (shapes
@@ -20,6 +23,11 @@ on a process pool, results are cached under ``$REPRO_CACHE_DIR`` (default
 ``--no-cache`` forces recomputation.  ``--report PATH`` writes the JSON
 run-report; ``validate-report`` checks such a report against the schema in
 ``docs/run_report.schema.json`` (see docs/HARNESS.md).
+
+``faults`` sweeps the fault-recovery matrix (every fault class x policy x
+substrate, see docs/FAULTS.md) with the runner's resilience features on:
+per-point timeouts, retries, crash isolation, and a checkpoint file so
+``--resume`` re-runs only the points that failed or never ran.
 """
 
 from __future__ import annotations
@@ -214,6 +222,111 @@ def _run_command(args) -> int:
     return 0
 
 
+#: Default journal for ``repro faults`` sweeps (``--checkpoint`` overrides).
+DEFAULT_FAULTS_CHECKPOINT = "faults.checkpoint.jsonl"
+
+
+def _faults_command(args) -> int:
+    """Execute ``repro faults``: the recovery matrix with resilience on."""
+    from .faults.schedule import FAULT_KINDS, FaultSchedule
+    from .harness.checkpoint import RunCheckpoint
+    from .harness.experiments import fault_recovery
+    from .harness.runner import FailedPoint
+
+    schedule_json: Optional[str] = None
+    if args.schedule is not None:
+        try:
+            schedule_json = Path(args.schedule).read_text()
+            FaultSchedule.from_json(schedule_json)  # fail fast, actionable
+        except (OSError, ValueError) as error:
+            print(f"cannot use fault schedule {args.schedule}: {error}")
+            return 1
+
+    faults = ["custom"] if schedule_json else args.classes.split(",")
+    unknown = [f for f in faults if f != "custom" and f not in FAULT_KINDS]
+    if unknown:
+        print(
+            f"unknown fault class(es) {unknown}; valid: {sorted(FAULT_KINDS)}"
+        )
+        return 1
+    policies = args.policies.split(",")
+    substrates = ["fluid", "packet"] if args.substrate == "both" else [args.substrate]
+
+    points = [
+        {
+            "fault": fault,
+            "policy": policy,
+            "substrate": substrate,
+            "iterations": (40 if args.fast else 80)
+            if substrate == "fluid"
+            else (30 if args.fast else 60),
+            "seed": args.seed,
+            **({"schedule_json": schedule_json} if schedule_json else {}),
+        }
+        for substrate in substrates
+        for fault in faults
+        for policy in policies
+    ]
+
+    checkpoint = RunCheckpoint(args.checkpoint)
+    if not args.resume and len(checkpoint):
+        checkpoint.clear()  # fresh sweep unless --resume asked to keep it
+
+    runner = ExperimentRunner(
+        name="cli.faults",
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        telemetry=RunTelemetry("cli.faults"),
+        timeout=args.timeout,
+        retries=args.retries,
+        isolate_failures=True,
+        checkpoint=checkpoint,
+    )
+    results = runner.run_points(fault_recovery, points)
+
+    rows = []
+    failed = 0
+    for point, result in zip(points, results):
+        if isinstance(result, FailedPoint):
+            failed += 1
+            rows.append(
+                [point["substrate"], point["fault"], point["policy"],
+                 "-", "-", f"FAILED ({result.kind})"]
+            )
+            continue
+        # Every injected fault the point replayed goes into the report's
+        # degradations section, tagged with the point that saw it.
+        for line in result.fault_log:
+            runner.telemetry.record_degradation(
+                "fault", line, params=point
+            )
+        rows.append(
+            [result.substrate, result.fault, result.policy,
+             result.disturbed_rounds,
+             f"{result.reconverged_at}/{len(result.series)}",
+             "yes" if result.recovered else "NO"]
+        )
+    print(
+        render_table(
+            ["substrate", "fault", "policy", "disturbed rounds",
+             "reconverged at", "recovered"],
+            rows,
+            title="Fault recovery — rounds perturbed beyond tolerance "
+            "(vs a fault-free control run)",
+        )
+    )
+    if failed:
+        print(
+            f"\n{failed} point(s) failed; details in the run-report's "
+            f"degradations section. Re-run with --resume to retry only those."
+        )
+    if args.report:
+        path = runner.telemetry.write(args.report)
+        print(f"run-report written to {path}")
+    print(runner.telemetry.summary_line())
+    return 0
+
+
 def _validate_report_command(report_path: str, schema_path: Optional[str]) -> int:
     """Validate a JSON run-report; exit 0 when it conforms, 1 otherwise."""
     import json
@@ -329,6 +442,79 @@ def main(argv: list[str] | None = None) -> int:
                         "repro.workloads.save_scenario")
     compat.add_argument("--capacity", type=float, default=50.0,
                         help="bottleneck capacity in Gbps (default 50)")
+    faults = subparsers.add_parser(
+        "faults",
+        help="fault-recovery matrix: inject faults, measure reconvergence "
+        "(crash-isolated, checkpointed; see docs/FAULTS.md)",
+    )
+    faults.add_argument(
+        "--classes",
+        default=",".join(
+            ("link_down", "bandwidth", "loss_burst", "ecn_storm",
+             "straggler", "job_restart")
+        ),
+        metavar="A,B,...",
+        help="comma-separated fault classes to sweep (default: all six)",
+    )
+    faults.add_argument(
+        "--policies",
+        default="mltcp,reno,dctcp",
+        metavar="A,B,...",
+        help="comma-separated policies to compare (default: mltcp,reno,dctcp)",
+    )
+    faults.add_argument(
+        "--substrate",
+        choices=["fluid", "packet", "both"],
+        default="both",
+        help="which simulator(s) to replay faults in (default: both)",
+    )
+    faults.add_argument(
+        "--schedule",
+        metavar="PATH",
+        default=None,
+        help="replay a custom FaultSchedule JSON file instead of the "
+        "built-in per-class schedules (times are absolute seconds)",
+    )
+    faults.add_argument(
+        "--fast", action="store_true", help="smaller iteration counts"
+    )
+    faults.add_argument(
+        "--seed", type=int, default=5, help="base seed (default 5)"
+    )
+    faults.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="run points on an N-process pool (default: sequential)",
+    )
+    faults.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point wall-clock budget in seconds (default: none)",
+    )
+    faults.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-run a failed point up to N times with backoff (default 1)",
+    )
+    faults.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=DEFAULT_FAULTS_CHECKPOINT,
+        help="sweep journal for --resume "
+        f"(default: {DEFAULT_FAULTS_CHECKPOINT})",
+    )
+    faults.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already in the checkpoint (re-runs only failed "
+        "or missing points); without this flag the checkpoint is reset",
+    )
+    faults.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    faults.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON run-report (includes the degradations "
+        "section: every fault, retry, timeout and crash)",
+    )
     validate = subparsers.add_parser(
         "validate-report",
         help="check a JSON run-report against the run-report schema",
@@ -352,6 +538,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "validate-report":
         return _validate_report_command(args.report, args.schema)
+
+    if args.command == "faults":
+        return _faults_command(args)
 
     return _run_command(args)
 

@@ -1,0 +1,29 @@
+"""Fault injection: declarative network/infrastructure fault schedules.
+
+MLTCP's headline robustness claim is that interleaving *re-converges*
+without a controller when conditions shift (paper §4): a centralized
+scheduler must recompute its schedule on every perturbation, while MLTCP's
+gradient-descent dynamics simply resume from the perturbed state.  This
+package supplies the perturbations: a seeded, declarative
+:class:`FaultSchedule` (link down/up, bandwidth degradation, burst loss,
+ECN mark storms, compute stragglers, job kill/restart) plus injectors that
+replay the *same* schedule in both simulation substrates —
+:func:`install_packet_faults` for the packet-level simulator and
+:class:`FluidFaultState` for the fluid one (``run_fluid(..., faults=...)``).
+
+See docs/FAULTS.md for the fault model, the schedule file format and the
+recovery metrics built on top of it.
+"""
+
+from .fluid import FluidFaultState
+from .packet import InjectionLog, install_packet_faults
+from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FluidFaultState",
+    "InjectionLog",
+    "install_packet_faults",
+]

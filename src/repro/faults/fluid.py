@@ -1,0 +1,133 @@
+"""Replaying a fault schedule inside the fluid (flow-level) simulator.
+
+The fluid model has no packets, queues or timers, so each fault class maps
+onto the quantities the model *does* have — bottleneck capacity, per-job
+compute time, and per-job iteration progress:
+
+========== =========================================================
+kind        fluid effect while active
+========== =========================================================
+link_down   capacity factor 0 (nothing flows)
+bandwidth   capacity factor ``event.factor``
+loss_burst  capacity factor ``1 - loss`` (first-order throughput hit;
+            the packet simulator models the real, super-linear one)
+ecn_storm   capacity factor ``0.5`` (every sender halves its window
+            when its whole window is marked — the DCTCP limit case)
+straggler   compute phases of ``event.job`` stretched by ``factor``
+job_restart job's in-flight iteration discarded; ``sent_bits`` zeroed
+            (the fluid analogue of MLTCP's ``bytes_sent`` reset) and
+            the job re-enters after ``restart_delay`` seconds
+========== =========================================================
+
+Concurrent capacity faults compose multiplicatively.  The mapping is a
+deliberate simplification — docs/FAULTS.md spells out where it diverges
+from the packet-level behaviour — but both substrates replay the *same*
+:class:`~repro.faults.schedule.FaultSchedule`, which is what lets recovery
+experiments cross-check each other.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional
+
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FluidFaultState", "ECN_STORM_CAPACITY_FACTOR"]
+
+#: Fluid stand-in for a marking storm: with every packet of a window CE
+#: marked, a DCTCP sender's alpha saturates at 1 and the window halves each
+#: RTT — steady state, half the healthy throughput.
+ECN_STORM_CAPACITY_FACTOR = 0.5
+
+#: The only link name the single-bottleneck fluid model knows.
+_FLUID_LINKS = ("bottleneck",)
+
+
+class FluidFaultState:
+    """Queryable fault state for :class:`repro.fluid.flowsim.FluidSimulator`.
+
+    Built once per run from a :class:`FaultSchedule`; the simulator asks it
+    three questions at every step — the current capacity factor, a job's
+    current compute scale, and which restarts are due — plus the transition
+    times it must not integrate across (fault boundaries are rate-change
+    events, exactly like phase completions).
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, job_names: Iterable[str]
+    ) -> None:
+        schedule.validate(link_names=_FLUID_LINKS, job_names=job_names)
+        self.schedule = schedule
+        self._capacity_events: list[FaultEvent] = []
+        self._straggler_events: list[FaultEvent] = []
+        self._restart_events: list[FaultEvent] = []
+        for event in schedule.sorted_events():
+            if event.kind in ("link_down", "bandwidth", "loss_burst", "ecn_storm"):
+                self._capacity_events.append(event)
+            elif event.kind == "straggler":
+                self._straggler_events.append(event)
+            else:
+                self._restart_events.append(event)
+        self._restarts_applied = 0
+        self._transitions = list(schedule.transition_times())
+        #: Applied transitions, mirroring the packet injector's log:
+        #: ``(sim_time, description)`` pairs for the degradations section.
+        self.log: list[tuple[float, str]] = []
+
+    @staticmethod
+    def _active(event: FaultEvent, now: float) -> bool:
+        return event.time <= now < event.end_time
+
+    def capacity_factor(self, now: float) -> float:
+        """Product of every active capacity-affecting fault's factor."""
+        factor = 1.0
+        for event in self._capacity_events:
+            if not self._active(event, now):
+                continue
+            if event.kind == "link_down":
+                factor = 0.0
+            elif event.kind == "bandwidth":
+                factor *= event.factor
+            elif event.kind == "loss_burst":
+                factor *= 1.0 - event.loss
+            elif event.kind == "ecn_storm":
+                factor *= ECN_STORM_CAPACITY_FACTOR
+        return factor
+
+    def compute_scale(self, job: str, now: float) -> float:
+        """Compute-time multiplier for ``job`` at ``now`` (stragglers)."""
+        scale = 1.0
+        for event in self._straggler_events:
+            if event.job == job and self._active(event, now):
+                scale *= event.factor
+        return scale
+
+    def due_restarts(self, now: float, eps: float = 1e-12) -> list[FaultEvent]:
+        """Restart events whose strike time has arrived, each exactly once."""
+        due = []
+        while self._restarts_applied < len(self._restart_events):
+            event = self._restart_events[self._restarts_applied]
+            if event.time > now + eps:
+                break
+            due.append(event)
+            self._restarts_applied += 1
+        return due
+
+    def next_transition_after(self, now: float, eps: float = 1e-12) -> Optional[float]:
+        """The next time the fault state changes, or None when quiescent."""
+        index = bisect.bisect_right(self._transitions, now + eps)
+        return self._transitions[index] if index < len(self._transitions) else None
+
+    @property
+    def last_transition(self) -> float:
+        """When the final fault transition happens (0 for an empty schedule)."""
+        return self._transitions[-1] if self._transitions else 0.0
+
+    def record(self, time: float, description: str) -> None:
+        """Append one applied transition to the log."""
+        self.log.append((time, description))
+
+    def descriptions(self) -> list[str]:
+        """The log as human-readable lines, in application order."""
+        return [f"t={time:g}s: {text}" for time, text in self.log]

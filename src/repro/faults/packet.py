@@ -1,0 +1,159 @@
+"""Replaying a fault schedule inside the packet-level simulator.
+
+:func:`install_packet_faults` validates a
+:class:`~repro.faults.schedule.FaultSchedule` against the assembled
+topology/apps and schedules one engine event per fault transition: the
+strike at ``event.time`` and (for faults with a duration) the reversion at
+``event.time + duration``.  Everything runs through the hooks the substrate
+already exposes — :class:`repro.simulator.link.Link`'s down/rate/loss/storm
+controls and :meth:`repro.simulator.app.TrainingApp.restart` — so fault
+replay composes with any congestion control, queue discipline or topology.
+
+Burst-loss coin flips draw from a generator seeded by
+``FaultSchedule.seed``, independent of the links' own ``random_loss``
+streams, so adding a fault schedule never perturbs the baseline noise
+realization: the same run with and without faults differs only where the
+faults act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..simulator.app import TrainingApp
+from ..simulator.engine import Simulator
+from ..simulator.link import Link
+from ..simulator.topology import Network
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["InjectionLog", "install_packet_faults", "DEFAULT_BOTTLENECK"]
+
+#: Link targeted when an event names none: the dumbbell's data direction.
+DEFAULT_BOTTLENECK = "sw_l->sw_r"
+
+
+@dataclass
+class InjectionLog:
+    """What the injector actually did, for telemetry's degradations section.
+
+    One entry per applied transition: ``(sim_time, description)``.  The
+    harness copies these into the run-report so a report reader can see
+    every fault that fired without reloading the schedule.
+    """
+
+    entries: list[tuple[float, str]] = field(default_factory=list)
+
+    def record(self, time: float, description: str) -> None:
+        """Append one applied transition."""
+        self.entries.append((time, description))
+
+    def descriptions(self) -> list[str]:
+        """The log as human-readable lines, in application order."""
+        return [f"t={time:g}s: {text}" for time, text in self.entries]
+
+
+def _link_names(network: Network) -> dict[str, Link]:
+    return {f"{src}->{dst}": link for (src, dst), link in network.links.items()}
+
+
+def install_packet_faults(
+    sim: Simulator,
+    network: Network,
+    schedule: FaultSchedule,
+    apps: Optional[Mapping[str, TrainingApp]] = None,
+    log: Optional[InjectionLog] = None,
+) -> InjectionLog:
+    """Arm every fault in ``schedule`` on an assembled packet testbed.
+
+    Must be called before ``sim.run``.  Link events default to the
+    :data:`DEFAULT_BOTTLENECK`; job events require ``apps`` (the mapping
+    :func:`repro.harness.packetlab.run_packet_jobs` builds).  The schedule
+    is re-validated against the *actual* link and job names so a schedule
+    written for one topology fails fast on another.  Returns the
+    :class:`InjectionLog` that the armed events will append to as the
+    simulation replays them.
+    """
+    links = _link_names(network)
+    job_names = set(apps) if apps is not None else None
+    schedule.validate(link_names=links, job_names=job_names)
+    log = log if log is not None else InjectionLog()
+    loss_rng = np.random.default_rng(schedule.seed)
+
+    for event in schedule.sorted_events():
+        if event.kind in ("straggler", "job_restart"):
+            if apps is None:
+                raise ValueError(
+                    f"fault {event.describe()} targets a job but no apps "
+                    "mapping was provided to install_packet_faults"
+                )
+            app = apps[event.job]
+            _arm_job_fault(sim, event, app, log)
+        else:
+            link_name = event.link if event.link is not None else DEFAULT_BOTTLENECK
+            if link_name not in links:
+                raise ValueError(
+                    f"fault {event.describe()} targets link {link_name!r} "
+                    f"which does not exist; available: {sorted(links)}"
+                )
+            _arm_link_fault(sim, event, links[link_name], loss_rng, log)
+    return log
+
+
+def _arm_link_fault(
+    sim: Simulator,
+    event: FaultEvent,
+    link: Link,
+    loss_rng: np.random.Generator,
+    log: InjectionLog,
+) -> None:
+    def strike() -> None:
+        log.record(sim.now, event.describe())
+        if event.kind == "link_down":
+            link.set_down()
+        elif event.kind == "bandwidth":
+            link.set_rate_factor(event.factor)
+        elif event.kind == "loss_burst":
+            link.set_fault_loss(event.loss, rng=loss_rng)
+        elif event.kind == "ecn_storm":
+            link.set_ecn_storm(True)
+
+    def revert() -> None:
+        log.record(sim.now, f"{event.kind} on {link.name} reverted")
+        if event.kind == "link_down":
+            link.set_up()
+        elif event.kind == "bandwidth":
+            link.set_rate_factor(1.0)
+        elif event.kind == "loss_burst":
+            link.set_fault_loss(0.0)
+        elif event.kind == "ecn_storm":
+            link.set_ecn_storm(False)
+
+    sim.schedule_at(event.time, strike)
+    sim.schedule_at(event.end_time, revert)
+
+
+def _arm_job_fault(
+    sim: Simulator, event: FaultEvent, app: TrainingApp, log: InjectionLog
+) -> None:
+    if event.kind == "straggler":
+
+        def strike() -> None:
+            log.record(sim.now, event.describe())
+            app.compute_scale = event.factor
+
+        def revert() -> None:
+            log.record(sim.now, f"straggler on {event.job} reverted")
+            app.compute_scale = 1.0
+
+        sim.schedule_at(event.time, strike)
+        sim.schedule_at(event.end_time, revert)
+    else:  # job_restart
+
+        def kill() -> None:
+            log.record(sim.now, event.describe())
+            app.restart(delay=event.restart_delay)
+
+        sim.schedule_at(event.time, kill)

@@ -1,0 +1,260 @@
+"""Declarative fault schedules: what goes wrong, when, and for how long.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent` records.
+It is pure data — no simulator state — so the *same* schedule replays in the
+packet-level simulator (:func:`repro.faults.packet.install_packet_faults`)
+and the fluid one (:class:`repro.faults.fluid.FluidFaultState`), and two
+runs with the same schedule and seed are bit-identical.
+
+Schedules validate eagerly, mirroring the sweep-input validation style of
+:mod:`repro.harness.sweep`: a negative time, an unknown kind, or a link
+name that does not exist in the topology fails immediately with a message
+naming the offending event, not minutes into a simulation.
+
+Schedules round-trip through JSON (:meth:`FaultSchedule.to_json` /
+:meth:`FaultSchedule.from_json`) so fault scenarios can be checked in next
+to workload scenarios; the file format is documented in docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule"]
+
+#: Every fault class the injectors understand, with a one-line meaning.
+FAULT_KINDS: dict[str, str] = {
+    "link_down": "link carries nothing for `duration` seconds (flap)",
+    "bandwidth": "link rate multiplied by `factor` for `duration` seconds",
+    "loss_burst": "extra Bernoulli loss `loss` on the link for `duration` s",
+    "ecn_storm": "every ECN-capable packet is CE-marked for `duration` s",
+    "straggler": "job's compute phases stretched by `factor` for `duration` s",
+    "job_restart": "job killed mid-iteration; restarts after `restart_delay` s",
+}
+
+#: Kinds that target a link (``event.link``) vs. a job (``event.job``).
+_LINK_KINDS = frozenset({"link_down", "bandwidth", "loss_burst", "ecn_storm"})
+_JOB_KINDS = frozenset({"straggler", "job_restart"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    time:
+        Simulation time (s) the fault strikes.
+    duration:
+        How long it lasts; the injector reverts the fault at
+        ``time + duration``.  Ignored by ``job_restart`` (instantaneous
+        kill; the downtime is ``restart_delay``).
+    link:
+        Target link for link faults, as ``"src->dst"`` (e.g.
+        ``"sw_l->sw_r"``).  ``None`` means the topology's bottleneck.
+    job:
+        Target job name for ``straggler`` / ``job_restart``.
+    factor:
+        ``bandwidth``: remaining fraction of the rate, in (0, 1).
+        ``straggler``: compute-time multiplier, > 1.
+    loss:
+        ``loss_burst``: extra drop probability, in (0, 1).
+    restart_delay:
+        ``job_restart``: seconds of downtime before the job's fresh
+        iteration begins.
+    """
+
+    kind: str
+    time: float
+    duration: float = 0.0
+    link: Optional[str] = None
+    job: Optional[str] = None
+    factor: float = 1.0
+    loss: float = 0.0
+    restart_delay: float = 0.0
+
+    @property
+    def end_time(self) -> float:
+        """When the fault reverts (equals :attr:`time` for instant faults)."""
+        return self.time + self.duration
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and degradation records."""
+        target = self.link or self.job or "bottleneck"
+        extra = ""
+        if self.kind == "bandwidth" or self.kind == "straggler":
+            extra = f" factor={self.factor:g}"
+        elif self.kind == "loss_burst":
+            extra = f" loss={self.loss:g}"
+        elif self.kind == "job_restart":
+            extra = f" restart_delay={self.restart_delay:g}s"
+        return (
+            f"{self.kind} on {target} at t={self.time:g}s"
+            + (f" for {self.duration:g}s" if self.duration > 0 else "")
+            + extra
+        )
+
+
+def _check(condition: bool, index: int, event: FaultEvent, message: str) -> None:
+    if not condition:
+        raise ValueError(f"fault event #{index} ({event.kind!r}): {message}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A validated, time-sorted collection of fault events.
+
+    ``seed`` feeds every stochastic component of injection (currently the
+    burst-loss coin flips in the packet simulator), so a schedule replays
+    deterministically: same schedule + same seed → identical drops.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        self.validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def validate(
+        self,
+        link_names: Optional[Iterable[str]] = None,
+        job_names: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Check every event; raise ``ValueError`` naming the first bad one.
+
+        Intrinsic checks (times, kinds, parameter ranges) always run; when
+        ``link_names`` / ``job_names`` are given — the topology's links and
+        the scenario's jobs — targets are checked for existence too, so a
+        typo'd link name fails before the simulation starts.
+        """
+        links = set(link_names) if link_names is not None else None
+        jobs = set(job_names) if job_names is not None else None
+        for i, event in enumerate(self.events):
+            _check(
+                event.kind in FAULT_KINDS, i, event,
+                f"unknown kind; valid kinds are {sorted(FAULT_KINDS)}",
+            )
+            _check(event.time >= 0, i, event,
+                   f"time must be non-negative, got {event.time!r}")
+            _check(event.duration >= 0, i, event,
+                   f"duration must be non-negative, got {event.duration!r}")
+            if event.kind in _LINK_KINDS:
+                _check(event.job is None, i, event,
+                       "a link fault cannot name a job")
+                if links is not None and event.link is not None:
+                    _check(
+                        event.link in links, i, event,
+                        f"link {event.link!r} does not exist in the "
+                        f"topology; available links: {sorted(links)}",
+                    )
+            if event.kind in _JOB_KINDS:
+                _check(event.link is None, i, event,
+                       "a job fault cannot name a link")
+                _check(event.job is not None, i, event,
+                       "a job fault must name its target job")
+                if jobs is not None:
+                    _check(
+                        event.job in jobs, i, event,
+                        f"job {event.job!r} is not in the scenario; "
+                        f"jobs: {sorted(jobs)}",
+                    )
+            if event.kind == "bandwidth":
+                _check(0.0 < event.factor < 1.0, i, event,
+                       f"factor must be in (0, 1), got {event.factor!r}")
+                _check(event.duration > 0, i, event,
+                       "a bandwidth degradation needs a positive duration")
+            if event.kind == "straggler":
+                _check(event.factor > 1.0, i, event,
+                       "factor must exceed 1 (a compute slowdown), got "
+                       f"{event.factor!r}")
+                _check(event.duration > 0, i, event,
+                       "a straggler needs a positive duration")
+            if event.kind == "loss_burst":
+                _check(0.0 < event.loss < 1.0, i, event,
+                       f"loss must be in (0, 1), got {event.loss!r}")
+                _check(event.duration > 0, i, event,
+                       "a loss burst needs a positive duration")
+            if event.kind in ("link_down", "ecn_storm"):
+                _check(event.duration > 0, i, event,
+                       f"a {event.kind} needs a positive duration")
+            if event.kind == "job_restart":
+                _check(event.restart_delay >= 0, i, event,
+                       "restart_delay must be non-negative, got "
+                       f"{event.restart_delay!r}")
+
+    def sorted_events(self) -> tuple[FaultEvent, ...]:
+        """Events ordered by strike time (stable for equal times)."""
+        return tuple(sorted(self.events, key=lambda e: e.time))
+
+    def transition_times(self) -> tuple[float, ...]:
+        """Every time the fault state changes (strikes and reversions)."""
+        times: set[float] = set()
+        for event in self.events:
+            times.add(event.time)
+            if event.duration > 0:
+                times.add(event.end_time)
+            if event.kind == "job_restart":
+                times.add(event.time + event.restart_delay)
+        return tuple(sorted(times))
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self, path: Optional[Path | str] = None) -> str:
+        """Serialize (and optionally write) the schedule as JSON."""
+        payload = {
+            "seed": self.seed,
+            "events": [
+                {k: v for k, v in asdict(event).items() if v is not None}
+                for event in self.events
+            ],
+        }
+        text = json.dumps(payload, indent=2) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Path | str) -> "FaultSchedule":
+        """Load a schedule from a JSON file path or a JSON string."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ValueError(f"fault schedule is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ValueError(
+                "fault schedule JSON must be an object with an 'events' list "
+                "(and an optional integer 'seed')"
+            )
+        events = []
+        for i, raw in enumerate(payload["events"]):
+            if not isinstance(raw, dict):
+                raise ValueError(f"fault event #{i} must be an object, got {raw!r}")
+            unknown = set(raw) - {f.name for f in _event_fields()}
+            if unknown:
+                raise ValueError(
+                    f"fault event #{i} has unknown keys {sorted(unknown)}; "
+                    f"valid keys: {sorted(f.name for f in _event_fields())}"
+                )
+            events.append(FaultEvent(**raw))
+        return cls(events=tuple(events), seed=int(payload.get("seed", 0)))
+
+
+def _event_fields():
+    from dataclasses import fields
+
+    return fields(FaultEvent)

@@ -9,10 +9,17 @@ the jobs currently communicating by an
 ``F(bytes_ratio)``-weighted for MLTCP, SRPT for pFabric, etc.
 
 Rates are piecewise-constant between events; an event is a phase completion,
-a job start, or the expiry of a re-evaluation quantum (MLTCP weights drift
+a job start, the expiry of a re-evaluation quantum (MLTCP weights drift
 as ``bytes_ratio`` grows, so allocations are refreshed at least every
-``quantum`` seconds).  The simulator records every iteration and every rate
-segment, which is exactly the data the paper's figures plot.
+``quantum`` seconds), or a fault transition.  The simulator records every
+iteration and every rate segment, which is exactly the data the paper's
+figures plot.
+
+Fault injection: pass ``faults=FaultSchedule(...)`` to replay link flaps,
+bandwidth degradations, stragglers and job restarts inside the fluid model
+(mapping documented in :mod:`repro.faults.fluid` and docs/FAULTS.md).  A
+restarted job discards its in-flight iteration and re-enters with
+``sent_bits`` zeroed — the fluid analogue of MLTCP resetting ``bytes_sent``.
 """
 
 from __future__ import annotations
@@ -20,12 +27,15 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..workloads.job import JobSpec
 from .allocation import AllocationPolicy, FairShare, FlowView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import FaultSchedule
 
 __all__ = [
     "Phase",
@@ -113,6 +123,9 @@ class FluidResult:
     iterations: list[IterationResult] = field(default_factory=list)
     segments: list[RateSegment] = field(default_factory=list)
     end_time: float = 0.0
+    #: Human-readable fault transitions applied during the run (empty when
+    #: no schedule was installed); feeds telemetry's degradations section.
+    fault_log: list[str] = field(default_factory=list)
 
     def iterations_of(self, job: str) -> list[IterationResult]:
         """Completed iterations of one job, in order."""
@@ -178,6 +191,7 @@ class FluidSimulator:
         policy: Optional[AllocationPolicy] = None,
         seed: Optional[int] = 0,
         quantum: float = 0.02,
+        faults: Optional["FaultSchedule"] = None,
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job")
@@ -194,6 +208,12 @@ class FluidSimulator:
         self.policy = policy if policy is not None else FairShare()
         self.quantum = quantum
         self._rng = np.random.default_rng(seed) if seed is not None else None
+        if faults is not None:
+            from ..faults.fluid import FluidFaultState
+
+            self.faults: Optional[FluidFaultState] = FluidFaultState(faults, names)
+        else:
+            self.faults = None
 
     def run(
         self,
@@ -223,19 +243,33 @@ class FluidSimulator:
         now = 0.0
         # Generous guard: a few events per quantum per job.
         horizon = end_time if end_time is not None else self._horizon(max_iterations)
+        if self.faults is not None:
+            # Faults stall progress (a downed link delivers nothing) and add
+            # transitions; extend the envelope past the last one.
+            horizon += self.faults.last_transition
         max_steps = int(50 * len(self.jobs) * max(1.0, horizon / self.quantum))
 
+        last_capacity_factor = 1.0
         for _step in range(max_steps):
+            if self.faults is not None:
+                self._apply_restarts(runtimes, now)
             self._process_transitions(runtimes, now, result)
             if self._finished(runtimes, max_iterations):
                 break
             if end_time is not None and now >= end_time - _EPS_TIME:
                 break
 
+            capacity = self.capacity_bps
+            if self.faults is not None:
+                factor = self.faults.capacity_factor(now)
+                if factor != last_capacity_factor:
+                    self.faults.record(now, f"capacity factor -> {factor:g}")
+                    last_capacity_factor = factor
+                capacity *= factor
             active = [rt for rt in runtimes if rt.phase is Phase.COMM]
             rates = (
-                self.policy.allocate([rt.flow_view() for rt in active], self.capacity_bps)
-                if active
+                self.policy.allocate([rt.flow_view() for rt in active], capacity)
+                if active and capacity > 0
                 else {}
             )
             dt = self._next_event_dt(runtimes, rates, now, end_time)
@@ -258,6 +292,8 @@ class FluidSimulator:
             )
 
         result.end_time = now
+        if self.faults is not None:
+            result.fault_log = self.faults.descriptions()
         return result
 
     # -- internals --------------------------------------------------------
@@ -277,6 +313,8 @@ class FluidSimulator:
             elif rt.phase is Phase.COMM and rt.remaining_bits <= _EPS_BITS:
                 rt.comm_end = now
                 compute = rt.spec.sample_compute_time(self._rng)
+                if self.faults is not None:
+                    compute *= self.faults.compute_scale(rt.spec.name, now)
                 rt.phase = Phase.COMPUTE
                 rt.phase_deadline = now + compute
             elif rt.phase is Phase.COMPUTE and now >= rt.phase_deadline - _EPS_TIME:
@@ -295,6 +333,29 @@ class FluidSimulator:
                     rt.phase = Phase.DONE  # training finished: job departs
                 else:
                     self._start_comm(rt, now)
+
+    def _apply_restarts(self, runtimes: list[_JobRuntime], now: float) -> None:
+        """Kill-and-restart every job whose restart strike time has come.
+
+        The in-flight iteration is discarded (never recorded), the job's
+        ``sent_bits`` zeroes — which resets its MLTCP ``bytes_ratio`` and
+        therefore its allocation weight, the fluid analogue of the packet
+        sender's ``bytes_sent`` reset — and the job waits out
+        ``restart_delay`` before starting a fresh communication phase.
+        """
+        assert self.faults is not None
+        for event in self.faults.due_restarts(now):
+            rt = next(r for r in runtimes if r.spec.name == event.job)
+            if rt.phase is Phase.DONE:
+                self.faults.record(now, f"job_restart on {event.job}: already done, no-op")
+                continue
+            rt.phase = Phase.WAITING
+            rt.phase_deadline = event.time + event.restart_delay
+            rt.remaining_bits = 0.0
+            rt.sent_bits = 0.0
+            rt.comm_start = math.nan
+            rt.comm_end = math.nan
+            self.faults.record(now, event.describe())
 
     def _start_comm(self, rt: _JobRuntime, now: float) -> None:
         rt.phase = Phase.COMM
@@ -325,6 +386,10 @@ class FluidSimulator:
         candidates = [self.quantum]
         if end_time is not None:
             candidates.append(end_time - now)
+        if self.faults is not None:
+            transition = self.faults.next_transition_after(now)
+            if transition is not None:
+                candidates.append(transition - now)
         for rt in runtimes:
             if rt.phase is Phase.COMM:
                 rate = rates.get(rt.spec.name, 0.0)
@@ -345,10 +410,11 @@ def run_fluid(
     seed: Optional[int] = 0,
     quantum: float = 0.02,
     record_segments: bool = True,
+    faults: Optional["FaultSchedule"] = None,
 ) -> FluidResult:
     """One-call convenience wrapper around :class:`FluidSimulator`."""
     simulator = FluidSimulator(
-        jobs, capacity_gbps, policy=policy, seed=seed, quantum=quantum
+        jobs, capacity_gbps, policy=policy, seed=seed, quantum=quantum, faults=faults
     )
     return simulator.run(
         end_time=end_time,

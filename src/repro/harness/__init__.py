@@ -9,18 +9,24 @@ The pipeline, end to end:
    parameter grid (:func:`repeat_with_seeds` / :func:`sweep`).
 4. :mod:`~repro.harness.runner` — executes the resulting points: optional
    process-pool parallelism (``workers=N``), content-addressed result
-   caching (:mod:`~repro.harness.cache`) and per-point instrumentation
-   (:mod:`~repro.harness.telemetry`, emitted as a JSON run-report).
+   caching (:mod:`~repro.harness.cache`), per-point instrumentation
+   (:mod:`~repro.harness.telemetry`, emitted as a JSON run-report), and
+   failure handling — per-point timeouts, retries with backoff, crash
+   isolation (:class:`~repro.harness.runner.FailedPoint`) and checkpointed
+   resume (:mod:`~repro.harness.checkpoint`).
 5. :mod:`~repro.harness.report` — renders rows/series as terminal text.
 
-docs/HARNESS.md is the operator-facing guide to steps 3–4.
+docs/HARNESS.md is the operator-facing guide to steps 3–4; docs/FAULTS.md
+covers the fault-injection and recovery experiments.
 """
 
 from .experiments import (
+    FaultRecoveryResult,
     Fig2Result,
     Fig4Result,
     Fig6Result,
     fairness_loss_response,
+    fault_recovery,
     fig1_traffic_patterns,
     fig2_schedules,
     fig3_aggressiveness,
@@ -36,10 +42,13 @@ from .packetlab import (
     throughput_timeline,
 )
 from .cache import ResultCache, default_cache_dir, point_key
-from .runner import ExperimentRunner
+from .checkpoint import RunCheckpoint
+from .runner import ExperimentRunner, FailedPoint, PointTimeoutError
 from .sweep import SeedSummary, repeat_with_seeds, sweep
 from .telemetry import (
+    DEGRADATION_KINDS,
     PointRecord,
+    REPORT_SCHEMA_VERSION,
     RUN_REPORT_SCHEMA,
     RunTelemetry,
     validate_run_report,
@@ -58,6 +67,8 @@ __all__ = [
     "Fig6Result",
     "noise_error_bound",
     "fairness_loss_response",
+    "fault_recovery",
+    "FaultRecoveryResult",
     "PacketLabResult",
     "run_packet_jobs",
     "mltcp_config_for",
@@ -70,11 +81,16 @@ __all__ = [
     "repeat_with_seeds",
     "sweep",
     "ExperimentRunner",
+    "FailedPoint",
+    "PointTimeoutError",
+    "RunCheckpoint",
     "ResultCache",
     "point_key",
     "default_cache_dir",
     "RunTelemetry",
     "PointRecord",
     "RUN_REPORT_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
+    "DEGRADATION_KINDS",
     "validate_run_report",
 ]

@@ -51,6 +51,8 @@ __all__ = [
     "noise_error_bound",
     "fairness_loss_response",
     "fairness_competition_share",
+    "FaultRecoveryResult",
+    "fault_recovery",
 ]
 
 
@@ -468,3 +470,236 @@ def _mathis_mbps(loss_prob: float, link_delay: float) -> float:
     rtt = 6.0 * link_delay  # three hops each way on the dumbbell
     mss_bits = 1460 * 8
     return mss_bits / rtt * math.sqrt(1.5 / loss_prob) / 1e6
+
+
+# ---------------------------------------------------------------------------
+# Robustness: recovery after injected faults (docs/FAULTS.md)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultRecoveryResult:
+    """How a policy rode out one fault class, in both substrates' terms.
+
+    The disturbance metric is the per-round mean iteration time of the
+    faulted run compared round-by-round against a fault-free control run
+    with the same policy and seed — the comparison cancels the convergence
+    transient and the jitter realization, so ``disturbed_rounds`` counts
+    only rounds the fault actually perturbed.  ``reconverged_at`` is the
+    first round after which every remaining round stays within tolerance
+    (0 when the fault never pushed the system out).
+    """
+
+    policy: str
+    fault: str
+    substrate: str
+    target: float
+    tolerance: float
+    disturbed_rounds: int
+    reconverged_at: int
+    recovered: bool
+    final_mean: float
+    fault_log: list[str] = field(repr=False, default_factory=list)
+    series: np.ndarray = field(repr=False, default_factory=lambda: np.array([]))
+    baseline_series: np.ndarray = field(repr=False, default_factory=lambda: np.array([]))
+
+
+def _fault_schedule_for(
+    fault: str, unit: float, job: str, seed: int
+) -> "FaultSchedule":
+    """A one-event schedule of class ``fault``, sized in units of one
+    healthy iteration (strike after 25 iterations, last for 5)."""
+    from ..faults.schedule import FaultEvent, FaultSchedule
+
+    t0, dur = 25.0 * unit, 5.0 * unit
+    if fault == "link_down":
+        event = FaultEvent("link_down", time=t0, duration=dur)
+    elif fault == "bandwidth":
+        event = FaultEvent("bandwidth", time=t0, duration=dur, factor=0.5)
+    elif fault == "loss_burst":
+        event = FaultEvent("loss_burst", time=t0, duration=dur, loss=0.05)
+    elif fault == "ecn_storm":
+        event = FaultEvent("ecn_storm", time=t0, duration=dur)
+    elif fault == "straggler":
+        event = FaultEvent("straggler", time=t0, duration=dur, job=job, factor=2.0)
+    elif fault == "job_restart":
+        event = FaultEvent("job_restart", time=t0, job=job, restart_delay=2.0 * unit)
+    else:
+        raise ValueError(
+            f"unknown fault class {fault!r}; valid: ['bandwidth', 'ecn_storm', "
+            "'job_restart', 'link_down', 'loss_burst', 'straggler']"
+        )
+    return FaultSchedule(events=(event,), seed=seed)
+
+
+def fault_recovery(
+    fault: str = "link_down",
+    policy: str = "mltcp",
+    substrate: str = "fluid",
+    iterations: int = 80,
+    seed: int = 5,
+    tolerance: float = 0.10,
+    capacity_gbps: float = BOTTLENECK_GBPS,
+    schedule_json: Optional[str] = None,
+) -> FaultRecoveryResult:
+    """Measure iterations-to-reconverge after one injected fault (§4's
+    robustness claim, stress-tested).
+
+    Runs the same job mix twice — once clean, once with a single fault of
+    class ``fault`` striking after ~25 healthy iterations — and reports how
+    many rounds the faulted run's per-round mean deviated from the control
+    by more than ``tolerance``.  ``policy`` is ``"mltcp"``, ``"reno"`` /
+    ``"fair"`` (fair share) or ``"dctcp"``; ``substrate`` picks the fluid
+    flow-level model (three GPT-2 jobs) or the packet simulator (two jobs
+    on a 1 Gbps dumbbell, Figure 6's scaled units).  ``schedule_json`` (a
+    :meth:`~repro.faults.schedule.FaultSchedule.to_json` document) replaces
+    the built-in single-event schedule with a custom one — event times are
+    then absolute simulation seconds, link/job names must fit the chosen
+    substrate's topology, and ``fault`` is just a label.  The paper's
+    point: MLTCP's interleaving re-forms by itself after the disturbance —
+    no controller, no coordination — so its disturbed-round count stays
+    small and ``recovered`` comes back ``True``.
+    """
+    if substrate == "fluid":
+        return _fault_recovery_fluid(
+            fault, policy, iterations, seed, tolerance, capacity_gbps, schedule_json
+        )
+    if substrate == "packet":
+        return _fault_recovery_packet(
+            fault, policy, iterations, seed, tolerance, schedule_json
+        )
+    raise ValueError(
+        f"unknown substrate {substrate!r}; valid: ['fluid', 'packet']"
+    )
+
+
+def _recovery_from_series(
+    policy: str,
+    fault: str,
+    substrate: str,
+    series: np.ndarray,
+    baseline: np.ndarray,
+    tolerance: float,
+    fault_log: list[str],
+) -> FaultRecoveryResult:
+    rounds = min(len(series), len(baseline))
+    if rounds == 0:
+        raise RuntimeError(
+            f"faulted {substrate} run completed no common rounds "
+            f"(fault={fault!r}, policy={policy!r}); lengthen the run"
+        )
+    series, baseline = series[:rounds], baseline[:rounds]
+    target = float(baseline[rounds // 2:].mean())
+    within = np.abs(series - baseline) <= tolerance * target
+    disturbed = np.flatnonzero(~within)
+    reconverged_at = int(disturbed[-1]) + 1 if disturbed.size else 0
+    tail = min(3, rounds)
+    return FaultRecoveryResult(
+        policy=policy,
+        fault=fault,
+        substrate=substrate,
+        target=target,
+        tolerance=tolerance,
+        disturbed_rounds=int(disturbed.size),
+        reconverged_at=reconverged_at,
+        recovered=bool(within[-tail:].all()),
+        final_mean=float(series[-tail:].mean()),
+        fault_log=list(fault_log),
+        series=series,
+        baseline_series=baseline,
+    )
+
+
+def _fault_recovery_fluid(
+    fault: str,
+    policy: str,
+    iterations: int,
+    seed: int,
+    tolerance: float,
+    capacity_gbps: float,
+    schedule_json: Optional[str] = None,
+) -> FaultRecoveryResult:
+    from ..faults.schedule import FaultSchedule
+
+    policies = {
+        "mltcp": MLTCPWeighted,
+        "reno": FairShare,  # fair share is the fluid limit of loss-based TCP
+        "fair": FairShare,
+        "dctcp": FairShare,  # ... and of DCTCP's ECN-driven fairness
+    }
+    if policy not in policies:
+        raise ValueError(
+            f"unknown policy {policy!r} for the fluid substrate; "
+            f"valid: {sorted(policies)}"
+        )
+    jobs = three_job_scenario()
+    clean = run_fluid(
+        jobs, capacity_gbps, policy=policies[policy](),
+        max_iterations=iterations, seed=seed,
+    )
+    baseline = clean.mean_iteration_by_round()
+    unit = float(baseline[len(baseline) // 2:].mean())
+    if schedule_json is not None:
+        schedule = FaultSchedule.from_json(schedule_json)
+    else:
+        schedule = _fault_schedule_for(fault, unit, jobs[0].name, seed)
+    faulted = run_fluid(
+        jobs, capacity_gbps, policy=policies[policy](),
+        max_iterations=iterations, seed=seed, faults=schedule,
+    )
+    return _recovery_from_series(
+        policy, fault, "fluid",
+        faulted.mean_iteration_by_round(), baseline, tolerance,
+        faulted.fault_log,
+    )
+
+
+def _fault_recovery_packet(
+    fault: str,
+    policy: str,
+    iterations: int,
+    seed: int,
+    tolerance: float,
+    schedule_json: Optional[str] = None,
+) -> FaultRecoveryResult:
+    from ..faults.schedule import FaultSchedule
+    from ..tcp.dctcp import DctcpCC
+    from ..tcp.mltcp import MLTCPDctcp
+
+    job_template = JobSpec(
+        name="Job",
+        comm_bits=8e6,
+        demand_gbps=1.0,
+        compute_time=0.010,
+        jitter_sigma=0.0005,
+    )
+    jobs = [job_template.with_name("Job1"), job_template.with_name("Job2")]
+
+    def factory(job: JobSpec):
+        if policy == "mltcp":
+            return MLTCPReno(mltcp_config_for(job))
+        if policy == "mltcp-dctcp":
+            return MLTCPDctcp(mltcp_config_for(job))
+        if policy in ("reno", "fair"):
+            return RenoCC()
+        if policy == "dctcp":
+            return DctcpCC()
+        raise ValueError(
+            f"unknown policy {policy!r} for the packet substrate; valid: "
+            "['dctcp', 'fair', 'mltcp', 'mltcp-dctcp', 'reno']"
+        )
+
+    clean = run_packet_jobs(jobs, factory, max_iterations=iterations, seed=seed)
+    baseline = clean.mean_iteration_by_round()
+    unit = float(baseline[len(baseline) // 2:].mean())
+    if schedule_json is not None:
+        schedule = FaultSchedule.from_json(schedule_json)
+    else:
+        schedule = _fault_schedule_for(fault, unit, jobs[0].name, seed)
+    faulted = run_packet_jobs(
+        jobs, factory, max_iterations=iterations, seed=seed, faults=schedule
+    )
+    fault_log: list[str] = [event.describe() for event in schedule.sorted_events()]
+    return _recovery_from_series(
+        policy, fault, "packet",
+        faulted.mean_iteration_by_round(), baseline, tolerance, fault_log,
+    )

@@ -13,8 +13,11 @@ fractions, demand/capacity) is preserved (see DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import FaultSchedule
 
 import numpy as np
 
@@ -61,6 +64,7 @@ class PacketLabResult:
     jobs: tuple[JobSpec, ...]
     apps: dict[str, TrainingApp]
     senders: dict[str, TcpSender]
+    receivers: dict[str, TcpReceiver] = field(default_factory=dict)
 
     def iteration_times(self, job: str) -> np.ndarray:
         """Durations (s) of the job's completed iterations."""
@@ -99,11 +103,15 @@ def run_packet_jobs(
     until: Optional[float] = None,
     seed: int = 0,
     link_delay: float = 5e-6,
+    faults: Optional["FaultSchedule"] = None,
 ) -> PacketLabResult:
     """Run ``jobs`` over a dumbbell with per-job congestion control.
 
     ``cc_factory`` builds a fresh congestion-control instance per job —
-    e.g. ``lambda job: MLTCPReno(mltcp_config_for(job))``.
+    e.g. ``lambda job: MLTCPReno(mltcp_config_for(job))``.  ``faults``
+    installs a :class:`~repro.faults.schedule.FaultSchedule` on the
+    assembled testbed before the clock starts (docs/FAULTS.md); the
+    default fault target is the dumbbell's ``sw_l->sw_r`` bottleneck.
     """
     if not jobs:
         raise ValueError("need at least one job")
@@ -119,22 +127,35 @@ def run_packet_jobs(
     rng = np.random.default_rng(seed)
     apps: dict[str, TrainingApp] = {}
     senders: dict[str, TcpSender] = {}
+    receivers: dict[str, TcpReceiver] = {}
     for i, job in enumerate(jobs):
         sender_host, receiver_host = network.hosts[f"s{i}"], network.hosts[f"r{i}"]
         cc = cc_factory(job)
         sender = TcpSender(sim, sender_host, job.name, receiver_host.name, cc)
-        TcpReceiver(sim, receiver_host, job.name, sender_host.name)
+        receiver = TcpReceiver(sim, receiver_host, job.name, sender_host.name)
+        sender.peer_rx = receiver
         app = TrainingApp(sim, sender, job, max_iterations=max_iterations, rng=rng)
         app.start()
         apps[job.name] = app
         senders[job.name] = sender
+        receivers[job.name] = receiver
+
+    if faults is not None:
+        from ..faults.packet import install_packet_faults
+
+        install_packet_faults(sim, network, faults, apps=apps)
 
     if until is None:
         longest = max(job.ideal_iteration_time for job in jobs)
         until = 4.0 * longest * max_iterations
     sim.run(until=until)
     return PacketLabResult(
-        sim=sim, network=network, jobs=tuple(jobs), apps=apps, senders=senders
+        sim=sim,
+        network=network,
+        jobs=tuple(jobs),
+        apps=apps,
+        senders=senders,
+        receivers=receivers,
     )
 
 

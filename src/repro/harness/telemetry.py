@@ -5,8 +5,11 @@ experiment runner (:mod:`repro.harness.runner`) and records, for every
 executed point, the wall time, the number of discrete-event callbacks the
 simulators processed (via :func:`repro.simulator.engine.\
 total_events_processed`), whether the point was a cache hit, and how it ran
-(cached / sequential / pool worker).  :meth:`RunTelemetry.as_report` turns
-that into the JSON run-report the benchmarks write next to their text
+(cached / sequential / pool worker / resumed from a checkpoint / failed).
+Since schema v2 it also accumulates a ``degradations`` array — every
+injected fault, retry, timeout and crash the run survived
+(:meth:`RunTelemetry.record_degradation`).  :meth:`RunTelemetry.as_report`
+turns that into the JSON run-report the benchmarks write next to their text
 output in ``bench_reports/`` (``<name>.run.json``); the report format is
 frozen by :data:`RUN_REPORT_SCHEMA` (checked into
 ``docs/run_report.schema.json``) and checked by :func:`validate_run_report`.
@@ -26,11 +29,21 @@ __all__ = [
     "RunTelemetry",
     "RUN_REPORT_SCHEMA",
     "REPORT_SCHEMA_VERSION",
+    "DEGRADATION_KINDS",
     "validate_run_report",
 ]
 
 #: Version stamped into every run-report; bump on breaking format changes.
-REPORT_SCHEMA_VERSION = 1
+#: v2 added the ``degradations`` section and the ``resumed``/``failed``
+#: point modes (optional additions — v1 reports still validate).
+REPORT_SCHEMA_VERSION = 2
+
+#: What a degradation entry's ``kind`` may be: ``retry`` (a failed attempt
+#: that was retried), ``timeout`` (a point blew its wall-clock budget),
+#: ``crash`` (a pool worker died hard), ``error`` (a point failed
+#: terminally with an exception), ``fault`` (an injected fault from a
+#: :class:`repro.faults.schedule.FaultSchedule` fired).
+DEGRADATION_KINDS = ("retry", "timeout", "crash", "error", "fault")
 
 
 @dataclass(frozen=True)
@@ -38,9 +51,12 @@ class PointRecord:
     """Instrumentation of one executed experiment point.
 
     ``mode`` says where the value came from: ``"cached"`` (served from the
-    result cache), ``"sequential"`` (computed in-process) or ``"worker"``
-    (computed in a process-pool worker).  ``events_processed`` counts the
-    simulator callbacks the point triggered (0 for cache hits).
+    result cache), ``"sequential"`` (computed in-process), ``"worker"``
+    (computed in a process-pool worker), ``"resumed"`` (served from a sweep
+    checkpoint) or ``"failed"`` (the point exhausted its attempts and its
+    result slot holds a :class:`repro.harness.runner.FailedPoint`).
+    ``events_processed`` counts the simulator callbacks the point triggered
+    (0 for cache hits).
     """
 
     params: dict
@@ -75,6 +91,7 @@ class RunTelemetry:
     workers: Optional[int] = None
     records: list[PointRecord] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    degradations: list[dict] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter)
 
     def record_point(
@@ -103,6 +120,32 @@ class RunTelemetry:
         """Record a free-form observation (e.g. a fallback to sequential)."""
         self.notes.append(message)
 
+    def record_degradation(
+        self,
+        kind: str,
+        detail: str,
+        params: Optional[Mapping[str, object]] = None,
+        attempt: Optional[int] = None,
+    ) -> None:
+        """Record one resilience event: a retry, timeout, crash, terminal
+        point failure, or an injected fault firing.  These accumulate into
+        the run-report's ``degradations`` array so a report reader can
+        reconstruct everything that went wrong (or was made to go wrong)
+        without the logs."""
+        if kind not in DEGRADATION_KINDS:
+            raise ValueError(
+                f"unknown degradation kind {kind!r}; expected one of "
+                f"{DEGRADATION_KINDS}"
+            )
+        self.degradations.append(
+            {
+                "kind": kind,
+                "detail": detail,
+                "params": dict(params) if params is not None else None,
+                "attempt": attempt,
+            }
+        )
+
     @property
     def cache_hits(self) -> int:
         """Points served from the result cache."""
@@ -125,6 +168,16 @@ class RunTelemetry:
         """Simulator callbacks executed across all computed points."""
         return sum(r.events_processed for r in self.records)
 
+    @property
+    def failed_points(self) -> int:
+        """Points that failed terminally (mode ``"failed"``)."""
+        return sum(1 for r in self.records if r.mode == "failed")
+
+    @property
+    def resumed_points(self) -> int:
+        """Points served from a sweep checkpoint (mode ``"resumed"``)."""
+        return sum(1 for r in self.records if r.mode == "resumed")
+
     def as_report(self) -> dict:
         """The structured run-report (validated by ``RUN_REPORT_SCHEMA``)."""
         from .. import __version__  # deferred: avoids import cycle
@@ -139,12 +192,15 @@ class RunTelemetry:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_hit_rate": self.cache_hit_rate,
+                "failed_points": self.failed_points,
+                "resumed_points": self.resumed_points,
                 "wall_time_s": time.perf_counter() - self._started,
                 "point_wall_time_s": sum(r.wall_time_s for r in self.records),
                 "events_processed": self.events_processed,
             },
             "points": [r.as_dict() for r in self.records],
             "notes": list(self.notes),
+            "degradations": [dict(d) for d in self.degradations],
         }
 
     def write(self, path: Path | str) -> Path:
@@ -163,6 +219,16 @@ class RunTelemetry:
             f"{totals['events_processed']} sim events, "
             f"{totals['wall_time_s']:.2f} s"
             + (f", workers={self.workers}" if self.workers else "")
+            + (
+                f", {totals['failed_points']} FAILED"
+                if totals["failed_points"]
+                else ""
+            )
+            + (
+                f", {len(self.degradations)} degradation(s)"
+                if self.degradations
+                else ""
+            )
         )
 
 
@@ -194,7 +260,7 @@ RUN_REPORT_SCHEMA: dict = {
         "notes",
     ],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1]},
+        "schema_version": {"type": "integer", "enum": [1, 2]},
         "experiment": {"type": "string"},
         "repro_version": {"type": "string"},
         "workers": {"type": ["integer", "null"], "minimum": 1},
@@ -214,6 +280,8 @@ RUN_REPORT_SCHEMA: dict = {
                 "cache_hits": {"type": "integer", "minimum": 0},
                 "cache_misses": {"type": "integer", "minimum": 0},
                 "cache_hit_rate": {"type": "number", "minimum": 0},
+                "failed_points": {"type": "integer", "minimum": 0},
+                "resumed_points": {"type": "integer", "minimum": 0},
                 "wall_time_s": {"type": "number", "minimum": 0},
                 "point_wall_time_s": {"type": "number", "minimum": 0},
                 "events_processed": {"type": "integer", "minimum": 0},
@@ -237,11 +305,34 @@ RUN_REPORT_SCHEMA: dict = {
                     "wall_time_s": {"type": "number", "minimum": 0},
                     "events_processed": {"type": "integer", "minimum": 0},
                     "cache_hit": {"type": "boolean"},
-                    "mode": {"enum": ["cached", "sequential", "worker"]},
+                    "mode": {
+                        "enum": [
+                            "cached",
+                            "sequential",
+                            "worker",
+                            "resumed",
+                            "failed",
+                        ]
+                    },
                 },
             },
         },
         "notes": {"type": "array", "items": {"type": "string"}},
+        # Added in schema_version 2, deliberately not in ``required`` so v1
+        # reports keep validating: every resilience event of the run.
+        "degradations": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["kind", "detail"],
+                "properties": {
+                    "kind": {"enum": list(DEGRADATION_KINDS)},
+                    "detail": {"type": "string"},
+                    "params": {"type": ["object", "null"]},
+                    "attempt": {"type": ["integer", "null"], "minimum": 1},
+                },
+            },
+        },
     },
 }
 

@@ -84,6 +84,16 @@ class TrainingApp:
         self._index = 0
         self._comm_start: Optional[float] = None
         self._started = False
+        #: Multiplier on every sampled compute time; fault injection sets it
+        #: above 1.0 to model a straggling worker (GC pause, thermal
+        #: throttling, a slow replacement GPU) and restores 1.0 afterwards.
+        self.compute_scale = 1.0
+        #: How many times :meth:`restart` killed this job mid-iteration.
+        self.restarts = 0
+        # Monotone generation counter; every scheduled callback captures the
+        # current epoch and becomes a no-op if a restart bumped it since,
+        # so a kill cleanly cancels the in-flight iteration's future.
+        self._epoch = 0
         sender.on_all_acked = self._on_comm_complete
 
     def start(self) -> None:
@@ -91,7 +101,27 @@ class TrainingApp:
         if self._started:
             raise RuntimeError(f"{self.job.name}: app already started")
         self._started = True
-        self.sim.schedule(self.job.start_offset, self._begin_comm)
+        self._schedule_epoch(self.job.start_offset, self._begin_comm)
+
+    def restart(self, delay: float = 0.0) -> None:
+        """Kill the job mid-iteration and start a fresh one after ``delay``.
+
+        The in-flight iteration is discarded — it never reaches
+        :attr:`iterations` — the transport abandons its unsent/unacked data
+        (:meth:`~repro.tcp.base.TcpSender.abort_transfer`, which also resets
+        MLTCP's ``bytes_sent``), and after ``delay`` seconds of downtime the
+        job begins a brand-new communication phase, exactly like a restarted
+        training worker resuming from its last checkpoint.
+        """
+        if delay < 0:
+            raise ValueError(f"{self.job.name}: delay must be non-negative, got {delay!r}")
+        if not self._started:
+            raise RuntimeError(f"{self.job.name}: cannot restart an app that never started")
+        self._epoch += 1
+        self.restarts += 1
+        self.sender.abort_transfer()
+        self._comm_start = None
+        self._schedule_epoch(delay, self._begin_comm)
 
     @property
     def completed(self) -> int:
@@ -108,14 +138,24 @@ class TrainingApp:
 
     # -- internals ----------------------------------------------------------
 
+    def _schedule_epoch(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` unless a restart invalidates it first."""
+        epoch = self._epoch
+
+        def guarded() -> None:
+            if self._epoch == epoch:
+                callback()
+
+        self.sim.schedule(delay, guarded)
+
     def _begin_comm(self) -> None:
         self._comm_start = self.sim.now
         self.sender.send_bytes(self.job.comm_bytes)
 
     def _on_comm_complete(self) -> None:
         comm_end = self.sim.now
-        compute = self.job.sample_compute_time(self._rng)
-        self.sim.schedule(compute, lambda: self._finish_iteration(comm_end))
+        compute = self.compute_scale * self.job.sample_compute_time(self._rng)
+        self._schedule_epoch(compute, lambda: self._finish_iteration(comm_end))
 
     def _finish_iteration(self, comm_end: float) -> None:
         assert self._comm_start is not None
@@ -165,6 +205,8 @@ class MultiFlowTrainingApp:
         self._comm_start: Optional[float] = None
         self._pending = 0
         self._started = False
+        #: Straggler hook, as on :class:`TrainingApp`.
+        self.compute_scale = 1.0
         for i, sender in enumerate(self.senders):
             sender.on_all_acked = lambda i=i: self._on_stripe_complete()
 
@@ -202,7 +244,7 @@ class MultiFlowTrainingApp:
         if self._pending > 0:
             return
         comm_end = self.sim.now
-        compute = self.job.sample_compute_time(self._rng)
+        compute = self.compute_scale * self.job.sample_compute_time(self._rng)
         self.sim.schedule(compute, lambda: self._finish_iteration(comm_end))
 
     def _finish_iteration(self, comm_end: float) -> None:

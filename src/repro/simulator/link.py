@@ -8,6 +8,14 @@ propagates for ``delay`` seconds and is delivered to the receiving node.
 ``random_loss`` drops packets Bernoulli-independently before queueing — used
 by the §5 fairness experiment, which needs a controlled loss probability to
 measure the throughput-vs-loss response of Reno and MLTCP-Reno.
+
+Fault-injection hooks (driven by :mod:`repro.faults.packet`): a link can be
+taken :meth:`down <set_down>` and brought back :meth:`up <set_up>` (a flap),
+its rate scaled by :meth:`set_rate_factor` (partial degradation), an extra
+Bernoulli :meth:`fault loss <set_fault_loss>` layered on top of
+``random_loss`` (a loss burst), and an :meth:`ECN storm <set_ecn_storm>`
+that CE-marks every ECN-capable packet it serializes.  All four revert
+cleanly, so a schedule of faults replays deterministically.
 """
 
 from __future__ import annotations
@@ -52,10 +60,18 @@ class Link:
         self.random_loss = random_loss
         self._loss_rng = loss_rng if loss_rng is not None else np.random.default_rng(0)
         self._busy = False
+        # Fault-injection state (see repro.faults.packet).
+        self.up = True
+        self.rate_factor = 1.0
+        self.fault_loss = 0.0
+        self.ecn_storm = False
+        self._fault_rng: Optional[np.random.Generator] = None
         # Counters for utilization/telemetry.
         self.bits_sent = 0
         self.packets_sent = 0
         self.random_drops = 0
+        self.fault_drops = 0
+        self.storm_marks = 0
 
     def connect(self, deliver: Callable[[Packet], None]) -> None:
         """Attach the receiving node's packet handler."""
@@ -65,13 +81,66 @@ class Link:
         """Offer a packet to the link (may be queued or dropped)."""
         if self._deliver is None:
             raise RuntimeError(f"link {self.name} has no receiver connected")
+        if not self.up:
+            # A severed link carries nothing; arrivals are lost, not queued,
+            # so the transports see loss and recover once the link is back.
+            self.fault_drops += 1
+            return
         if self.random_loss > 0.0 and self._loss_rng.random() < self.random_loss:
             self.random_drops += 1
+            return
+        if self.fault_loss > 0.0 and self._require_fault_rng().random() < self.fault_loss:
+            self.fault_drops += 1
             return
         if not self.queue.push(packet):
             return  # tail drop, counted by the queue
         if not self._busy:
             self._transmit_next()
+
+    # -- fault-injection hooks --------------------------------------------
+
+    def set_down(self) -> None:
+        """Sever the link: arrivals are dropped, the queue drains no further.
+
+        A transmission already serializing completes (the cut happens at a
+        packet boundary); everything buffered waits for :meth:`set_up`.
+        """
+        self.up = False
+
+    def set_up(self) -> None:
+        """Restore a severed link and resume draining its queue."""
+        if self.up:
+            return
+        self.up = True
+        if not self._busy:
+            self._transmit_next()
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale the serialization rate (1.0 = healthy, 0.5 = half rate)."""
+        if factor <= 0:
+            raise ValueError(
+                f"{self.name}: rate factor must be positive, got {factor!r}"
+            )
+        self.rate_factor = factor
+
+    def set_fault_loss(self, probability: float, rng: Optional[np.random.Generator] = None) -> None:
+        """Layer an extra Bernoulli drop probability on top of ``random_loss``."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(
+                f"{self.name}: fault loss must be in [0, 1), got {probability!r}"
+            )
+        self.fault_loss = probability
+        if rng is not None:
+            self._fault_rng = rng
+
+    def set_ecn_storm(self, active: bool) -> None:
+        """CE-mark every ECN-capable packet serialized while active."""
+        self.ecn_storm = bool(active)
+
+    def _require_fault_rng(self) -> np.random.Generator:
+        if self._fault_rng is None:
+            self._fault_rng = np.random.default_rng(0)
+        return self._fault_rng
 
     @property
     def utilization_bits(self) -> int:
@@ -87,12 +156,18 @@ class Link:
     # -- internals --------------------------------------------------------
 
     def _transmit_next(self) -> None:
+        if not self.up:
+            self._busy = False
+            return
         packet = self.queue.pop()
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        tx_time = packet.size_bits / self.rate_bps
+        if self.ecn_storm and packet.ecn_capable:
+            packet.ecn_ce = True
+            self.storm_marks += 1
+        tx_time = packet.size_bits / (self.rate_bps * self.rate_factor)
         self.bits_sent += packet.size_bits
         self.packets_sent += 1
         self.sim.schedule(tx_time, lambda p=packet: self._on_tx_complete(p))

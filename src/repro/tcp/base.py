@@ -78,6 +78,15 @@ class CongestionControl(ABC):
     def on_ecn_echo(self, echoed: int, total: int, conn: "TcpSender") -> None:
         """ECN feedback for one window (DCTCP-style algorithms override)."""
 
+    def on_transfer_abort(self, conn: "TcpSender") -> None:
+        """The application aborted mid-transfer (job kill/restart).
+
+        Base algorithms carry no per-iteration state, so the default is a
+        no-op; MLTCP variants override it to reset Algorithm 1's
+        ``bytes_sent`` so the aborted iteration's progress cannot leak an
+        aggressiveness advantage into the restarted one.
+        """
+
     @property
     def in_slow_start(self) -> bool:
         """Whether the window is still below the slow-start threshold."""
@@ -189,6 +198,28 @@ class TcpReceiver:
         self.acks_sent += 1
         self.host.send(ack)
 
+    def resync(self, seq: int) -> None:
+        """Jump the cumulative-ACK point to ``seq`` (restart handshake).
+
+        Called when the peer sender aborts a transfer (job kill/restart):
+        the fresh transfer's segments continue the sequence space at the
+        sender's ``snd_nxt``, so any segments of the dead transfer still
+        missing would otherwise leave a hole ``recv_next`` can never cross.
+        Models the new connection a restarted worker would open, without
+        re-registering flows.
+        """
+        if seq < self.recv_next:
+            raise ValueError(
+                f"{self.flow_id}: cannot resync backwards "
+                f"({seq} < {self.recv_next})"
+            )
+        self.recv_next = seq
+        self._out_of_order = {s for s in self._out_of_order if s > seq}
+        self._unacked_segments = 0
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
 
 class TcpSender:
     """Send side of one flow: window clocking, loss recovery, timers."""
@@ -241,11 +272,20 @@ class TcpSender:
         self._send_times: dict[int, float] = {}
         self._retransmitted: set[int] = set()
 
+        #: Peer receiver, wired by the experiment assembly (packetlab) so an
+        #: aborted transfer can resync the cumulative-ACK point — the
+        #: simulation stand-in for the new connection a restarted worker
+        #: opens.  Optional: without it, abort_transfer still works but any
+        #: hole left by in-flight segments of the dead transfer would stall
+        #: the next one.
+        self.peer_rx: Optional[TcpReceiver] = None
+
         # Telemetry.
         self.segments_sent = 0
         self.retransmissions = 0
         self.timeouts = 0
         self.fast_retransmits = 0
+        self.transfers_aborted = 0
         self.acked_bytes_log: list[tuple[float, int]] = []
         #: Optional cwnd trace: (time, cwnd) appended on every new ACK when
         #: :attr:`record_cwnd` is set (off by default — it grows unbounded).
@@ -274,6 +314,38 @@ class TcpSender:
         self.target += segments
         self._try_send()
         return segments
+
+    def abort_transfer(self) -> int:
+        """Abandon everything queued or in flight; returns the bytes dropped.
+
+        Used by job kill/restart fault injection: the dead worker's data
+        will never be needed, so the sender forgets it — timers cancelled,
+        recovery state cleared, the send point advanced past every in-flight
+        segment — and the congestion window falls back to the initial
+        window (fresh-connection semantics).  The peer receiver, when wired
+        via :attr:`peer_rx`, is resynced to the new sequence point so lost
+        segments of the aborted transfer cannot stall the next one.  The
+        congestion algorithm's :meth:`CongestionControl.on_transfer_abort`
+        hook fires last (MLTCP resets ``bytes_sent`` there).
+        """
+        aborted_bytes = max(0, (self.target - self.snd_una)) * self.mss_bytes
+        self._cancel_rto_timer()
+        self.in_recovery = False
+        self.dup_acks = 0
+        self._rto_backoff = 1.0
+        self._send_times.clear()
+        self._retransmitted.clear()
+        # Everything up to snd_nxt is either delivered or abandoned; the
+        # next transfer continues the sequence space from here.
+        self.snd_una = self.snd_nxt
+        self.target = self.snd_nxt
+        self.cc.cwnd = min(self.cc.cwnd, INITIAL_CWND)
+        self._last_activity = self.sim.now
+        self.transfers_aborted += 1
+        if self.peer_rx is not None:
+            self.peer_rx.resync(self.snd_nxt)
+        self.cc.on_transfer_abort(self)
+        return aborted_bytes
 
     def bytes_outstanding(self) -> int:
         """Bytes queued or in flight but not yet acknowledged."""

@@ -46,6 +46,17 @@ class MltcpState:
         """``F(bytes_ratio)`` with the current tracker state."""
         return self.tracker.aggressiveness()
 
+    def reset_iteration(self, now: float) -> None:
+        """Drop Algorithm 1's progress state at an iteration abort.
+
+        A killed-and-restarted job begins a *fresh* iteration: carrying the
+        aborted iteration's ``bytes_sent`` forward would make the restarted
+        flow look late in its collective and therefore unduly aggressive.
+        The tracker treats the abort as an iteration boundary, so
+        ``bytes_sent`` and ``bytes_ratio`` restart from zero.
+        """
+        self.tracker.notify_iteration_boundary(now)
+
 
 class _MltcpMixin:
     """Shared plumbing: construct state, wire the two hooks."""
@@ -59,6 +70,11 @@ class _MltcpMixin:
 
     def _ai_scale(self, conn: TcpSender) -> float:
         return self.mltcp.aggressiveness()
+
+    def on_transfer_abort(self, conn: TcpSender) -> None:
+        """Iteration aborted (job kill/restart): reset ``bytes_sent``."""
+        super().on_transfer_abort(conn)
+        self.mltcp.reset_iteration(conn.sim.now)
 
 
 class MLTCPReno(_MltcpMixin, RenoCC):
