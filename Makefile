@@ -2,10 +2,35 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-faults-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast bench bench-smoke bench-faults-smoke figures examples clean
+
+# The default verify path: repo-specific static analysis, type checking,
+# then the fast test tier. CI and the verify skill run this.
+.DEFAULT_GOAL := verify
+verify: lint typecheck test-fast
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+# Layered linting: `repro lint` (the custom AST analyzer, always available —
+# stdlib only) enforces the repo-specific determinism/unit rules; ruff
+# carries the generic style layer and is skipped when not installed.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style layer (pip install -e .[dev])"; \
+	fi
+
+# mypy --strict on repro.core/simulator/tcp/fluid (config in pyproject.toml);
+# skipped gracefully when mypy is not installed.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install -e .[dev])"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest tests/

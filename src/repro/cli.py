@@ -8,6 +8,8 @@ Usage::
     python -m repro run all --fast --workers 4
     python -m repro run fig6 --no-cache --report fig6.run.json
     python -m repro validate-report bench_reports/ablation_noise.run.json
+    python -m repro lint src
+    python -m repro lint --list-rules
     python -m repro faults --fast --workers 4
     python -m repro faults --resume --report faults.run.json
     python -m repro faults --schedule my_faults.json --substrate packet
@@ -28,6 +30,12 @@ run-report; ``validate-report`` checks such a report against the schema in
 substrate, see docs/FAULTS.md) with the runner's resilience features on:
 per-point timeouts, retries, crash isolation, and a checkpoint file so
 ``--resume`` re-runs only the points that failed or never ran.
+
+``lint`` runs the repo's AST-based determinism/unit-safety analyzer
+(docs/LINTING.md).  All subcommands share one error contract
+(:mod:`repro.cliutil`): exit 0 on success, 1 when the checked input has
+violations (lint findings, schema violations), 2 when the command could
+not run (unreadable file, bad arguments); diagnostics go to stderr.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ from .harness.experiments import (
     fig6_packet_two_jobs,
     noise_error_bound,
 )
+from .cliutil import EXIT_OK, fail, report_violations
 from .harness.cache import ResultCache
 from .harness.report import render_table, sparkline
 from .harness.runner import ExperimentRunner
@@ -239,16 +248,14 @@ def _faults_command(args) -> int:
             schedule_json = Path(args.schedule).read_text()
             FaultSchedule.from_json(schedule_json)  # fail fast, actionable
         except (OSError, ValueError) as error:
-            print(f"cannot use fault schedule {args.schedule}: {error}")
-            return 1
+            return fail(f"cannot use fault schedule {args.schedule}: {error}")
 
     faults = ["custom"] if schedule_json else args.classes.split(",")
     unknown = [f for f in faults if f != "custom" and f not in FAULT_KINDS]
     if unknown:
-        print(
+        return fail(
             f"unknown fault class(es) {unknown}; valid: {sorted(FAULT_KINDS)}"
         )
-        return 1
     policies = args.policies.split(",")
     substrates = ["fluid", "packet"] if args.substrate == "both" else [args.substrate]
 
@@ -328,34 +335,35 @@ def _faults_command(args) -> int:
 
 
 def _validate_report_command(report_path: str, schema_path: Optional[str]) -> int:
-    """Validate a JSON run-report; exit 0 when it conforms, 1 otherwise."""
+    """Validate a JSON run-report.
+
+    Exit codes follow :mod:`repro.cliutil`: 0 when the report conforms,
+    1 on schema violations, 2 when the report/schema cannot be read.
+    """
     import json
 
     try:
         report = json.loads(Path(report_path).read_text())
     except (OSError, ValueError) as error:
-        print(f"cannot read report {report_path}: {error}")
-        return 1
+        return fail(f"cannot read report {report_path}: {error}")
     schema = RUN_REPORT_SCHEMA
     if schema_path is not None:
         try:
             schema = json.loads(Path(schema_path).read_text())
         except (OSError, ValueError) as error:
-            print(f"cannot read schema {schema_path}: {error}")
-            return 1
+            return fail(f"cannot read schema {schema_path}: {error}")
     errors = validate_run_report(report, schema)
     if errors:
-        print(f"{report_path}: {len(errors)} schema violation(s)")
-        for error in errors:
-            print(f"  {error}")
-        return 1
+        return report_violations(
+            f"{report_path}: {len(errors)} schema violation(s)", errors
+        )
     totals = report.get("totals", {})
     print(
         f"{report_path}: valid run-report "
         f"({totals.get('points', '?')} points, "
         f"{totals.get('cache_hits', '?')} cache hits)"
     )
-    return 0
+    return EXIT_OK
 
 
 def _compat_command(scenario_path: str, capacity_gbps: float) -> int:
@@ -515,6 +523,27 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the JSON run-report (includes the degradations "
         "section: every fault, retry, timeout and crash)",
     )
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based determinism/unit-safety analyzer "
+        "(rule catalog: docs/LINTING.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select", metavar="A,B,...", default=None,
+        help="run only these rule codes (comma-separated)",
+    )
+    lint.add_argument(
+        "--ignore", metavar="A,B,...", default=None,
+        help="skip these rule codes (comma-separated)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
     validate = subparsers.add_parser(
         "validate-report",
         help="check a JSON run-report against the run-report schema",
@@ -535,6 +564,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "compat":
         return _compat_command(args.scenario, args.capacity)
+
+    if args.command == "lint":
+        from .lint import run_lint
+
+        return run_lint(
+            args.paths, select=args.select, ignore=args.ignore,
+            list_rules=args.list_rules,
+        )
 
     if args.command == "validate-report":
         return _validate_report_command(args.report, args.schema)

@@ -1,0 +1,50 @@
+"""Shared CLI error reporting: one exit-code convention, one stderr format.
+
+Every ``repro`` subcommand that can fail reports through these helpers so
+that scripts and CI see a uniform contract:
+
+* exit ``0`` — success (:data:`EXIT_OK`)
+* exit ``1`` — the input was processed and violates the check
+  (:data:`EXIT_VIOLATIONS`): lint findings, schema violations
+* exit ``2`` — the command could not run at all (:data:`EXIT_USAGE`):
+  unreadable files, bad arguments, syntax errors
+
+Diagnostics go to stderr (``repro: error: ...`` for usage errors, a header
+plus indented detail lines for violations); stdout stays reserved for the
+command's actual output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_VIOLATIONS",
+    "EXIT_USAGE",
+    "fail",
+    "report_violations",
+]
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def fail(message: str) -> int:
+    """Report a usage/IO error to stderr; returns :data:`EXIT_USAGE`."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+def report_violations(header: str, details: Iterable[str]) -> int:
+    """Report check violations to stderr; returns :data:`EXIT_VIOLATIONS`.
+
+    ``header`` summarises (and counts) the problem; each detail line is
+    printed indented beneath it.
+    """
+    print(header, file=sys.stderr)
+    for line in details:
+        print(f"  {line}", file=sys.stderr)
+    return EXIT_VIOLATIONS

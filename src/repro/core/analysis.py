@@ -473,7 +473,13 @@ class TwoJobModel:
         """Eq. 4 loss at ``delta`` for this model."""
         return loss(delta, self.alpha, self.period, self.slope, self.intercept)
 
-    def descend(self, delta0: float, iterations: int, **kwargs) -> DescentTrajectory:
+    def descend(
+        self,
+        delta0: float,
+        iterations: int,
+        noise_sigma: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> DescentTrajectory:
         """Run :func:`gradient_descent` with this model's parameters."""
         return gradient_descent(
             delta0,
@@ -482,7 +488,8 @@ class TwoJobModel:
             iterations,
             slope=self.slope,
             intercept=self.intercept,
-            **kwargs,
+            noise_sigma=noise_sigma,
+            rng=rng,
         )
 
 

@@ -1,0 +1,38 @@
+"""Tolerance helpers for float comparisons in simulation code.
+
+The ``repro lint`` float-discipline rule (FLT001) forbids exact ``==`` /
+``!=`` between float expressions in ``simulator/``, ``fluid/`` and
+``tcp/``: event times and rates are sums of many small floats, so exact
+equality is an accident of evaluation order.  These helpers make the
+intended slack explicit — and keep the repo on *one* epsilon per quantity
+class instead of scattered magic numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TIME_EPS", "BITS_EPS", "REL_EPS", "close", "is_zero"]
+
+#: Seconds below which two simulation instants are "the same event time".
+TIME_EPS = 1e-12
+
+#: Bits below which a communication phase counts as drained.
+BITS_EPS = 1e-6
+
+#: Default relative tolerance for dimensionless factors (rates, ratios).
+REL_EPS = 1e-9
+
+
+def close(a: float, b: float, *, rel: float = REL_EPS, abs_tol: float = 0.0) -> bool:
+    """Whether ``a`` and ``b`` agree within the given tolerances.
+
+    Thin wrapper over :func:`math.isclose` so call sites read as policy
+    (``close(factor, last_factor)``) rather than mechanism.
+    """
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)
+
+
+def is_zero(x: float, *, eps: float = REL_EPS) -> bool:
+    """Whether ``x`` is indistinguishable from zero at tolerance ``eps``."""
+    return abs(x) <= eps

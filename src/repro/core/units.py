@@ -1,0 +1,71 @@
+"""Named unit converters — the one audited home for scale factors.
+
+The ``repro lint`` unit-safety rules (UNT001/UNT002, see docs/LINTING.md)
+forbid assigning or passing a value across mismatched unit suffixes
+(``_bits`` vs ``_bytes``, ``_gbps`` vs ``_bps``, ``_s`` vs ``_us``)
+unless the conversion goes through a function whose *name* declares it.
+These are those functions.  Keeping every factor of 8 and 1e9 here means a
+unit bug is a one-file review, not a repo-wide hunt.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "BPS_PER_GBPS",
+    "BPS_PER_MBPS",
+    "US_PER_S",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "bps_from_gbps",
+    "gbps_from_bps",
+    "bps_from_mbps",
+    "mbps_from_bps",
+    "s_from_us",
+    "us_from_s",
+]
+
+BITS_PER_BYTE = 8
+BPS_PER_GBPS = 1e9
+BPS_PER_MBPS = 1e6
+US_PER_S = 1e6
+
+
+def bits_from_bytes(nbytes: float) -> float:
+    """Bytes -> bits (the classic silent factor of 8)."""
+    return nbytes * BITS_PER_BYTE
+
+
+def bytes_from_bits(bits: float) -> float:
+    """Bits -> bytes."""
+    return bits / BITS_PER_BYTE
+
+
+def bps_from_gbps(gbps: float) -> float:
+    """Gigabits per second -> bits per second."""
+    return gbps * BPS_PER_GBPS
+
+
+def gbps_from_bps(bps: float) -> float:
+    """Bits per second -> gigabits per second."""
+    return bps / BPS_PER_GBPS
+
+
+def bps_from_mbps(mbps: float) -> float:
+    """Megabits per second -> bits per second."""
+    return mbps * BPS_PER_MBPS
+
+
+def mbps_from_bps(bps: float) -> float:
+    """Bits per second -> megabits per second."""
+    return bps / BPS_PER_MBPS
+
+
+def s_from_us(us: float) -> float:
+    """Microseconds -> seconds."""
+    return us / US_PER_S
+
+
+def us_from_s(s: float) -> float:
+    """Seconds -> microseconds."""
+    return s * US_PER_S

@@ -101,8 +101,10 @@ def water_fill(
     for fid, weight in weights.items():
         if weight < 0:
             raise ValueError(f"{fid}: weight must be non-negative, got {weight!r}")
+    # Sets are iterated in sorted order throughout: float summation order
+    # must not depend on PYTHONHASHSEED (repro-lint DET004).
     while unsaturated and remaining > 1e-12:
-        total_weight = sum(weights[fid] for fid in unsaturated)
+        total_weight = sum(weights[fid] for fid in sorted(unsaturated))
         if total_weight <= 0:
             # All remaining weights are zero: split the leftover evenly so no
             # flow fully starves (MLTCP "allocates non-zero bandwidth to all
@@ -112,10 +114,10 @@ def water_fill(
                 fid for fid in unsaturated if demands[fid] <= equal + 1e-12
             }
             if not newly_capped:
-                for fid in unsaturated:
+                for fid in sorted(unsaturated):
                     rates[fid] = rates.get(fid, 0.0) + equal
                 return rates
-            for fid in newly_capped:
+            for fid in sorted(newly_capped):
                 rates[fid] = demands[fid]
                 remaining -= demands[fid] - rates.get(fid, 0.0)
             # Recompute simply: restart with capped flows removed.
@@ -126,7 +128,8 @@ def water_fill(
             continue
         progressed = False
         shares = {
-            fid: remaining * weights[fid] / total_weight for fid in unsaturated
+            fid: remaining * weights[fid] / total_weight
+            for fid in sorted(unsaturated)
         }
         capped = {
             fid
@@ -134,16 +137,16 @@ def water_fill(
             if weights[fid] > 0 and shares[fid] >= demands[fid] - 1e-12
         }
         if capped:
-            for fid in capped:
+            for fid in sorted(capped):
                 rates[fid] = demands[fid]
                 remaining -= demands[fid]
             unsaturated -= capped
             progressed = True
         if not progressed:
-            for fid in unsaturated:
+            for fid in sorted(unsaturated):
                 rates[fid] = shares[fid]
             return {fid: max(0.0, rate) for fid, rate in rates.items()}
-    for fid in unsaturated:
+    for fid in sorted(unsaturated):
         rates.setdefault(fid, 0.0)
     return {fid: max(0.0, rate) for fid, rate in rates.items()}
 

@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from ..core.tolerances import close, is_zero
+from ..core.units import bps_from_gbps, gbps_from_bps
 from ..workloads.job import JobSpec
 from .allocation import AllocationPolicy, FairShare, FlowView
 
@@ -168,8 +170,8 @@ class FluidResult:
         times = np.arange(samples) * dt
         rates = np.zeros(samples)
         for segment in self.segments:
-            rate = segment.rates_bps.get(job, 0.0) / 1e9
-            if rate == 0.0:
+            rate = gbps_from_bps(segment.rates_bps.get(job, 0.0))
+            if is_zero(rate):
                 continue
             lo = int(np.ceil(segment.start / dt))
             hi = min(samples, int(np.ceil(segment.end / dt)))
@@ -203,7 +205,7 @@ class FluidSimulator:
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum!r}")
         self.jobs = tuple(jobs)
-        self.capacity_bps = capacity_gbps * 1e9
+        self.capacity_bps = bps_from_gbps(capacity_gbps)
         self.capacity_gbps = capacity_gbps
         self.policy = policy if policy is not None else FairShare()
         self.quantum = quantum
@@ -262,7 +264,7 @@ class FluidSimulator:
             capacity = self.capacity_bps
             if self.faults is not None:
                 factor = self.faults.capacity_factor(now)
-                if factor != last_capacity_factor:
+                if not close(factor, last_capacity_factor):
                     self.faults.record(now, f"capacity factor -> {factor:g}")
                     last_capacity_factor = factor
                 capacity *= factor

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.aggressiveness import AggressivenessFunction, default_aggressiveness
+from ..core.units import bps_from_gbps
 from ..workloads.job import JobSpec
 from .flowsim import IterationResult
 
@@ -141,7 +142,9 @@ def weighted_max_min(
         best_link: Optional[str] = None
         best_share = math.inf
         for link, flow_ids in members.items():
-            active = [fid for fid in flow_ids if fid in unfixed]
+            # Sorted: flow_ids is a set, and the float sum below must not
+            # depend on PYTHONHASHSEED (repro-lint DET004).
+            active = [fid for fid in sorted(flow_ids) if fid in unfixed]
             if not active:
                 continue
             total_weight = sum(weight_of(fid) for fid in active)
@@ -151,7 +154,7 @@ def weighted_max_min(
                 best_link = link
         if best_link is None:
             break
-        fixed_now = [fid for fid in members[best_link] if fid in unfixed]
+        fixed_now = [fid for fid in sorted(members[best_link]) if fid in unfixed]
         for fid in fixed_now:
             rate = max(0.0, best_share * weight_of(fid))
             rates[fid] = rate
@@ -212,7 +215,9 @@ class NetworkFluidSimulator:
             capacities_gbps=self.capacities_gbps,
             policy_name="tcp-fair" if self.fair_share else "mltcp",
         )
-        capacities_bps = {k: v * 1e9 for k, v in self.capacities_gbps.items()}
+        capacities_bps = {
+            k: bps_from_gbps(v) for k, v in self.capacities_gbps.items()
+        }
         now = 0.0
         longest = max(p.job.ideal_iteration_time for p in self.placements)
         max_steps = int(

@@ -1,0 +1,43 @@
+"""``repro lint`` — AST-based determinism & unit-safety analyzer.
+
+Stdlib-only (the :mod:`ast` module) static analysis enforcing the repo's
+two load-bearing invariants: seeded runs replay bit-for-bit, and
+quantities keep their units.  See docs/LINTING.md for the rule catalog,
+suppression syntax and how to add a rule.
+
+Public API::
+
+    from repro.lint import ALL_RULES, lint_source, lint_paths
+    findings = lint_paths(["src"])           # list[Finding]
+    findings = lint_source(code, "x.py", ALL_RULES)
+"""
+
+from __future__ import annotations
+
+from . import determinism, floats, hygiene, units
+from .cli import lint_paths, run_lint
+from .engine import Finding, LintContext, Rule, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "lint_source",
+    "lint_paths",
+    "run_lint",
+    "rule_by_code",
+]
+
+#: Every rule, in catalog order (the order docs/LINTING.md documents).
+ALL_RULES: tuple[Rule, ...] = (
+    determinism.RULES + floats.RULES + units.RULES + hygiene.RULES
+)
+
+
+def rule_by_code(code: str) -> Rule:
+    """Look up one rule by its code (``KeyError`` when unknown)."""
+    for rule in ALL_RULES:
+        if rule.code == code.upper():
+            return rule
+    raise KeyError(f"unknown lint rule code: {code!r}")

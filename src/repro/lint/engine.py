@@ -1,0 +1,185 @@
+"""Core machinery of the ``repro lint`` analyzer.
+
+The engine is deliberately small: a :class:`Rule` couples a stable code
+(``DET001``, ``FLT001``, ...) to a checker function that walks a parsed
+module and yields :class:`Finding` objects.  Everything repo-specific —
+which calls break determinism, which identifier suffixes denote units —
+lives in the rule modules (:mod:`repro.lint.determinism`,
+:mod:`repro.lint.floats`, :mod:`repro.lint.units`,
+:mod:`repro.lint.hygiene`), so adding a rule never touches this file
+(see docs/LINTING.md, "Adding a rule").
+
+Suppressions: a finding is dropped when the line that produced it carries
+``# repro-lint: disable=CODE`` (comma-separate several codes, or ``all``),
+or when any line in the file carries ``# repro-lint: disable-file=CODE``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "lint_source",
+    "dotted_name",
+    "terminal_name",
+]
+
+#: ``# repro-lint: disable=DET001,FLT001`` (line) / ``disable-file=...`` (file).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+|all)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the one-line report format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Everything a checker may consult about the module under analysis."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def posix_path(self) -> str:
+        """The path with forward slashes, for scope matching."""
+        return str(PurePosixPath(self.path.replace("\\", "/")))
+
+
+Checker = Callable[[LintContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A lint rule: stable code, human summary, scope, and checker.
+
+    ``scopes`` restricts the rule to files whose posix path contains any of
+    the given substrings (empty tuple = every file); ``exempt`` then carves
+    out allowlisted layers (e.g. the harness may read wall clocks).
+    """
+
+    code: str
+    name: str
+    summary: str
+    rationale: str
+    checker: Checker
+    scopes: tuple[str, ...] = ()
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, posix_path: str) -> bool:
+        """Whether this rule runs on the file at ``posix_path``."""
+        if any(marker in posix_path for marker in self.exempt):
+            return False
+        if not self.scopes:
+            return True
+        return any(marker in posix_path for marker in self.scopes)
+
+
+def _suppressions(lines: list[str]) -> tuple[dict[int, set[str]], set[str]]:
+    """Parse suppression comments: per-line codes and file-wide codes.
+
+    ``"all"`` is represented by the sentinel code ``"*"`` in either set.
+    """
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        kind, spec = match.group(1), match.group(2)
+        codes = (
+            {"*"}
+            if spec.strip().lower() == "all"
+            else {c.strip().upper() for c in spec.split(",") if c.strip()}
+        )
+        if kind == "disable-file":
+            file_wide |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, file_wide
+
+
+def _suppressed(
+    finding: Finding, per_line: dict[int, set[str]], file_wide: set[str]
+) -> bool:
+    if "*" in file_wide or finding.code in file_wide:
+        return True
+    at_line = per_line.get(finding.line, ())
+    return "*" in at_line or finding.code in at_line
+
+
+def lint_source(
+    source: str, path: str, rules: Iterable[Rule]
+) -> list[Finding]:
+    """Run every applicable rule over one module's source.
+
+    Raises :class:`SyntaxError` when the source does not parse — callers
+    decide whether that is a usage error (CLI) or a test expectation.
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    ctx = LintContext(path=path, source=source, tree=tree, lines=lines)
+    per_line, file_wide = _suppressions(lines)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx.posix_path):
+            continue
+        for finding in rule.checker(ctx):
+            if not _suppressed(finding, per_line, file_wide):
+                findings.append(finding)
+    return sorted(findings)
+
+
+# -- shared AST helpers used by several rule modules ------------------------
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_names(node: ast.expr) -> Iterator[str]:
+    """Every identifier (Name ids and Attribute attrs) inside ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr

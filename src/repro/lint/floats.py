@@ -1,0 +1,93 @@
+"""Float-discipline rule (FLT001).
+
+Simulation state — times, rates, windows — accumulates through float
+arithmetic, so exact ``==``/``!=`` comparisons are order-of-operations
+landmines.  In the scoped packages (``simulator/``, ``fluid/``, ``tcp/``)
+such comparisons must go through the tolerance helpers in
+:mod:`repro.core.tolerances`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, LintContext, Rule, terminal_name
+
+__all__ = ["RULES"]
+
+#: Identifier suffixes that mark a quantity as float-valued in this repo.
+_FLOAT_SUFFIXES = (
+    "_time", "_s", "_us", "_ms", "_bps", "_gbps", "_mbps", "_rate",
+    "_ratio", "_factor", "_fraction", "_scale", "_delay", "_rtt",
+    "_bits", "_deadline", "_offset", "_sigma",
+)
+
+#: Bare identifiers that are float-valued simulation state wherever they
+#: appear in the scoped packages.
+_FLOAT_NAMES = frozenset(
+    {
+        "now", "rtt", "srtt", "cwnd", "ssthresh", "alpha", "rate", "delay",
+        "dt", "deadline", "factor", "share", "capacity", "remaining",
+        "delta", "quantum", "t",
+    }
+)
+
+
+def _looks_float(node: ast.expr) -> bool:
+    """Conservative: does this expression smell like a float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _looks_float(node.left) or _looks_float(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _looks_float(node.operand)
+    if isinstance(node, ast.Call):
+        fn = terminal_name(node.func)
+        return fn in ("float", "sum", "mean", "sqrt", "exp", "log")
+    name = terminal_name(node)
+    if name is None:
+        return False
+    if name in _FLOAT_NAMES:
+        return True
+    return name.endswith(_FLOAT_SUFFIXES)
+
+
+def _check_flt001(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # `x == None` style comparisons never reach here (None/str/bool
+            # constants are not float-like); require at least one float side.
+            if _looks_float(left) or _looks_float(right):
+                rendered = f"{ast.unparse(left)} {'==' if isinstance(op, ast.Eq) else '!='} {ast.unparse(right)}"
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "FLT001",
+                    f"exact float comparison `{rendered}`: accumulated "
+                    "floats differ in the last ulp across evaluation "
+                    "orders; use repro.core.tolerances "
+                    "(`close`, `is_zero`) or an ordered comparison",
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="FLT001",
+        name="float-equality",
+        summary="no `==`/`!=` between float expressions in simulation code",
+        rationale=(
+            "Event times and rates are sums of many small floats; whether "
+            "two such sums compare equal depends on association order, "
+            "optimisation level, and platform. The tolerance helpers in "
+            "repro.core.tolerances make the intended slack explicit."
+        ),
+        checker=_check_flt001,
+        scopes=("simulator/", "fluid/", "tcp/"),
+    ),
+)

@@ -1,0 +1,116 @@
+"""Simulator-hygiene rules (SIM001, SIM002).
+
+The discrete-event engine owns two invariants that no other layer may
+touch: simulation time only advances inside the event loop, and a popped
+event belongs to the engine — handlers act on it and let go.  Code that
+writes ``engine.now`` rewrites history; code that stores popped events on
+``self`` resurrects cancelled callbacks and defeats the engine's
+cancellation accounting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, LintContext, Rule, terminal_name
+
+__all__ = ["RULES"]
+
+#: Call names whose return value is a dequeued event/queue entry.
+_POP_CALLS = frozenset({"heappop", "pop", "popleft", "get_nowait"})
+
+
+def _check_sim001(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr == "now":
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "SIM001",
+                    "assignment to `.now`: simulation time is owned by the "
+                    "event loop in repro.simulator.engine; handlers "
+                    "schedule future work instead of moving the clock",
+                )
+
+
+def _value_is_pop(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            fn = terminal_name(child.func)
+            if fn in _POP_CALLS:
+                return True
+    return False
+
+
+def _target_is_self_attr(target: ast.expr) -> bool:
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    )
+
+
+def _check_sim002(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            if _value_is_pop(node.value) and any(
+                _target_is_self_attr(t) for t in node.targets
+            ):
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "SIM002",
+                    "popped event stored on `self`: dequeued events belong "
+                    "to the engine; keep them in locals for the duration "
+                    "of the handler",
+                )
+        elif isinstance(node, ast.Call):
+            # self.<list>.append(heappop(...)) — same leak, different spelling.
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "append"
+                and isinstance(fn.value, ast.Attribute)
+                and isinstance(fn.value.value, ast.Name)
+                and fn.value.value.id == "self"
+                and any(_value_is_pop(arg) for arg in node.args)
+            ):
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "SIM002",
+                    "popped event appended to a `self` container: dequeued "
+                    "events belong to the engine; copy the fields you "
+                    "need instead of keeping the event",
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="SIM001",
+        name="clock-mutation",
+        summary="event handlers may not mutate `engine.now`",
+        rationale=(
+            "`now` advances only as the event loop dequeues; any other "
+            "write desynchronises scheduled timestamps from the heap "
+            "order and corrupts every in-flight timer."
+        ),
+        checker=_check_sim001,
+        exempt=("simulator/engine.py",),
+    ),
+    Rule(
+        code="SIM002",
+        name="held-popped-event",
+        summary="apps may not hold references to popped events",
+        rationale=(
+            "A popped event's cancellation flag and payload are dead the "
+            "moment its handler returns; holding it aliases engine state "
+            "into application objects and resurrects stale callbacks."
+        ),
+        checker=_check_sim002,
+        scopes=("simulator/", "tcp/", "fluid/"),
+    ),
+)

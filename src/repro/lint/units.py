@@ -1,0 +1,181 @@
+"""Unit-safety rules (UNT001, UNT002).
+
+A convention checker, not a type system: identifiers carrying a unit
+suffix (``_bits``, ``_bytes``, ``_gbps``, ``_s``, ``_us``, ...) may not be
+assigned from, or passed as, an expression built on a *different* unit's
+identifiers — unless the conversion goes through an explicitly named
+converter (``bps_from_gbps(...)``-style, see :mod:`repro.core.units`).
+This is the lint answer to the classic silent factor-of-8 (bits/bytes) and
+factor-of-1e9 (Gbps/bps) bugs of congestion-control simulators.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from .engine import Finding, LintContext, Rule, terminal_name
+
+__all__ = ["RULES", "unit_of"]
+
+#: Recognised unit tokens, grouped by dimension.  Crossing *any* two
+#: distinct tokens — even within a dimension (gbps vs bps) — needs a named
+#: converter, because the scale factor is exactly what goes wrong.
+_UNIT_TOKENS = (
+    "bits", "bytes", "bps", "gbps", "mbps", "kbps",
+    "s", "us", "ms", "ns",
+)
+
+_SUFFIX_RE = re.compile(
+    r"_(" + "|".join(_UNIT_TOKENS) + r")$"
+)
+
+#: A call is a sanctioned converter when its name declares both what it
+#: returns and what it takes: ``X_from_Y``, ``to_X``, or ``X_to_Y``.
+_CONVERTER_RE = re.compile(r"(^|_)(from|to)(_|$)")
+
+
+def unit_of(identifier: str) -> Optional[str]:
+    """The unit token an identifier carries, or ``None``.
+
+    ``capacity_gbps`` -> ``gbps``; ``total_bits`` -> ``bits``;
+    ``sorted_list`` -> ``None`` (no recognised suffix).
+    """
+    match = _SUFFIX_RE.search(identifier)
+    return match.group(1) if match else None
+
+
+def _is_converter_call(node: ast.Call) -> bool:
+    fn = terminal_name(node.func)
+    if fn is None:
+        return False
+    if _CONVERTER_RE.search(fn):
+        return True
+    # A function named with two unit tokens (e.g. `gbit`) converts by
+    # declaration even without from/to.
+    return sum(1 for token in _UNIT_TOKENS if token in fn.split("_")) >= 2
+
+
+def _foreign_units(value: ast.expr, target_unit: str) -> list[tuple[str, str]]:
+    """``(identifier, unit)`` pairs in ``value`` whose unit != target's.
+
+    Subtrees rooted at converter calls are skipped: the converter's name is
+    the explicit acknowledgement the rule asks for.  A converter call
+    anywhere in the expression clears the whole site — iterating a
+    ``_gbps`` mapping to build a ``_bps`` one with per-value conversion is
+    the approved idiom, not a violation.
+    """
+    if any(
+        isinstance(node, ast.Call) and _is_converter_call(node)
+        for node in ast.walk(value)
+    ):
+        return []
+    foreign: list[tuple[str, str]] = []
+
+    def visit(node: ast.expr) -> None:
+        if isinstance(node, ast.Call) and _is_converter_call(node):
+            return
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = terminal_name(node)
+            if name is not None:
+                unit = unit_of(name)
+                if unit is not None and unit != target_unit:
+                    foreign.append((name, unit))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                visit(child)
+            elif isinstance(child, ast.comprehension):
+                visit(child.iter)
+                for test in child.ifs:
+                    visit(test)
+
+    visit(value)
+    return foreign
+
+
+def _flag_mismatch(
+    ctx: LintContext,
+    code: str,
+    node: ast.AST,
+    target_desc: str,
+    target_unit: str,
+    value: ast.expr,
+) -> Iterator[Finding]:
+    for name, unit in _foreign_units(value, target_unit):
+        yield Finding(
+            ctx.path, node.lineno, node.col_offset, code,
+            f"{target_desc} carries unit `{target_unit}` but is computed "
+            f"from `{name}` (unit `{unit}`); route the conversion through "
+            "a named converter (see repro.core.units, e.g. "
+            f"`{target_unit}_from_{unit}`)",
+        )
+        return  # one finding per site is enough to act on
+
+
+def _check_unt001(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        targets: list[ast.expr]
+        value: Optional[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if value is None:
+            continue
+        for target in targets:
+            name = terminal_name(target)
+            if name is None:
+                continue
+            unit = unit_of(name)
+            if unit is None:
+                continue
+            yield from _flag_mismatch(
+                ctx, "UNT001", node, f"assignment target `{name}`", unit,
+                value,
+            )
+
+
+def _check_unt002(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            unit = unit_of(keyword.arg)
+            if unit is None:
+                continue
+            yield from _flag_mismatch(
+                ctx, "UNT002", keyword.value,
+                f"keyword argument `{keyword.arg}`", unit, keyword.value,
+            )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="UNT001",
+        name="unit-suffix-assignment",
+        summary="no assigning across mismatched unit suffixes",
+        rationale=(
+            "`capacity_bps = capacity_gbps * 1e9` is correct today and a "
+            "silent factor-of-1e9 bug after the next refactor. A named "
+            "converter (`bps_from_gbps`) keeps the scale factor in exactly "
+            "one audited place."
+        ),
+        checker=_check_unt001,
+    ),
+    Rule(
+        code="UNT002",
+        name="unit-suffix-kwarg",
+        summary="no passing mismatched unit suffixes as keyword arguments",
+        rationale=(
+            "`run(total_bits=payload_bytes)` type-checks and simulates — "
+            "just 8x too fast. The kwarg's suffix is a contract; crossing "
+            "it needs a named converter at the call site."
+        ),
+        checker=_check_unt002,
+    ),
+)

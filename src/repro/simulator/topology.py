@@ -108,7 +108,10 @@ class Network:
                 )
         for here, nxt in zip(path, path[1:]):
             node = self.node(here)
-            node.set_route(dst_host, nxt)  # type: ignore[union-attr]
+            # Every node a Network creates is a Host or a Switch; the base
+            # Node has no routing table, so narrow before set_route.
+            assert isinstance(node, (Host, Switch))
+            node.set_route(dst_host, nxt)
 
 
 def build_dumbbell(

@@ -102,9 +102,18 @@ class MltcpDcqcnController(DcqcnController):
         self,
         line_rate_bps: float,
         config: MLTCPConfig | None = None,
-        **kwargs,
+        rate_ai_bps: float | None = None,
+        min_rate_bps: float | None = None,
+        g: float = 1.0 / 16.0,
+        fast_recovery_stages: int = 3,
     ) -> None:
-        super().__init__(line_rate_bps, **kwargs)
+        super().__init__(
+            line_rate_bps,
+            rate_ai_bps=rate_ai_bps,
+            min_rate_bps=min_rate_bps,
+            g=g,
+            fast_recovery_stages=fast_recovery_stages,
+        )
         self.config = config if config is not None else MLTCPConfig()
         self.tracker = IterationTracker(self.config)
 

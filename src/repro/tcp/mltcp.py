@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..core.config import MLTCPConfig
 from ..core.iteration import IterationTracker
-from .base import TcpSender
+from .base import CongestionControl, TcpSender
 from .cubic import CubicCC
 from .dctcp import DctcpCC
 from .reno import RenoCC
@@ -58,8 +58,15 @@ class MltcpState:
         self.tracker.notify_iteration_boundary(now)
 
 
-class _MltcpMixin:
-    """Shared plumbing: construct state, wire the two hooks."""
+class _MltcpMixin(CongestionControl):
+    """Shared plumbing: construct state, wire the two hooks.
+
+    Declares :class:`CongestionControl` as its base so the cooperative
+    ``super().__init__()`` / ``super().on_transfer_abort()`` calls are
+    statically known to resolve; in the concrete MLTCP-X classes the MRO
+    places the base algorithm X between this mixin and
+    :class:`CongestionControl`, so X's hooks still run.
+    """
 
     def __init__(self, config: MLTCPConfig | None = None) -> None:
         super().__init__()

@@ -16,7 +16,12 @@ from the base class.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .base import CongestionControl, MIN_CWND, TcpSender
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import MLTCPConfig
 
 __all__ = ["SwiftCC", "MLTCPSwift"]
 
@@ -86,11 +91,20 @@ class MLTCPSwift(SwiftCC):
 
     name = "mltcp-swift"
 
-    def __init__(self, config=None, **swift_kwargs) -> None:
+    def __init__(
+        self,
+        config: "MLTCPConfig | None" = None,
+        target_delay: float = 400e-6,
+        ai: float = 1.0,
+        beta: float = 0.8,
+        max_mdf: float = 0.5,
+    ) -> None:
         from ..core.config import MLTCPConfig
         from .mltcp import MltcpState
 
-        super().__init__(**swift_kwargs)
+        super().__init__(
+            target_delay=target_delay, ai=ai, beta=beta, max_mdf=max_mdf
+        )
         self.mltcp = MltcpState(config if config is not None else MLTCPConfig())
 
     def _observe(self, newly_acked: int, conn: TcpSender) -> None:

@@ -165,9 +165,14 @@ class TestValidateReport:
             del report["totals"]
 
         path = self._write_report(tmp_path, mutate=strip_totals)
+        # Violations: exit 1, diagnostics on stderr (shared repro.cliutil
+        # contract with `repro lint`).
         assert main(["validate-report", str(path)]) == 1
-        assert "totals" in capsys.readouterr().out
+        assert "totals" in capsys.readouterr().err
 
     def test_missing_file_fails(self, tmp_path, capsys):
-        assert main(["validate-report", str(tmp_path / "nope.json")]) == 1
-        assert "cannot read" in capsys.readouterr().out
+        # Unreadable input is a usage error: exit 2, `repro: error:` on
+        # stderr (repro.cliutil contract).
+        assert main(["validate-report", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "cannot read" in err

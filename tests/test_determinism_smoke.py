@@ -1,0 +1,249 @@
+"""Determinism smoke tests: the same seeded scenario run twice in-process
+must be *identical* — event counts, finish times, every telemetry-relevant
+output — on both simulation substrates.
+
+This is the dynamic complement of the static rules in `repro lint`
+(docs/LINTING.md): DET001–DET004 forbid the code shapes that break
+replay; these tests catch whatever the heuristics miss.  The
+hash-randomization tests pin the PR 3 fix for `water_fill` /
+`weighted_max_min`, whose float summation order used to follow set
+iteration order (and therefore PYTHONHASHSEED).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.fluid import run_fluid
+from repro.fluid.allocation import MLTCPWeighted, water_fill
+from repro.fluid.network import PlacedJob, run_network_fluid, weighted_max_min
+from repro.harness.packetlab import mltcp_config_for, run_packet_jobs
+from repro.tcp.mltcp import MLTCPReno
+from repro.workloads import four_job_scenario, two_job_scenario
+from repro.workloads.job import JobSpec
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _packet_scale_jobs() -> list[JobSpec]:
+    """Two fig6-scale jobs: small enough for the packet simulator (8 Mbit
+    at 1 Gbps, not the fluid presets' 36 Gbit collectives)."""
+    template = JobSpec(
+        name="Job",
+        comm_bits=8e6,
+        demand_gbps=1.0,
+        compute_time=0.010,
+        jitter_sigma=0.0005,
+    )
+    return [template.with_name("Job1"), template.with_name("Job2")]
+
+
+def _fluid_fingerprint(seed: int = 7):
+    result = run_fluid(
+        four_job_scenario(),
+        capacity_gbps=50.0,
+        policy=MLTCPWeighted(),
+        max_iterations=8,
+        seed=seed,
+    )
+    return (
+        [
+            (it.job, it.index, it.comm_start, it.comm_end, it.iteration_end)
+            for it in result.iterations
+        ],
+        result.end_time,
+        len(result.segments),
+        [seg.rates_bps for seg in result.segments[:50]],
+    )
+
+
+def _packet_fingerprint(seed: int = 3):
+    lab = run_packet_jobs(
+        _packet_scale_jobs(),
+        lambda job: MLTCPReno(mltcp_config_for(job)),
+        bottleneck_bps=1e9,
+        max_iterations=6,
+        seed=seed,
+    )
+    return (
+        lab.sim.events_processed,
+        lab.sim.now,
+        {
+            name: [
+                (it.index, it.comm_start, it.comm_end, it.iteration_end)
+                for it in app.iterations
+            ]
+            for name, app in lab.apps.items()
+        },
+    )
+
+
+def _network_fingerprint(seed: int = 11):
+    jobs = two_job_scenario(jitter_sigma=0.001)
+    placements = [
+        PlacedJob(job=jobs[0], links=("up", "core")),
+        PlacedJob(job=jobs[1], links=("core", "down")),
+    ]
+    result = run_network_fluid(
+        placements,
+        {"up": 50.0, "core": 40.0, "down": 50.0},
+        max_iterations=6,
+        seed=seed,
+    )
+    return (
+        [
+            (it.job, it.index, it.comm_start, it.comm_end, it.iteration_end)
+            for it in result.iterations
+        ],
+        result.end_time,
+    )
+
+
+class TestSameProcessReplay:
+    def test_fluid_substrate_replays_bit_for_bit(self):
+        first, second = _fluid_fingerprint(), _fluid_fingerprint()
+        assert first == second  # exact equality, floats included
+
+    def test_packet_substrate_replays_bit_for_bit(self):
+        first, second = _packet_fingerprint(), _packet_fingerprint()
+        assert first == second
+
+    def test_network_fluid_replays_bit_for_bit(self):
+        first, second = _network_fingerprint(), _network_fingerprint()
+        assert first == second
+
+    def test_different_seeds_actually_differ(self):
+        # Guard against the fingerprints being trivially constant.
+        assert _fluid_fingerprint(seed=7) != _fluid_fingerprint(seed=8)
+
+
+def _run_hashseed(code: str, hashseed: str) -> str:
+    """Run ``code`` in a subprocess with a pinned PYTHONHASHSEED."""
+    env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return proc.stdout
+
+
+#: Weights chosen so the per-step float sums genuinely depend on addition
+#: order (1/3, 1/7, ... have no exact binary representation).
+_WATER_FILL_CODE = """
+import json
+from repro.fluid.allocation import water_fill
+demands = {f"flow{i:02d}": 1e9 / (i + 2) for i in range(12)}
+weights = {f"flow{i:02d}": 1.0 / (3 + i) for i in range(12)}
+rates = water_fill(demands, weights, 2.5e9)
+print(json.dumps({k: rates[k].hex() for k in sorted(rates)}))
+"""
+
+_MAX_MIN_CODE = """
+import json
+from repro.fluid.network import weighted_max_min
+flows = {
+    f"flow{i:02d}": (1.0 / (3 + i), 1e9 / (i + 2), ("up", "core"))
+    for i in range(12)
+}
+rates = weighted_max_min(flows, {"up": 1.7e9, "core": 1.3e9})
+print(json.dumps({k: rates[k].hex() for k in sorted(rates)}))
+"""
+
+
+class TestHashSeedIndependence:
+    """Regression for the PR 3 fix: allocation results used to vary with
+    PYTHONHASHSEED because float sums followed set iteration order."""
+
+    def test_water_fill_is_hashseed_independent(self):
+        outputs = {_run_hashseed(_WATER_FILL_CODE, hs) for hs in ("1", "2", "31337")}
+        assert len(outputs) == 1, "water_fill rates vary with PYTHONHASHSEED"
+
+    def test_weighted_max_min_is_hashseed_independent(self):
+        outputs = {_run_hashseed(_MAX_MIN_CODE, hs) for hs in ("1", "2", "31337")}
+        assert len(outputs) == 1, (
+            "weighted_max_min rates vary with PYTHONHASHSEED"
+        )
+
+    def test_water_fill_still_allocates_correctly(self):
+        # Behavior guard for the sorted() rewrite: conservation and caps.
+        demands = {"a": 4e9, "b": 1e9, "c": 2e9}
+        weights = {"a": 3.0, "b": 1.0, "c": 1.0}
+        rates = water_fill(demands, weights, 5e9)
+        assert sum(rates.values()) <= 5e9 + 1e-3
+        assert all(rates[f] <= demands[f] + 1e-3 for f in demands)
+        # b's proportional share (1 Gbps) equals its demand cap.
+        assert np.isclose(rates["b"], 1e9)
+
+
+class TestToleranceFixes:
+    """Behavioral regressions for the FLT001 fixes in the fluid simulator."""
+
+    def test_rate_timeline_skips_near_zero_rates(self):
+        # The old `rate == 0.0` skipped only exact zeros; is_zero() must
+        # treat denormal-scale residue the same way without changing real
+        # rates.
+        result = run_fluid(
+            four_job_scenario(), capacity_gbps=50.0, max_iterations=4, seed=0
+        )
+        job = result.jobs[0].name
+        times, rates = result.rate_timeline(job, dt=0.01)
+        assert len(times) == len(rates)
+        assert rates.max() > 0.0  # the job did communicate
+
+    def test_capacity_factor_log_dedupes_equal_factors(self):
+        from repro.faults.schedule import FaultEvent, FaultSchedule
+
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(kind="bandwidth", time=0.05, duration=0.1, factor=0.5),
+            ),
+            seed=0,
+        )
+        result = run_fluid(
+            two_job_scenario(jitter_sigma=0.0),
+            capacity_gbps=50.0,
+            max_iterations=6,
+            seed=0,
+            faults=schedule,
+        )
+        transitions = [
+            line for line in result.fault_log if "capacity factor" in line
+        ]
+        # One drop to 0.5 and one recovery to 1.0 — equal consecutive
+        # factors (within tolerance) must not re-log.
+        assert len(transitions) == 2
+
+
+class TestUnitConverters:
+    def test_converters_roundtrip(self):
+        from repro.core.units import (
+            bits_from_bytes, bps_from_gbps, bytes_from_bits, gbps_from_bps,
+            mbps_from_bps, bps_from_mbps, s_from_us, us_from_s,
+        )
+
+        assert bits_from_bytes(1460) == 11680
+        assert bytes_from_bits(11680) == 1460
+        assert bps_from_gbps(50.0) == 50e9
+        assert gbps_from_bps(50e9) == 50.0
+        assert bps_from_mbps(1.0) == 1e6
+        assert mbps_from_bps(1e6) == 1.0
+        assert s_from_us(5.0) == 5e-6
+        assert us_from_s(5e-6) == 5.0
+
+    def test_capacity_bps_uses_converter(self):
+        from repro.fluid.flowsim import FluidSimulator
+
+        sim = FluidSimulator(two_job_scenario(), capacity_gbps=50.0)
+        assert sim.capacity_bps == 50e9
+
+    def test_tolerance_helpers(self):
+        from repro.core.tolerances import close, is_zero
+
+        assert close(0.1 + 0.2, 0.3)
+        assert not close(0.3, 0.300001)
+        assert is_zero(0.0) and is_zero(1e-12)
+        assert not is_zero(1e-3)

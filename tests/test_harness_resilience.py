@@ -319,8 +319,11 @@ class TestCliFaults:
 
         assert main([
             "faults", "--classes", "gremlin", "--substrate", "fluid",
-        ]) != 0
-        assert "gremlin" in capsys.readouterr().out
+        ]) == 2
+        # Usage errors follow the shared CLI contract (repro.cliutil):
+        # `repro: error: ...` on stderr, exit 2.
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "gremlin" in err
 
     def test_custom_schedule_file(self, tmp_path, capsys):
         from repro.cli import main
@@ -342,5 +345,6 @@ class TestCliFaults:
 
         bad = tmp_path / "bad.json"
         bad.write_text('{"events": [{"kind": "gremlin", "time": 1.0}]}')
-        assert main(["faults", "--schedule", str(bad)]) != 0
-        assert "unknown kind" in capsys.readouterr().out
+        assert main(["faults", "--schedule", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "unknown kind" in err

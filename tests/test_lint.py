@@ -1,0 +1,331 @@
+"""Tests for the ``repro lint`` analyzer: per-rule fixtures, suppressions,
+CLI exit codes — and the acceptance gate that the repo's own ``src/`` tree
+is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import ALL_RULES, lint_paths, lint_source, rule_by_code
+
+#: Default fixture path — inside the fluid/ scope so every rule family
+#: (including the scoped ones) is active.
+FLUID = "src/repro/fluid/fixture.py"
+#: A path outside every scope restriction but inside none of the exemptions.
+NEUTRAL = "src/repro/workloads/fixture.py"
+
+
+def codes(source: str, path: str = FLUID) -> list[str]:
+    """Rule codes found in ``source`` when linted as ``path``."""
+    return [f.code for f in lint_source(source, path, ALL_RULES)]
+
+
+class TestDeterminismRules:
+    def test_det001_flags_global_random_calls(self):
+        src = "import random\nx = random.random()\ny = random.randint(0, 3)\n"
+        assert codes(src) == ["DET001", "DET001"]
+
+    def test_det001_allows_seeded_instances(self):
+        src = (
+            "import random\n"
+            "rng = random.Random(42)\n"
+            "x = rng.random()\n"
+            "y = rng.randint(0, 3)\n"
+        )
+        assert codes(src) == []
+
+    def test_det002_flags_wall_clock_in_simulation_code(self):
+        src = "import time\nt0 = time.perf_counter()\nt1 = time.time()\n"
+        assert codes(src, "src/repro/simulator/fixture.py") == [
+            "DET002", "DET002",
+        ]
+
+    def test_det002_flags_datetime_now(self):
+        src = "from datetime import datetime\nstamp = datetime.now()\n"
+        assert codes(src) == ["DET002"]
+
+    def test_det002_allows_harness_layer(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert codes(src, "src/repro/harness/telemetry.py") == []
+
+    def test_det003_flags_legacy_numpy_global_rng(self):
+        src = "import numpy as np\nnp.random.seed(1)\nx = np.random.normal()\n"
+        assert codes(src) == ["DET003", "DET003"]
+
+    def test_det003_allows_default_rng(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "x = rng.normal()\n"
+        )
+        assert codes(src) == []
+
+    def test_det004_flags_float_sum_over_set(self):
+        # The water_fill bug shape: summation order over a set reaches the
+        # allocation result.
+        src = (
+            "def f(weights, demands):\n"
+            "    unsat = {fid for fid in demands}\n"
+            "    return sum(weights[fid] for fid in unsat)\n"
+        )
+        assert codes(src) == ["DET004"]
+
+    def test_det004_flags_for_loop_and_subscripted_dict_of_sets(self):
+        src = (
+            "def f(items):\n"
+            "    members: dict[str, set[str]] = {}\n"
+            "    chosen = set(items)\n"
+            "    out = []\n"
+            "    for x in chosen:\n"
+            "        out.append(x)\n"
+            "    picked = [f for f in members['k']]\n"
+            "    return out, picked\n"
+        )
+        assert codes(src) == ["DET004", "DET004"]
+
+    def test_det004_allows_sorted_iteration_and_set_building(self):
+        src = (
+            "def f(weights, demands):\n"
+            "    unsat = {fid for fid in demands}\n"
+            "    capped = {fid for fid in unsat if weights[fid] > 0}\n"
+            "    return sum(weights[fid] for fid in sorted(unsat)), capped\n"
+        )
+        assert codes(src) == []
+
+    def test_det004_out_of_scope_paths_are_ignored(self):
+        src = "def f(xs):\n    s = set(xs)\n    return [x for x in s]\n"
+        assert codes(src, "src/repro/harness/fixture.py") == []
+
+    def test_det005_flags_mutable_defaults(self):
+        src = (
+            "def f(a, log=[]):\n    return log\n"
+            "def g(*, cache={}):\n    return cache\n"
+            "def h(s=set()):\n    return s\n"
+        )
+        assert codes(src) == ["DET005", "DET005", "DET005"]
+
+    def test_det005_allows_none_default(self):
+        src = "def f(a, log=None):\n    return log or []\n"
+        assert codes(src) == []
+
+
+class TestFloatRule:
+    def test_flt001_flags_float_equality(self):
+        src = "def f(rate):\n    return rate == 0.0\n"
+        assert codes(src) == ["FLT001"]
+
+    def test_flt001_flags_suffixed_identifiers(self):
+        src = "def f(a_time, b_time):\n    return a_time != b_time\n"
+        assert codes(src) == ["FLT001"]
+
+    def test_flt001_allows_ordered_comparison_and_int_equality(self):
+        src = (
+            "def f(rate, seq, expected_seq):\n"
+            "    return rate <= 0.0 or seq == expected_seq\n"
+        )
+        assert codes(src) == []
+
+    def test_flt001_scoped_to_simulation_packages(self):
+        src = "def f(rate):\n    return rate == 0.0\n"
+        assert codes(src, NEUTRAL) == []
+
+
+class TestUnitRules:
+    def test_unt001_flags_cross_unit_assignment(self):
+        src = "def f(capacity_gbps):\n    capacity_bps = capacity_gbps * 1e9\n    return capacity_bps\n"
+        assert codes(src) == ["UNT001"]
+
+    def test_unt001_flags_bits_bytes_crossing(self):
+        src = "def f(payload_bytes):\n    total_bits = payload_bytes * 8\n    return total_bits\n"
+        assert codes(src) == ["UNT001"]
+
+    def test_unt001_allows_named_converter(self):
+        src = (
+            "from repro.core.units import bps_from_gbps\n"
+            "def f(capacity_gbps):\n"
+            "    capacity_bps = bps_from_gbps(capacity_gbps)\n"
+            "    return capacity_bps\n"
+        )
+        assert codes(src) == []
+
+    def test_unt001_allows_same_unit(self):
+        src = "def f(demand_bps):\n    rate_bps = demand_bps / 2\n    return rate_bps\n"
+        assert codes(src) == []
+
+    def test_unt002_flags_cross_unit_kwarg(self):
+        src = "def f(run, payload_bytes):\n    run(total_bits=payload_bytes)\n"
+        assert codes(src) == ["UNT002"]
+
+    def test_unt002_allows_converter_at_call_site(self):
+        src = (
+            "from repro.core.units import bits_from_bytes\n"
+            "def f(run, payload_bytes):\n"
+            "    run(total_bits=bits_from_bytes(payload_bytes))\n"
+        )
+        assert codes(src) == []
+
+
+class TestHygieneRules:
+    def test_sim001_flags_clock_mutation(self):
+        src = (
+            "def handler(self):\n"
+            "    self.sim.now = 5.0\n"
+            "def other(engine, dt):\n"
+            "    engine.now += dt\n"
+        )
+        assert codes(src) == ["SIM001", "SIM001"]
+
+    def test_sim001_exempts_the_engine_itself(self):
+        src = "def _advance(self, t):\n    self.now = t\n"
+        assert codes(src, "src/repro/simulator/engine.py") == []
+
+    def test_sim002_flags_storing_popped_events(self):
+        src = (
+            "import heapq\n"
+            "def handler(self):\n"
+            "    self.last_event = heapq.heappop(self._heap)\n"
+        )
+        assert codes(src, "src/repro/simulator/fixture.py") == ["SIM002"]
+
+    def test_sim002_flags_appending_popped_events(self):
+        src = (
+            "import heapq\n"
+            "def handler(self):\n"
+            "    self.history.append(heapq.heappop(self._heap))\n"
+        )
+        assert codes(src, "src/repro/simulator/fixture.py") == ["SIM002"]
+
+    def test_sim002_allows_local_use(self):
+        src = (
+            "import heapq\n"
+            "def handler(self):\n"
+            "    event = heapq.heappop(self._heap)\n"
+            "    event.callback()\n"
+        )
+        assert codes(src, "src/repro/simulator/fixture.py") == []
+
+
+class TestSuppressions:
+    def test_line_suppression_drops_the_finding(self):
+        src = "import random\nx = random.random()  # repro-lint: disable=DET001\n"
+        assert codes(src) == []
+
+    def test_line_suppression_is_code_specific(self):
+        src = "import random\nx = random.random()  # repro-lint: disable=FLT001\n"
+        assert codes(src) == ["DET001"]
+
+    def test_line_suppression_all(self):
+        src = "import random\nx = random.random()  # repro-lint: disable=all\n"
+        assert codes(src) == []
+
+    def test_file_suppression(self):
+        src = (
+            "# repro-lint: disable-file=DET001\n"
+            "import random\n"
+            "x = random.random()\n"
+            "y = random.uniform(0, 1)\n"
+        )
+        assert codes(src) == []
+
+    def test_multiple_codes_one_comment(self):
+        src = (
+            "import random\n"
+            "def f(rate):\n"
+            "    x = random.random() == 0.0  # repro-lint: disable=DET001,FLT001\n"
+            "    return x\n"
+        )
+        assert codes(src) == []
+
+
+class TestRuleCatalog:
+    def test_codes_are_unique_and_documented(self):
+        seen = [rule.code for rule in ALL_RULES]
+        assert len(seen) == len(set(seen))
+        for rule in ALL_RULES:
+            assert rule.summary and rule.rationale
+
+    def test_rule_by_code_roundtrip(self):
+        for rule in ALL_RULES:
+            assert rule_by_code(rule.code) is rule
+
+    def test_rule_by_code_unknown(self):
+        with pytest.raises(KeyError):
+            rule_by_code("XYZ999")
+
+    def test_every_rule_is_catalogued_in_docs(self):
+        doc = (
+            Path(__file__).resolve().parent.parent / "docs" / "LINTING.md"
+        ).read_text()
+        for rule in ALL_RULES:
+            assert rule.code in doc, f"{rule.code} missing from docs/LINTING.md"
+
+
+class TestCli:
+    def _write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.write_text(source)
+        return path
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr()
+        assert "no findings" in out.out and out.err == ""
+
+    def test_findings_exit_one_on_stderr(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        assert main(["lint", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "DET001" in err and "1 finding(s)" in err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, "broken.py", "def f(:\n")
+        assert main(["lint", str(path)]) == 2
+        assert "repro: error: cannot parse" in capsys.readouterr().err
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        assert main(["lint", "--select", "DET005", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_ignore_drops_rules(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        assert main(["lint", "--ignore", "DET001", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_unknown_code_exits_two(self, tmp_path, capsys):
+        path = self._write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["lint", "--select", "NOPE", str(path)]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.code in out
+
+    def test_directory_walk(self, tmp_path, capsys):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "a.py").write_text("x = 1\n")
+        (sub / "b.py").write_text("import random\ny = random.choice([1])\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "b.py" in capsys.readouterr().err
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        """Acceptance criterion: `repro lint src/` exits 0 on the tree."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        assert lint_paths([str(src)]) == []
