@@ -8,6 +8,8 @@ Usage::
     python -m repro run all --fast --workers 4
     python -m repro run fig6 --no-cache --report fig6.run.json
     python -m repro validate-report bench_reports/ablation_noise.run.json
+    python -m repro bench-compare bench_reports/perf_baseline.json
+    python -m repro bench-compare current.json --baseline bench_reports/perf_baseline.json
     python -m repro lint src
     python -m repro lint --list-rules
     python -m repro faults --fast --workers 4
@@ -30,6 +32,10 @@ run-report; ``validate-report`` checks such a report against the schema in
 substrate, see docs/FAULTS.md) with the runner's resilience features on:
 per-point timeouts, retries, crash isolation, and a checkpoint file so
 ``--resume`` re-runs only the points that failed or never ran.
+
+``bench-compare`` checks a pytest-benchmark report against a committed
+performance baseline (docs/PERFORMANCE.md) and fails on regressions beyond
+a threshold — the perf-gate behind ``make bench-perf``.
 
 ``lint`` runs the repo's AST-based determinism/unit-safety analyzer
 (docs/LINTING.md).  All subcommands share one error contract
@@ -366,6 +372,70 @@ def _validate_report_command(report_path: str, schema_path: Optional[str]) -> in
     return EXIT_OK
 
 
+#: Default comparison point for ``repro bench-compare``: the pre-optimization
+#: seed numbers (bench_reports/perf_seed.json).  ``make bench-perf`` passes
+#: ``--baseline bench_reports/perf_baseline.json`` to gate fresh runs against
+#: the current optimized tree instead.
+DEFAULT_BENCH_BASELINE = "bench_reports/perf_seed.json"
+
+
+def _bench_compare_command(args) -> int:
+    """Execute ``repro bench-compare``: perf gate against a baseline file.
+
+    Exit codes follow :mod:`repro.cliutil`: 0 when every benchmark is within
+    the regression threshold, 1 when one regressed (or vanished), 2 when a
+    report cannot be read.
+    """
+    from .harness.perfbench import compare, load_report, write_baseline
+
+    try:
+        current = load_report(args.current)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        return fail(f"cannot read benchmark report {args.current}: {error}")
+    try:
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        return fail(f"cannot read baseline {args.baseline}: {error}")
+    if args.threshold < 0:
+        return fail(f"--threshold must be non-negative, got {args.threshold!r}")
+
+    comparison = compare(current, baseline, threshold=args.threshold)
+    print(
+        render_table(
+            ["benchmark", "baseline min (ms)", "current min (ms)", "speedup"],
+            [
+                [
+                    row.name,
+                    row.baseline_min * 1e3,
+                    row.current_min * 1e3,
+                    f"{row.speedup:.2f}x",
+                ]
+                for row in comparison.rows
+            ],
+            title=(
+                f"bench-compare — {args.current} vs {args.baseline} "
+                f"(regression threshold {args.threshold:.0%})"
+            ),
+        )
+    )
+    if args.save:
+        path = write_baseline(args.save, current, note=args.note)
+        print(f"compact baseline written to {path}")
+    if not comparison.ok:
+        details = [
+            f"{row.name}: {row.current_min * 1e3:.3f} ms vs baseline "
+            f"{row.baseline_min * 1e3:.3f} ms ({row.speedup:.2f}x)"
+            for row in comparison.regressions
+        ] + [
+            f"{name}: in baseline but missing from the current report"
+            for name in comparison.missing
+        ]
+        return report_violations(
+            f"{args.current}: {len(details)} benchmark gate violation(s)", details
+        )
+    return EXIT_OK
+
+
 def _compat_command(scenario_path: str, capacity_gbps: float) -> int:
     """Check a saved scenario (JSON) against the §4 compatibility precondition."""
     from .schedulers.compatibility import best_compatibility
@@ -544,6 +614,42 @@ def main(argv: list[str] | None = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    bench_compare = subparsers.add_parser(
+        "bench-compare",
+        help="compare a pytest-benchmark report against a committed perf "
+        "baseline; fails on regressions (docs/PERFORMANCE.md)",
+    )
+    bench_compare.add_argument(
+        "current",
+        help="benchmark report to check: raw --benchmark-json output or a "
+        "compact baseline file",
+    )
+    bench_compare.add_argument(
+        "--baseline",
+        default=DEFAULT_BENCH_BASELINE,
+        metavar="PATH",
+        help=f"baseline to compare against (default: {DEFAULT_BENCH_BASELINE}, "
+        "the pre-optimization seed numbers)",
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="allowed slowdown before the gate fails (default 0.15 = 15%%)",
+    )
+    bench_compare.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the current stats as a compact baseline to PATH "
+        "(how bench_reports/perf_baseline.json is refreshed)",
+    )
+    bench_compare.add_argument(
+        "--note",
+        default=None,
+        help="free-form provenance note embedded in the --save output",
+    )
     validate = subparsers.add_parser(
         "validate-report",
         help="check a JSON run-report against the run-report schema",
@@ -572,6 +678,9 @@ def main(argv: list[str] | None = None) -> int:
             args.paths, select=args.select, ignore=args.ignore,
             list_rules=args.list_rules,
         )
+
+    if args.command == "bench-compare":
+        return _bench_compare_command(args)
 
     if args.command == "validate-report":
         return _validate_report_command(args.report, args.schema)

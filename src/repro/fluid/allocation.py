@@ -21,10 +21,13 @@ comparison points:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Hashable, Mapping, Optional, Sequence
 
-from ..core.aggressiveness import AggressivenessFunction, default_aggressiveness
+from ..core.aggressiveness import (
+    AggressivenessFunction,
+    LinearAggressiveness,
+    default_aggressiveness,
+)
 
 __all__ = [
     "FlowView",
@@ -38,33 +41,54 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class FlowView:
     """What a policy may observe about one active flow.
 
     ``flow_id`` identifies the job; ``demand_bps`` caps the rate the flow can
     drive; ``remaining_bits``/``sent_bits``/``total_bits`` describe progress
     through the current iteration's communication phase.
+
+    Performance note (docs/PERFORMANCE.md): this used to be a frozen
+    dataclass that the fluid simulator rebuilt — and re-validated — for
+    every active flow at every allocation refresh.  It is now a mutable
+    ``__slots__`` class so the simulator can build one view per job and
+    sync the two progress fields in place between events.  Policies must
+    not retain views across ``allocate`` calls.
     """
 
-    flow_id: str
-    demand_bps: float
-    remaining_bits: float
-    sent_bits: float
-    total_bits: float
+    __slots__ = ("flow_id", "demand_bps", "remaining_bits", "sent_bits", "total_bits")
 
-    def __post_init__(self) -> None:
-        if self.demand_bps <= 0:
-            raise ValueError(f"{self.flow_id}: demand_bps must be positive")
-        if self.total_bits <= 0:
-            raise ValueError(f"{self.flow_id}: total_bits must be positive")
-        if self.remaining_bits < 0 or self.sent_bits < 0:
-            raise ValueError(f"{self.flow_id}: progress must be non-negative")
+    def __init__(
+        self,
+        flow_id: str,
+        demand_bps: float,
+        remaining_bits: float,
+        sent_bits: float,
+        total_bits: float,
+    ) -> None:
+        if demand_bps <= 0:
+            raise ValueError(f"{flow_id}: demand_bps must be positive")
+        if total_bits <= 0:
+            raise ValueError(f"{flow_id}: total_bits must be positive")
+        if remaining_bits < 0 or sent_bits < 0:
+            raise ValueError(f"{flow_id}: progress must be non-negative")
+        self.flow_id = flow_id
+        self.demand_bps = demand_bps
+        self.remaining_bits = remaining_bits
+        self.sent_bits = sent_bits
+        self.total_bits = total_bits
 
     @property
     def bytes_ratio(self) -> float:
         """Algorithm 1's ``bytes_ratio`` for this flow."""
         return min(1.0, self.sent_bits / self.total_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowView(flow_id={self.flow_id!r}, demand_bps={self.demand_bps!r}, "
+            f"remaining_bits={self.remaining_bits!r}, sent_bits={self.sent_bits!r}, "
+            f"total_bits={self.total_bits!r})"
+        )
 
 
 class AllocationPolicy(ABC):
@@ -77,6 +101,22 @@ class AllocationPolicy(ABC):
         self, flows: Sequence[FlowView], capacity_bps: float
     ) -> dict[str, float]:
         """Rates (bps) per flow id.  Sum must not exceed ``capacity_bps``."""
+
+    def cache_key(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> Optional[Hashable]:
+        """Token identifying everything this policy's allocation depends on.
+
+        When a policy can summarize its inputs in a small hashable value —
+        e.g. :class:`FairShare`, whose rates depend only on who is active,
+        their demand caps and the capacity — the fluid simulator reuses the
+        previous rate vector for as long as the token is unchanged instead
+        of re-running water-filling every event.  ``None`` (the default)
+        disables reuse; policies whose output varies continuously with flow
+        progress must keep it that way unless they quantize (see
+        :class:`MLTCPWeighted`'s ``ratio_granularity``).
+        """
+        return None
 
     def _check_capacity(self, capacity_bps: float) -> None:
         if capacity_bps <= 0:
@@ -95,58 +135,65 @@ def water_fill(
     """
     if capacity <= 0:
         raise ValueError(f"capacity must be positive, got {capacity!r}")
-    rates: dict[str, float] = {}
-    unsaturated = {fid for fid in demands}
-    remaining = capacity
     for fid, weight in weights.items():
         if weight < 0:
             raise ValueError(f"{fid}: weight must be non-negative, got {weight!r}")
-    # Sets are iterated in sorted order throughout: float summation order
-    # must not depend on PYTHONHASHSEED (repro-lint DET004).
+    rates: dict[str, float] = {}
+    # Single up-front sort; capped flows are filtered out preserving order,
+    # so every per-round accumulation below visits flows in exactly the
+    # order the per-round ``sorted()`` of earlier revisions produced —
+    # float summation order must not depend on PYTHONHASHSEED (repro-lint
+    # DET004) and must not change as this code gets faster.
+    unsaturated = sorted(demands)
+    saturated: set[str] = set()
+    remaining = capacity
     while unsaturated and remaining > 1e-12:
-        total_weight = sum(weights[fid] for fid in sorted(unsaturated))
+        total_weight = 0.0
+        for fid in unsaturated:
+            total_weight += weights[fid]
         if total_weight <= 0:
             # All remaining weights are zero: split the leftover evenly so no
             # flow fully starves (MLTCP "allocates non-zero bandwidth to all
             # competing flows", §5).
             equal = remaining / len(unsaturated)
-            newly_capped = {
+            newly_capped = [
                 fid for fid in unsaturated if demands[fid] <= equal + 1e-12
-            }
+            ]
             if not newly_capped:
-                for fid in sorted(unsaturated):
+                for fid in unsaturated:
                     rates[fid] = rates.get(fid, 0.0) + equal
                 return rates
-            for fid in sorted(newly_capped):
+            for fid in newly_capped:
                 rates[fid] = demands[fid]
-                remaining -= demands[fid] - rates.get(fid, 0.0)
-            # Recompute simply: restart with capped flows removed.
-            remaining = capacity - sum(
-                rates.get(fid, 0.0) for fid in demands if fid not in unsaturated
-            )
-            unsaturated -= newly_capped
+            # Recompute simply: restart with capped flows removed.  The
+            # refill sums what rounds before this one granted (``saturated``
+            # holds exactly the flows capped before this round), iterating
+            # ``demands`` in insertion order as the original did.
+            spent = 0.0
+            for fid in demands:
+                if fid in saturated:
+                    spent += rates.get(fid, 0.0)
+            remaining = capacity - spent
+            saturated.update(newly_capped)
+            unsaturated = [fid for fid in unsaturated if fid not in saturated]
             continue
-        progressed = False
-        shares = {
-            fid: remaining * weights[fid] / total_weight
-            for fid in sorted(unsaturated)
-        }
-        capped = {
+        shares = [remaining * weights[fid] / total_weight for fid in unsaturated]
+        capped = [
             fid
-            for fid in unsaturated
-            if weights[fid] > 0 and shares[fid] >= demands[fid] - 1e-12
-        }
+            for fid, share in zip(unsaturated, shares)
+            if weights[fid] > 0 and share >= demands[fid] - 1e-12
+        ]
         if capped:
-            for fid in sorted(capped):
+            for fid in capped:
                 rates[fid] = demands[fid]
                 remaining -= demands[fid]
-            unsaturated -= capped
-            progressed = True
-        if not progressed:
-            for fid in sorted(unsaturated):
-                rates[fid] = shares[fid]
-            return {fid: max(0.0, rate) for fid, rate in rates.items()}
-    for fid in sorted(unsaturated):
+            saturated.update(capped)
+            unsaturated = [fid for fid in unsaturated if fid not in saturated]
+            continue
+        for fid, share in zip(unsaturated, shares):
+            rates[fid] = share
+        return {fid: max(0.0, rate) for fid, rate in rates.items()}
+    for fid in unsaturated:
         rates.setdefault(fid, 0.0)
     return {fid: max(0.0, rate) for fid, rate in rates.items()}
 
@@ -167,6 +214,12 @@ class FairShare(AllocationPolicy):
         weights = {f.flow_id: 1.0 for f in flows}
         return water_fill(demands, weights, capacity_bps)
 
+    def cache_key(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> Optional[Hashable]:
+        """Unit weights: rates depend only on the active set, caps, capacity."""
+        return (capacity_bps, tuple((f.flow_id, f.demand_bps) for f in flows))
+
 
 class MLTCPWeighted(AllocationPolicy):
     """Shares proportional to ``F(bytes_ratio)`` — the fluid model of Eq. 1.
@@ -180,8 +233,35 @@ class MLTCPWeighted(AllocationPolicy):
 
     name = "mltcp"
 
-    def __init__(self, function: AggressivenessFunction | None = None) -> None:
+    def __init__(
+        self,
+        function: AggressivenessFunction | None = None,
+        ratio_granularity: Optional[float] = None,
+    ) -> None:
         self.function = function if function is not None else default_aggressiveness()
+        if ratio_granularity is not None and ratio_granularity <= 0:
+            raise ValueError(
+                f"ratio_granularity must be positive, got {ratio_granularity!r}"
+            )
+        #: Opt-in approximation knob: when set, ``cache_key`` buckets each
+        #: flow's ``bytes_ratio`` at this granularity so the fluid simulator
+        #: reuses the previous allocation until some flow crosses a bucket
+        #: boundary.  ``None`` (the default) recomputes every event and is
+        #: bit-identical to the pre-optimization behaviour.
+        self.ratio_granularity = ratio_granularity
+        # Fast path for the paper's deployed linear F (Eq. 2): evaluating
+        # ``slope * ratio + intercept`` inline is the same arithmetic as the
+        # AggressivenessFunction call chain (clamp is a no-op on the already
+        # clamped bytes_ratio, a positive-intercept/non-negative-slope line
+        # can't go negative), so the result is bit-identical — it just skips
+        # three Python calls per flow per allocation.
+        if type(self.function) is LinearAggressiveness:
+            self._linear: Optional[tuple[float, float]] = (
+                self.function.slope,
+                self.function.intercept,
+            )
+        else:
+            self._linear = None
 
     def allocate(
         self, flows: Sequence[FlowView], capacity_bps: float
@@ -191,8 +271,33 @@ class MLTCPWeighted(AllocationPolicy):
         if not flows:
             return {}
         demands = {f.flow_id: f.demand_bps for f in flows}
-        weights = {f.flow_id: self.function(f.bytes_ratio) for f in flows}
+        linear = self._linear
+        if linear is not None:
+            slope, intercept = linear
+            weights: dict[str, float] = {}
+            for f in flows:
+                ratio = f.sent_bits / f.total_bits
+                if ratio > 1.0:
+                    ratio = 1.0
+                weights[f.flow_id] = slope * ratio + intercept
+        else:
+            weights = {f.flow_id: self.function(f.bytes_ratio) for f in flows}
         return water_fill(demands, weights, capacity_bps)
+
+    def cache_key(
+        self, flows: Sequence[FlowView], capacity_bps: float
+    ) -> Optional[Hashable]:
+        """Bucketed-progress token when ``ratio_granularity`` is set."""
+        granularity = self.ratio_granularity
+        if granularity is None:
+            return None
+        return (
+            capacity_bps,
+            tuple(
+                (f.flow_id, f.demand_bps, int(f.bytes_ratio / granularity))
+                for f in flows
+            ),
+        )
 
 
 class SRPT(AllocationPolicy):

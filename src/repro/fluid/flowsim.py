@@ -103,16 +103,26 @@ class _JobRuntime:
     comm_start: float = math.nan
     comm_end: float = math.nan
     phase_deadline: float = 0.0  # start_offset or compute end
+    #: Lazily built policy-facing view; progress fields are synced in place
+    #: on every ``flow_view()`` call instead of reconstructing (and
+    #: re-validating) a fresh FlowView per allocation event.
+    view: Optional[FlowView] = None
 
     def flow_view(self) -> FlowView:
         """Snapshot of this job's flow for the allocation policy."""
-        return FlowView(
-            flow_id=self.spec.name,
-            demand_bps=self.spec.demand_bps,
-            remaining_bits=self.remaining_bits,
-            sent_bits=self.sent_bits,
-            total_bits=self.spec.comm_bits,
-        )
+        view = self.view
+        if view is None:
+            self.view = view = FlowView(
+                flow_id=self.spec.name,
+                demand_bps=self.spec.demand_bps,
+                remaining_bits=self.remaining_bits,
+                sent_bits=self.sent_bits,
+                total_bits=self.spec.comm_bits,
+            )
+        else:
+            view.remaining_bits = self.remaining_bits
+            view.sent_bits = self.sent_bits
+        return view
 
 
 @dataclass
@@ -252,40 +262,66 @@ class FluidSimulator:
         max_steps = int(50 * len(self.jobs) * max(1.0, horizon / self.quantum))
 
         last_capacity_factor = 1.0
+        # Hot-loop hoists (docs/PERFORMANCE.md): bound methods and invariants
+        # looked up once instead of per event.
+        faults = self.faults
+        full_capacity = self.capacity_bps
+        allocate = self.policy.allocate
+        policy_cache_key = self.policy.cache_key
+        segments = result.segments
+        # Allocation reuse: while the policy's cache token is unchanged the
+        # previous rate vector is returned verbatim (see
+        # AllocationPolicy.cache_key).  Token-less policies recompute every
+        # event, exactly as before.
+        last_key: Optional[object] = None
+        last_rates: dict[str, float] = {}
         for _step in range(max_steps):
-            if self.faults is not None:
+            if faults is not None:
                 self._apply_restarts(runtimes, now)
-            self._process_transitions(runtimes, now, result)
-            if self._finished(runtimes, max_iterations):
+            active, finished = self._sweep(runtimes, now, result, max_iterations)
+            if finished:
                 break
             if end_time is not None and now >= end_time - _EPS_TIME:
                 break
 
-            capacity = self.capacity_bps
-            if self.faults is not None:
-                factor = self.faults.capacity_factor(now)
+            capacity = full_capacity
+            if faults is not None:
+                factor = faults.capacity_factor(now)
                 if not close(factor, last_capacity_factor):
-                    self.faults.record(now, f"capacity factor -> {factor:g}")
+                    faults.record(now, f"capacity factor -> {factor:g}")
                     last_capacity_factor = factor
                 capacity *= factor
-            active = [rt for rt in runtimes if rt.phase is Phase.COMM]
-            rates = (
-                self.policy.allocate([rt.flow_view() for rt in active], capacity)
-                if active and capacity > 0
-                else {}
-            )
+            if active and capacity > 0:
+                views = [rt.flow_view() for rt in active]
+                key = policy_cache_key(views, capacity)
+                if key is not None and key == last_key:
+                    rates = last_rates
+                else:
+                    rates = allocate(views, capacity)
+                    last_key = key
+                    last_rates = rates
+            else:
+                rates = {}
             dt = self._next_event_dt(runtimes, rates, now, end_time)
             if dt <= 0:
                 dt = _EPS_TIME
             if record_segments and rates:
-                result.segments.append(
+                segments.append(
                     RateSegment(start=now, end=now + dt, rates_bps=dict(rates))
                 )
+            rates_get = rates.get
             for rt in active:
-                rate = rates.get(rt.spec.name, 0.0)
+                rate = rates_get(rt.spec.name, 0.0)
+                # Identity check, not a numeric tolerance: a literal zero rate
+                # delivers nothing, so skipping the writes is bit-identical.
+                if rate == 0.0:  # repro-lint: disable=FLT001
+                    continue
                 delivered = rate * dt
-                rt.remaining_bits = max(0.0, rt.remaining_bits - delivered)
-                rt.sent_bits = min(rt.spec.comm_bits, rt.sent_bits + delivered)
+                remaining = rt.remaining_bits - delivered
+                rt.remaining_bits = remaining if remaining > 0.0 else 0.0
+                total = rt.spec.comm_bits
+                sent = rt.sent_bits + delivered
+                rt.sent_bits = sent if sent < total else total
             now += dt
         else:
             raise RuntimeError(
@@ -306,20 +342,38 @@ class FluidSimulator:
         # Contention can stretch iterations; triple is a generous envelope.
         return 3.0 * longest * max_iterations + max(j.start_offset for j in self.jobs)
 
-    def _process_transitions(
-        self, runtimes: list[_JobRuntime], now: float, result: FluidResult
-    ) -> None:
+    def _sweep(
+        self,
+        runtimes: list[_JobRuntime],
+        now: float,
+        result: FluidResult,
+        max_iterations: Optional[int],
+    ) -> tuple[list[_JobRuntime], bool]:
+        """Apply due phase transitions in one pass over the runtimes.
+
+        Returns ``(active, finished)``: the jobs now in their communication
+        phase and whether every job has met the stopping criterion.  Folding
+        the transition scan, the active-set rebuild and the finished check
+        into a single pass saves two full runtime traversals per event
+        (docs/PERFORMANCE.md); transition semantics — including the RNG
+        sampling order, which seeds depend on — are unchanged.
+        """
+        active: list[_JobRuntime] = []
+        finished = True
         for rt in runtimes:
-            if rt.phase is Phase.WAITING and now >= rt.phase_deadline - _EPS_TIME:
-                self._start_comm(rt, now)
-            elif rt.phase is Phase.COMM and rt.remaining_bits <= _EPS_BITS:
+            phase = rt.phase
+            if phase is Phase.WAITING:
+                if now >= rt.phase_deadline - _EPS_TIME:
+                    self._start_comm(rt, now)
+                    phase = Phase.COMM
+            elif phase is Phase.COMM and rt.remaining_bits <= _EPS_BITS:
                 rt.comm_end = now
                 compute = rt.spec.sample_compute_time(self._rng)
                 if self.faults is not None:
                     compute *= self.faults.compute_scale(rt.spec.name, now)
-                rt.phase = Phase.COMPUTE
+                rt.phase = phase = Phase.COMPUTE
                 rt.phase_deadline = now + compute
-            elif rt.phase is Phase.COMPUTE and now >= rt.phase_deadline - _EPS_TIME:
+            elif phase is Phase.COMPUTE and now >= rt.phase_deadline - _EPS_TIME:
                 result.iterations.append(
                     IterationResult(
                         job=rt.spec.name,
@@ -332,9 +386,16 @@ class FluidSimulator:
                 rt.iteration_index += 1
                 limit = rt.spec.iteration_limit
                 if limit is not None and rt.iteration_index >= limit:
-                    rt.phase = Phase.DONE  # training finished: job departs
+                    rt.phase = phase = Phase.DONE  # training finished: departs
                 else:
                     self._start_comm(rt, now)
+                    phase = Phase.COMM
+            if phase is Phase.COMM:
+                active.append(rt)
+            if finished and phase is not Phase.DONE:
+                if max_iterations is None or rt.iteration_index < max_iterations:
+                    finished = False
+        return active, finished
 
     def _apply_restarts(self, runtimes: list[_JobRuntime], now: float) -> None:
         """Kill-and-restart every job whose restart strike time has come.
@@ -366,18 +427,6 @@ class FluidSimulator:
         rt.comm_start = now
         rt.comm_end = math.nan
 
-    def _finished(
-        self, runtimes: list[_JobRuntime], max_iterations: Optional[int]
-    ) -> bool:
-        if all(rt.phase is Phase.DONE for rt in runtimes):
-            return True
-        if max_iterations is None:
-            return False
-        return all(
-            rt.phase is Phase.DONE or rt.iteration_index >= max_iterations
-            for rt in runtimes
-        )
-
     def _next_event_dt(
         self,
         runtimes: list[_JobRuntime],
@@ -385,22 +434,36 @@ class FluidSimulator:
         now: float,
         end_time: Optional[float],
     ) -> float:
-        candidates = [self.quantum]
+        # Running minimum over the positive candidates — same result as the
+        # old build-a-list-then-min, without materializing the list per event.
+        best = math.inf
+        candidate = self.quantum
+        if candidate > _EPS_TIME:
+            best = candidate
         if end_time is not None:
-            candidates.append(end_time - now)
+            candidate = end_time - now
+            if _EPS_TIME < candidate < best:
+                best = candidate
         if self.faults is not None:
             transition = self.faults.next_transition_after(now)
             if transition is not None:
-                candidates.append(transition - now)
+                candidate = transition - now
+                if _EPS_TIME < candidate < best:
+                    best = candidate
+        rates_get = rates.get
         for rt in runtimes:
-            if rt.phase is Phase.COMM:
-                rate = rates.get(rt.spec.name, 0.0)
+            phase = rt.phase
+            if phase is Phase.COMM:
+                rate = rates_get(rt.spec.name, 0.0)
                 if rate > 0:
-                    candidates.append(rt.remaining_bits / rate)
-            elif rt.phase is not Phase.DONE:
-                candidates.append(rt.phase_deadline - now)
-        positive = [c for c in candidates if c > _EPS_TIME]
-        return min(positive) if positive else _EPS_TIME
+                    candidate = rt.remaining_bits / rate
+                    if _EPS_TIME < candidate < best:
+                        best = candidate
+            elif phase is not Phase.DONE:
+                candidate = rt.phase_deadline - now
+                if _EPS_TIME < candidate < best:
+                    best = candidate
+        return best if not math.isinf(best) else _EPS_TIME
 
 
 def run_fluid(

@@ -23,7 +23,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.aggressiveness import AggressivenessFunction, default_aggressiveness
+from ..core.aggressiveness import (
+    AggressivenessFunction,
+    LinearAggressiveness,
+    default_aggressiveness,
+)
 from ..core.units import bps_from_gbps
 from ..workloads.job import JobSpec
 from .flowsim import IterationResult
@@ -117,11 +121,15 @@ def weighted_max_min(
     """
     residual = dict(capacities_bps)
     members: dict[str, set[str]] = {link: set() for link in residual}
+    # Zero-weight flows keep a vanishing (but non-zero) share, so no flow
+    # fully starves — the §5 non-starvation property.
+    effective_weight: dict[str, float] = {}
     for fid, (weight, demand, links) in flows.items():
         if weight < 0:
             raise ValueError(f"{fid}: weight must be non-negative, got {weight!r}")
         if demand <= 0:
             raise ValueError(f"{fid}: demand must be positive, got {demand!r}")
+        effective_weight[fid] = max(weight, 1e-9)
         virtual = f"__demand__{fid}"
         residual[virtual] = demand
         members[virtual] = {fid}
@@ -130,33 +138,37 @@ def weighted_max_min(
                 raise KeyError(f"{fid}: unknown link {link!r}")
             members[link].add(fid)
 
+    # Per-link member lists sorted once up front instead of re-sorted every
+    # progressive-filling round; the per-round filter below preserves that
+    # order, so the float sums accumulate in exactly the order the old
+    # per-round ``sorted()`` produced (PYTHONHASHSEED-independent, DET004).
+    ordered_members = {link: sorted(ids) for link, ids in members.items()}
+
     rates: dict[str, float] = {}
     unfixed = set(flows)
-
-    def weight_of(fid: str) -> float:
-        # Zero-weight flows keep a vanishing (but non-zero) share, so no
-        # flow fully starves — the §5 non-starvation property.
-        return max(flows[fid][0], 1e-9)
 
     while unfixed:
         best_link: Optional[str] = None
         best_share = math.inf
-        for link, flow_ids in members.items():
-            # Sorted: flow_ids is a set, and the float sum below must not
-            # depend on PYTHONHASHSEED (repro-lint DET004).
-            active = [fid for fid in sorted(flow_ids) if fid in unfixed]
-            if not active:
+        for link, ordered in ordered_members.items():
+            total_weight = 0.0
+            any_active = False
+            for fid in ordered:
+                if fid in unfixed:
+                    total_weight += effective_weight[fid]
+                    any_active = True
+            if not any_active:
                 continue
-            total_weight = sum(weight_of(fid) for fid in active)
             share = residual[link] / total_weight
             if share < best_share:
                 best_share = share
                 best_link = link
         if best_link is None:
             break
-        fixed_now = [fid for fid in sorted(members[best_link]) if fid in unfixed]
-        for fid in fixed_now:
-            rate = max(0.0, best_share * weight_of(fid))
+        for fid in ordered_members[best_link]:
+            if fid not in unfixed:
+                continue
+            rate = max(0.0, best_share * effective_weight[fid])
             rates[fid] = rate
             for link in flows[fid][2]:
                 residual[link] = max(0.0, residual[link] - rate)
@@ -224,6 +236,25 @@ class NetworkFluidSimulator:
             100 * len(self.placements) * max(1.0, 5 * longest * max_iterations / self.quantum)
         )
 
+        # Same inline fast path as MLTCPWeighted.allocate: the paper's linear
+        # F evaluated as ``slope * ratio + intercept`` directly is the exact
+        # arithmetic of the AggressivenessFunction call chain (bit-identical),
+        # minus three Python calls per flow per round.
+        linear: Optional[tuple[float, float]] = None
+        if not self.fair_share and type(self.function) is LinearAggressiveness:
+            linear = (self.function.slope, self.function.intercept)
+
+        def flow_weight(rt: _FlowRuntime) -> float:
+            if self.fair_share:
+                return 1.0
+            if linear is not None:
+                slope, intercept = linear
+                ratio = rt.sent_bits / rt.spec.comm_bits
+                if ratio > 1.0:
+                    ratio = 1.0
+                return slope * ratio + intercept
+            return self.function(rt.bytes_ratio)
+
         for _step in range(max_steps):
             self._transitions(runtimes, now, result, max_iterations)
             if all(rt.iteration_index >= max_iterations for rt in runtimes):
@@ -233,7 +264,7 @@ class NetworkFluidSimulator:
                 weighted_max_min(
                     {
                         rt.spec.name: (
-                            1.0 if self.fair_share else self.function(rt.bytes_ratio),
+                            flow_weight(rt),
                             rt.spec.demand_bps,
                             rt.placement.links,
                         )

@@ -1,0 +1,105 @@
+"""Hot-path performance rules (PRF001).
+
+The fast-path work documented in docs/PERFORMANCE.md got its wins largely
+by hoisting per-event allocation out of the simulators' inner loops:
+plain tuples on the event heap, pooled packets, flow views mutated in
+place.  PRF001 keeps that property from eroding — constructing a
+dataclass inside an event handler (``on_*``), a dispatch loop
+(``_dispatch``), or an allocation policy (``allocate``) puts a
+``__init__`` + ``__eq__``-capable object allocation back on the hottest
+call sites in the repo.
+
+Detection is module-local by design: the checker flags calls to classes
+*defined in the same file* with a ``@dataclass`` decorator (plus
+``dataclasses.replace``, which always builds a fresh instance).  It
+cannot see dataclasses imported from elsewhere; that keeps the rule
+precise, and the fixture tests honest.  Construction that is genuinely
+cold (error paths, once-per-run setup) is suppressed in place with
+``# repro-lint: disable=PRF001``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, LintContext, Rule, dotted_name, terminal_name
+
+__all__ = ["RULES"]
+
+#: Function names that sit on the per-event / per-step hot path.
+_HOT_PREFIXES = ("on_",)
+_HOT_NAMES = frozenset({"_dispatch", "allocate"})
+
+
+def _is_hot_function(name: str) -> bool:
+    return name.startswith(_HOT_PREFIXES) or name in _HOT_NAMES
+
+
+def _dataclass_names(tree: ast.Module) -> frozenset[str]:
+    """Names of classes in this module carrying a ``@dataclass`` decorator."""
+    names = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            if terminal_name(target) == "dataclass":
+                names.add(node.name)
+                break
+    return frozenset(names)
+
+
+def _is_replace_call(func: ast.expr) -> bool:
+    return dotted_name(func) in ("dataclasses.replace", "replace")
+
+
+def _check_prf001(ctx: LintContext) -> Iterator[Finding]:
+    dataclasses_here = _dataclass_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_hot_function(node.name):
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            callee = terminal_name(call.func)
+            if callee in dataclasses_here:
+                yield Finding(
+                    ctx.path, call.lineno, call.col_offset, "PRF001",
+                    f"dataclass `{callee}` constructed inside hot-path "
+                    f"function `{node.name}`: allocate once outside the "
+                    "event loop and mutate in place (see "
+                    "docs/PERFORMANCE.md), or suppress if this path is "
+                    "cold",
+                )
+            elif _is_replace_call(call.func):
+                yield Finding(
+                    ctx.path, call.lineno, call.col_offset, "PRF001",
+                    "`dataclasses.replace` inside hot-path function "
+                    f"`{node.name}` builds a fresh instance per call: "
+                    "mutate a pre-built object instead, or suppress if "
+                    "this path is cold",
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="PRF001",
+        name="hot-path-dataclass",
+        summary=(
+            "event handlers, dispatch loops and allocation policies may "
+            "not construct dataclasses"
+        ),
+        rationale=(
+            "`on_*`/`_dispatch`/`allocate` run once per event or per "
+            "fluid step; a dataclass construction there undoes the "
+            "pooling and in-place mutation the fast paths rely on "
+            "(docs/PERFORMANCE.md) and shows up directly in "
+            "`make bench-perf`."
+        ),
+        checker=_check_prf001,
+        scopes=("repro/simulator/", "repro/fluid/"),
+    ),
+)

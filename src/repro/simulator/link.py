@@ -16,19 +16,40 @@ Bernoulli :meth:`fault loss <set_fault_loss>` layered on top of
 ``random_loss`` (a loss burst), and an :meth:`ECN storm <set_ecn_storm>`
 that CE-marks every ECN-capable packet it serializes.  All four revert
 cleanly, so a schedule of faults replays deterministically.
+
+Performance notes (docs/PERFORMANCE.md): for FIFO disciplines the link
+*plans* each packet's serialization at enqueue time — start and finish
+instants are computed by accumulating transmission times exactly as the
+old per-packet event chain did (bit-identical floats), and a single
+delivery event per packet is scheduled up front.  That halves the event
+count of the old design (transmit-complete + delivery per packet) for
+back-to-back bursts.  Planned packets stay in the queue buffer until
+their start instant passes ("settling", done lazily at the next send or
+fault hook), so queue-length observables — DCTCP's marking threshold,
+drop-tail capacity — see exactly the occupancy the old design exposed.
+Fault hooks settle, cancel the not-yet-started deliveries (O(1) each via
+``Simulator.cancel``), and re-plan under the new link state, which
+reproduces the old pop-time semantics for rate changes and ECN storms.
+Priority queues (pFabric) reorder on arrival, so they keep the legacy
+per-packet event chain.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from .engine import Simulator
-from .packet import Packet
+from .engine import EventEntry, Simulator
+from .packet import DEFAULT_POOL, Packet
 from .queues import DropTailQueue, QueueDiscipline
 
 __all__ = ["Link"]
+
+# Planned-transmission record:
+# [packet, start, finish, size_bits, delivery_entry, storm_counted, storm_flipped]
+_PlanEntry = List[object]
 
 
 class Link:
@@ -60,18 +81,27 @@ class Link:
         self.random_loss = random_loss
         self._loss_rng = loss_rng if loss_rng is not None else np.random.default_rng(0)
         self._busy = False
+        # Burst planning (FIFO disciplines only; see module docstring).
+        self._fifo = isinstance(self.queue, DropTailQueue)
+        self._plan: deque[_PlanEntry] = deque()
+        #: Finish instant of the last planned transmission.
+        self._wire_free_at = 0.0
+        #: Finish instant of the last *settled* (started) transmission.
+        self._settled_until = 0.0
+        self._burst_entry: Optional[EventEntry] = None
         # Fault-injection state (see repro.faults.packet).
         self.up = True
         self.rate_factor = 1.0
         self.fault_loss = 0.0
         self.ecn_storm = False
         self._fault_rng: Optional[np.random.Generator] = None
-        # Counters for utilization/telemetry.
-        self.bits_sent = 0
-        self.packets_sent = 0
+        # Counters for utilization/telemetry (settled portions; the public
+        # values are properties that add the in-plan, already-started part).
+        self._bits_settled = 0
+        self._packets_settled = 0
+        self._storm_settled = 0
         self.random_drops = 0
         self.fault_drops = 0
-        self.storm_marks = 0
 
     def connect(self, deliver: Callable[[Packet], None]) -> None:
         """Attach the receiving node's packet handler."""
@@ -85,12 +115,27 @@ class Link:
             # A severed link carries nothing; arrivals are lost, not queued,
             # so the transports see loss and recover once the link is back.
             self.fault_drops += 1
+            DEFAULT_POOL.release(packet)
             return
         if self.random_loss > 0.0 and self._loss_rng.random() < self.random_loss:
             self.random_drops += 1
+            DEFAULT_POOL.release(packet)
             return
         if self.fault_loss > 0.0 and self._require_fault_rng().random() < self.fault_loss:
             self.fault_drops += 1
+            DEFAULT_POOL.release(packet)
+            return
+        if self._fifo:
+            if self._plan:
+                self._settle()
+            if not self.queue.push(packet):
+                DEFAULT_POOL.release(packet)  # tail drop, counted by the queue
+                return
+            self._plan_packet(packet)
+            if self._burst_entry is None:
+                self._burst_entry = self.sim.schedule_at(
+                    self._wire_free_at, self._on_burst_end
+                )
             return
         if not self.queue.push(packet):
             return  # tail drop, counted by the queue
@@ -105,23 +150,40 @@ class Link:
         A transmission already serializing completes (the cut happens at a
         packet boundary); everything buffered waits for :meth:`set_up`.
         """
+        if not self.up:
+            return
         self.up = False
+        if self._fifo:
+            self._settle()
+            self._unplan_unstarted()
 
     def set_up(self) -> None:
         """Restore a severed link and resume draining its queue."""
         if self.up:
             return
         self.up = True
-        if not self._busy:
+        if self._fifo:
+            self._replan_buffer()
+        elif not self._busy:
             self._transmit_next()
 
     def set_rate_factor(self, factor: float) -> None:
-        """Scale the serialization rate (1.0 = healthy, 0.5 = half rate)."""
+        """Scale the serialization rate (1.0 = healthy, 0.5 = half rate).
+
+        Applies to transmissions that have not started yet; a packet
+        already serializing keeps its old rate (same as the pre-planning
+        design, where the rate was read at transmission start).
+        """
         if factor <= 0:
             raise ValueError(
                 f"{self.name}: rate factor must be positive, got {factor!r}"
             )
+        # Identity check, not a numeric tolerance: re-planning on a no-op
+        # factor write would only churn event sequence numbers.
+        if factor == self.rate_factor:  # repro-lint: disable=FLT001
+            return
         self.rate_factor = factor
+        self._reschedule_unstarted()
 
     def set_fault_loss(self, probability: float, rng: Optional[np.random.Generator] = None) -> None:
         """Layer an extra Bernoulli drop probability on top of ``random_loss``."""
@@ -135,12 +197,55 @@ class Link:
 
     def set_ecn_storm(self, active: bool) -> None:
         """CE-mark every ECN-capable packet serialized while active."""
-        self.ecn_storm = bool(active)
+        active = bool(active)
+        if active == self.ecn_storm:
+            return
+        self.ecn_storm = active
+        self._reschedule_unstarted()
 
     def _require_fault_rng(self) -> np.random.Generator:
         if self._fault_rng is None:
             self._fault_rng = np.random.default_rng(0)
         return self._fault_rng
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def bits_sent(self) -> int:
+        """Bits whose serialization has started (exact at any instant)."""
+        total = self._bits_settled
+        now = self.sim.now
+        for entry in self._plan:
+            if entry[1] <= now:  # type: ignore[operator]
+                total += entry[3]  # type: ignore[operator]
+            else:
+                break
+        return total
+
+    @property
+    def packets_sent(self) -> int:
+        """Packets whose serialization has started."""
+        total = self._packets_settled
+        now = self.sim.now
+        for entry in self._plan:
+            if entry[1] <= now:  # type: ignore[operator]
+                total += 1
+            else:
+                break
+        return total
+
+    @property
+    def storm_marks(self) -> int:
+        """ECN-storm CE marks applied to started transmissions."""
+        total = self._storm_settled
+        now = self.sim.now
+        for entry in self._plan:
+            if entry[1] <= now:  # type: ignore[operator]
+                if entry[5]:
+                    total += 1
+            else:
+                break
+        return total
 
     @property
     def utilization_bits(self) -> int:
@@ -153,7 +258,106 @@ class Link:
             raise ValueError(f"elapsed must be positive, got {elapsed!r}")
         return self.bits_sent / elapsed
 
-    # -- internals --------------------------------------------------------
+    # -- burst planning internals ------------------------------------------
+
+    def _plan_packet(self, packet: Packet) -> None:
+        """Schedule one packet's delivery; accumulate the wire timeline.
+
+        ``start`` continues exactly where the previous transmission ends
+        (the same float the old transmit-complete event carried), so every
+        delivery instant matches the per-packet event chain bit for bit.
+        """
+        sim = self.sim
+        start = self._wire_free_at
+        now = sim.now
+        if start < now:
+            start = now
+        size_bits = packet.size_bits
+        finish = start + size_bits / (self.rate_bps * self.rate_factor)
+        self._wire_free_at = finish
+        storm_counted = False
+        storm_flipped = False
+        if self.ecn_storm and packet.ecn_capable:
+            storm_counted = True
+            if not packet.ecn_ce:
+                packet.ecn_ce = True
+                storm_flipped = True
+        delivery = sim.schedule_at(
+            finish + self.delay, lambda p=packet: self._deliver(p)  # type: ignore[misc]
+        )
+        self._plan.append(
+            [packet, start, finish, size_bits, delivery, storm_counted, storm_flipped]
+        )
+
+    def _settle(self) -> None:
+        """Pop packets whose serialization has started off the queue.
+
+        Planned packets remain buffered until their start instant so
+        queue-length observables (ECN threshold, drop-tail capacity) match
+        the old pop-at-transmit design exactly.
+        """
+        plan = self._plan
+        if not plan:
+            return
+        now = self.sim.now
+        pop = self.queue.pop
+        while plan and plan[0][1] <= now:  # type: ignore[operator]
+            entry = plan.popleft()
+            pop()
+            self._bits_settled += entry[3]  # type: ignore[operator]
+            self._packets_settled += 1
+            if entry[5]:
+                self._storm_settled += 1
+            self._settled_until = entry[2]  # type: ignore[assignment]
+
+    def _unplan_unstarted(self) -> None:
+        """Drop every not-yet-started plan entry (after :meth:`_settle`).
+
+        The packets stay buffered; their delivery events are cancelled and
+        storm marks applied at plan time are rolled back, so a re-plan sees
+        them exactly as the old design's queue did.
+        """
+        plan = self._plan
+        cancel = self.sim.cancel
+        while plan:
+            entry = plan.pop()
+            cancel(entry[4])  # type: ignore[arg-type]
+            if entry[6]:
+                entry[0].ecn_ce = False  # type: ignore[union-attr]
+        self._wire_free_at = self._settled_until
+
+    def _replan_buffer(self) -> None:
+        """Plan every buffered packet afresh (after a fault transition)."""
+        if not self.up:
+            return
+        assert isinstance(self.queue, DropTailQueue)
+        for packet in self.queue.buffered():
+            self._plan_packet(packet)
+        if self._plan and self._burst_entry is None:
+            self._burst_entry = self.sim.schedule_at(
+                self._wire_free_at, self._on_burst_end
+            )
+
+    def _reschedule_unstarted(self) -> None:
+        """Re-plan not-yet-started transmissions under new link state."""
+        if not self._fifo:
+            return
+        self._settle()
+        self._unplan_unstarted()
+        self._replan_buffer()
+
+    def _on_burst_end(self) -> None:
+        """Housekeeping event at the planned end of the wire timeline:
+        settles started packets so buffers and counters are exact at rest
+        (between bursts and at the end of a run)."""
+        self._burst_entry = None
+        self._settle()
+        if self._plan:
+            self._burst_entry = self.sim.schedule_at(
+                self._wire_free_at, self._on_burst_end
+            )
+
+    # -- legacy per-packet chain (non-FIFO disciplines) --------------------
 
     def _transmit_next(self) -> None:
         if not self.up:
@@ -166,10 +370,10 @@ class Link:
         self._busy = True
         if self.ecn_storm and packet.ecn_capable:
             packet.ecn_ce = True
-            self.storm_marks += 1
+            self._storm_settled += 1
         tx_time = packet.size_bits / (self.rate_bps * self.rate_factor)
-        self.bits_sent += packet.size_bits
-        self.packets_sent += 1
+        self._bits_settled += packet.size_bits
+        self._packets_settled += 1
         self.sim.schedule(tx_time, lambda p=packet: self._on_tx_complete(p))
 
     def _on_tx_complete(self, packet: Packet) -> None:

@@ -4,15 +4,34 @@ Segments carry byte-counted sequence numbers like real TCP, but every data
 segment is exactly one MSS so that the congestion window can be expressed in
 packets ("Following Linux's implementation … the congestion window (cwnd) is
 expressed in packets", paper §3.1).  ACKs are pure (no piggybacked data).
+
+Performance notes (docs/PERFORMANCE.md): :class:`Packet` is a ``__slots__``
+class, not a dataclass — packet construction sits directly on the
+per-segment hot path, and slots cut both allocation cost and attribute
+access latency.  ``size_bytes``/``size_bits`` are precomputed at
+construction instead of being recomputed properties.  :class:`PacketPool`
+is a free-list recycler for the transport layer: senders/receivers acquire
+packets from :data:`DEFAULT_POOL` and the consumption points (transport
+``receive``, link drop branches) release them.  Only pool-acquired packets
+are ever recycled — directly constructed packets (tests, ad-hoc traffic)
+pass through ``release`` untouched, so holding a reference to one is
+always safe.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Packet", "DATA_HEADER_BYTES", "ACK_SIZE_BYTES"]
+from ..core.units import bits_from_bytes
+
+__all__ = [
+    "Packet",
+    "PacketPool",
+    "DEFAULT_POOL",
+    "DATA_HEADER_BYTES",
+    "ACK_SIZE_BYTES",
+]
 
 #: TCP/IP header overhead carried by every data segment.
 DATA_HEADER_BYTES = 40
@@ -22,55 +41,81 @@ ACK_SIZE_BYTES = 40
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """One packet on the wire (data segment or pure ACK)."""
 
-    flow_id: str
-    src: str
-    dst: str
-    is_ack: bool
-    #: Data: sequence number of this segment (segment index, not bytes).
-    #: ACK: cumulative acknowledgement (next expected segment index).
-    seq: int
-    #: Payload bytes (0 for ACKs).
-    payload_bytes: int
-    #: Simulation time the *original* transmission of this segment left the
-    #: sender; used for RTT sampling (Karn's rule clears it on retransmit).
-    sent_time: Optional[float] = None
-    #: True when this is a retransmission (Karn: no RTT sample).
-    retransmitted: bool = False
-    #: ECN: sender marks capability; queue sets congestion-experienced.
-    ecn_capable: bool = False
-    ecn_ce: bool = False
-    #: ECN echo bit on ACKs (receiver reflects CE back to the sender).
-    ecn_echo: bool = False
-    #: Scheduling priority for priority queues (e.g. pFabric: remaining
-    #: bytes; lower value = higher priority).
-    priority: float = 0.0
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "is_ack",
+        "seq",
+        "payload_bytes",
+        "sent_time",
+        "retransmitted",
+        "ecn_capable",
+        "ecn_ce",
+        "ecn_echo",
+        "priority",
+        "uid",
+        "size_bytes",
+        "size_bits",
+        "_pooled",
+    )
 
-    def __post_init__(self) -> None:
-        if self.payload_bytes < 0:
-            raise ValueError(f"payload_bytes must be non-negative, got {self.payload_bytes!r}")
-        if self.is_ack and self.payload_bytes != 0:
+    def __init__(
+        self,
+        flow_id: str,
+        src: str,
+        dst: str,
+        is_ack: bool,
+        #: Data: sequence number of this segment (segment index, not bytes).
+        #: ACK: cumulative acknowledgement (next expected segment index).
+        seq: int,
+        #: Payload bytes (0 for ACKs).
+        payload_bytes: int,
+        #: Simulation time the *original* transmission of this segment left
+        #: the sender; used for RTT sampling (Karn's rule clears it on
+        #: retransmit).
+        sent_time: Optional[float] = None,
+        #: True when this is a retransmission (Karn: no RTT sample).
+        retransmitted: bool = False,
+        #: ECN: sender marks capability; queue sets congestion-experienced.
+        ecn_capable: bool = False,
+        ecn_ce: bool = False,
+        #: ECN echo bit on ACKs (receiver reflects CE back to the sender).
+        ecn_echo: bool = False,
+        #: Scheduling priority for priority queues (e.g. pFabric: remaining
+        #: bytes; lower value = higher priority).
+        priority: float = 0.0,
+    ) -> None:
+        if payload_bytes < 0:
+            raise ValueError(
+                f"payload_bytes must be non-negative, got {payload_bytes!r}"
+            )
+        if is_ack and payload_bytes != 0:
             raise ValueError("pure ACKs carry no payload")
-        if not self.is_ack and self.payload_bytes == 0:
+        if not is_ack and payload_bytes == 0:
             raise ValueError("data segments must carry payload")
-        if self.seq < 0:
-            raise ValueError(f"seq must be non-negative, got {self.seq!r}")
-
-    @property
-    def size_bytes(self) -> int:
-        """Wire size including headers."""
-        if self.is_ack:
-            return ACK_SIZE_BYTES
-        return self.payload_bytes + DATA_HEADER_BYTES
-
-    @property
-    def size_bits(self) -> int:
-        """Wire size in bits."""
-        return 8 * self.size_bytes
+        if seq < 0:
+            raise ValueError(f"seq must be non-negative, got {seq!r}")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.is_ack = is_ack
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.sent_time = sent_time
+        self.retransmitted = retransmitted
+        self.ecn_capable = ecn_capable
+        self.ecn_ce = ecn_ce
+        self.ecn_echo = ecn_echo
+        self.priority = priority
+        self.uid = next(_packet_ids)
+        #: Wire size including headers (bytes / bits).
+        self.size_bytes = ACK_SIZE_BYTES if is_ack else payload_bytes + DATA_HEADER_BYTES
+        self.size_bits = bits_from_bytes(self.size_bytes)
+        self._pooled = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "ACK" if self.is_ack else "DATA"
@@ -78,3 +123,102 @@ class Packet:
             f"<{kind} {self.flow_id} {self.src}->{self.dst} seq={self.seq} "
             f"{self.payload_bytes}B>"
         )
+
+
+class PacketPool:
+    """Free-list recycler for transport-generated packets.
+
+    ``acquire`` re-initializes a recycled :class:`Packet` in place (or
+    constructs a fresh one when the free list is empty) and tags it as
+    pool-owned; ``release`` returns it to the free list.  Field validation
+    is skipped on the recycle path — the transport layer constructs
+    packets that are valid by construction, and acquire/release sit on the
+    per-segment hot path.
+
+    Safety rules:
+
+    * ``release`` is a no-op for packets that did not come from ``acquire``
+      (so test-constructed packets are never recycled under a held
+      reference) and for double releases (the pooled flag clears on the
+      first).
+    * A released packet's fields stay readable until the pool hands it out
+      again; callers must simply not *retain* packets past the consumption
+      point that released them.
+    """
+
+    __slots__ = ("_free", "max_free")
+
+    def __init__(self, max_free: int = 4096) -> None:
+        if max_free < 0:
+            raise ValueError(f"max_free must be non-negative, got {max_free!r}")
+        self._free: list[Packet] = []
+        self.max_free = max_free
+
+    def __len__(self) -> int:
+        """Packets currently parked on the free list."""
+        return len(self._free)
+
+    def acquire(
+        self,
+        flow_id: str,
+        src: str,
+        dst: str,
+        is_ack: bool,
+        seq: int,
+        payload_bytes: int,
+        sent_time: Optional[float] = None,
+        retransmitted: bool = False,
+        ecn_capable: bool = False,
+        ecn_echo: bool = False,
+        priority: float = 0.0,
+    ) -> Packet:
+        """A ready-to-send packet, recycled when possible."""
+        free = self._free
+        if not free:
+            packet = Packet(
+                flow_id,
+                src,
+                dst,
+                is_ack,
+                seq,
+                payload_bytes,
+                sent_time=sent_time,
+                retransmitted=retransmitted,
+                ecn_capable=ecn_capable,
+                ecn_echo=ecn_echo,
+                priority=priority,
+            )
+            packet._pooled = True
+            return packet
+        packet = free.pop()
+        packet.flow_id = flow_id
+        packet.src = src
+        packet.dst = dst
+        packet.is_ack = is_ack
+        packet.seq = seq
+        packet.payload_bytes = payload_bytes
+        packet.sent_time = sent_time
+        packet.retransmitted = retransmitted
+        packet.ecn_capable = ecn_capable
+        packet.ecn_ce = False
+        packet.ecn_echo = ecn_echo
+        packet.priority = priority
+        packet.uid = next(_packet_ids)
+        size = ACK_SIZE_BYTES if is_ack else payload_bytes + DATA_HEADER_BYTES
+        packet.size_bytes = size
+        packet.size_bits = bits_from_bytes(size)
+        packet._pooled = True
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return a pool-acquired packet to the free list (no-op otherwise)."""
+        if packet._pooled:
+            packet._pooled = False
+            if len(self._free) < self.max_free:
+                self._free.append(packet)
+
+
+#: Process-wide pool shared by the transport layer.  The simulator is
+#: single-threaded per process (the experiment runner parallelizes with
+#: *processes*), so a module-level free list is safe.
+DEFAULT_POOL = PacketPool()

@@ -73,6 +73,10 @@ class DropTailQueue(QueueDiscipline):
         """Dequeue the oldest buffered packet."""
         return self._buffer.popleft() if self._buffer else None
 
+    def buffered(self) -> tuple[Packet, ...]:
+        """Snapshot of the buffer in FIFO order (for link burst planning)."""
+        return tuple(self._buffer)
+
     def __len__(self) -> int:
         return len(self._buffer)
 

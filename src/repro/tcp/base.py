@@ -17,9 +17,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Optional
 
-from ..simulator.engine import EventHandle, Simulator
+from ..simulator.engine import EventEntry, Simulator
 from ..simulator.node import Host
-from ..simulator.packet import Packet
+from ..simulator.packet import DEFAULT_POOL, Packet
 
 __all__ = ["CongestionControl", "TcpSender", "TcpReceiver", "DEFAULT_MSS_BYTES"]
 
@@ -129,7 +129,7 @@ class TcpReceiver:
         self.segments_received = 0
         self.acks_sent = 0
         self._unacked_segments = 0
-        self._delack_timer: Optional[EventHandle] = None
+        self._delack_timer: Optional[EventEntry] = None
         self._pending_echo = False
         self._pending_ts: Optional[float] = None
         self._pending_retransmitted = False
@@ -154,6 +154,9 @@ class TcpReceiver:
         self._pending_echo = self._pending_echo or packet.ecn_ce
         self._pending_ts = packet.sent_time
         self._pending_retransmitted = packet.retransmitted
+        # The segment is fully consumed; recycle it (no-op for packets
+        # that were not pool-acquired).
+        DEFAULT_POOL.release(packet)
 
         if not in_order or self.delayed_ack == 1:
             # Out-of-order (or delack disabled): ACK immediately so the
@@ -177,13 +180,13 @@ class TcpReceiver:
 
     def _send_ack(self) -> None:
         if self._delack_timer is not None:
-            self._delack_timer.cancel()
+            self.sim.cancel(self._delack_timer)
             self._delack_timer = None
         self._unacked_segments = 0
         # The ACK echoes the newest data packet's original send time and
         # retransmission flag (RFC 1323 timestamps), so the sender can take
         # accurate RTT samples even across recovery episodes.
-        ack = Packet(
+        ack = DEFAULT_POOL.acquire(
             flow_id=self.flow_id,
             src=self.host.name,
             dst=self.peer,
@@ -217,7 +220,7 @@ class TcpReceiver:
         self._out_of_order = {s for s in self._out_of_order if s > seq}
         self._unacked_segments = 0
         if self._delack_timer is not None:
-            self._delack_timer.cancel()
+            self.sim.cancel(self._delack_timer)
             self._delack_timer = None
 
 
@@ -268,7 +271,7 @@ class TcpSender:
         self.rttvar: Optional[float] = None
         self.rto = 4 * min_rto
         self._rto_backoff = 1.0
-        self._rto_timer: Optional[EventHandle] = None
+        self._rto_timer: Optional[EventEntry] = None
         self._send_times: dict[int, float] = {}
         self._retransmitted: set[int] = set()
 
@@ -375,6 +378,7 @@ class TcpSender:
             self._on_new_ack(ack, packet)
         elif ack == self.snd_una and self.flight_size() > 0:
             self._on_dup_ack()
+        DEFAULT_POOL.release(packet)
         self._try_send()
 
     # -- internals ----------------------------------------------------------
@@ -437,7 +441,7 @@ class TcpSender:
             self._restart_rto_timer()
 
     def _transmit(self, seq: int, retransmission: bool) -> None:
-        packet = Packet(
+        packet = DEFAULT_POOL.acquire(
             flow_id=self.flow_id,
             src=self.host.name,
             dst=self.peer,
@@ -488,7 +492,7 @@ class TcpSender:
 
     def _cancel_rto_timer(self) -> None:
         if self._rto_timer is not None:
-            self._rto_timer.cancel()
+            self.sim.cancel(self._rto_timer)
             self._rto_timer = None
 
     def _on_rto(self) -> None:

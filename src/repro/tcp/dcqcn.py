@@ -23,9 +23,9 @@ from typing import Callable, Optional
 
 from ..core.config import MLTCPConfig
 from ..core.iteration import IterationTracker
-from ..simulator.engine import EventHandle, Simulator
+from ..simulator.engine import EventEntry, Simulator
 from ..simulator.node import Host
-from ..simulator.packet import Packet
+from ..simulator.packet import DEFAULT_POOL, Packet
 from .base import DEFAULT_MSS_BYTES
 
 __all__ = ["DcqcnController", "MltcpDcqcnController", "RateSender"]
@@ -163,8 +163,8 @@ class RateSender:
         self.segments_sent = 0
         self._emitting = False
         self._last_cnp_time = -float("inf")
-        self._alpha_handle: Optional[EventHandle] = None
-        self._rate_handle: Optional[EventHandle] = None
+        self._alpha_handle: Optional[EventEntry] = None
+        self._rate_handle: Optional[EventEntry] = None
         self._srtt: Optional[float] = None
         self._send_times: dict[int, float] = {}
         host.register_flow(flow_id, self)
@@ -212,6 +212,7 @@ class RateSender:
         if packet.ecn_echo and self.sim.now - self._last_cnp_time >= self.cnp_interval:
             self._last_cnp_time = self.sim.now
             self.controller.on_congestion()
+        DEFAULT_POOL.release(packet)
         if self.all_acked() and self.target > 0:
             self._stop_timers()
             if self.on_all_acked is not None:
@@ -228,7 +229,7 @@ class RateSender:
         if self.snd_nxt >= self.target:
             self._emitting = False
             return
-        packet = Packet(
+        packet = DEFAULT_POOL.acquire(
             flow_id=self.flow_id,
             src=self.host.name,
             dst=self.peer,
@@ -253,10 +254,10 @@ class RateSender:
 
     def _stop_timers(self) -> None:
         if self._alpha_handle is not None:
-            self._alpha_handle.cancel()
+            self.sim.cancel(self._alpha_handle)
             self._alpha_handle = None
         if self._rate_handle is not None:
-            self._rate_handle.cancel()
+            self.sim.cancel(self._rate_handle)
             self._rate_handle = None
 
     def _on_alpha(self) -> None:

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..simulator.engine import EventHandle, Simulator
+from ..simulator.engine import EventEntry, Simulator
 from ..simulator.node import Host
-from ..simulator.packet import Packet
+from ..simulator.packet import DEFAULT_POOL, Packet
 from .base import DEFAULT_MSS_BYTES
 
 __all__ = ["PFabricSender"]
@@ -66,7 +66,7 @@ class PFabricSender:
         self.retransmissions = 0
         self.timeouts = 0
         self.acked_bytes_log: list[tuple[float, int]] = []
-        self._timer: Optional[EventHandle] = None
+        self._timer: Optional[EventEntry] = None
         host.register_flow(flow_id, self)
 
     # -- application interface ---------------------------------------------
@@ -101,6 +101,7 @@ class PFabricSender:
             self.snd_nxt = max(self.snd_nxt, self.snd_una)
             self.acked_bytes_log.append((self.sim.now, newly * self.mss_bytes))
             self._restart_timer()
+        DEFAULT_POOL.release(packet)
         if self.all_acked() and self.target > 0:
             self._cancel_timer()
             if self.on_all_acked is not None:
@@ -119,7 +120,7 @@ class PFabricSender:
 
     def _transmit(self, seq: int) -> None:
         remaining = (self.target - self.snd_una) * self.mss_bytes
-        packet = Packet(
+        packet = DEFAULT_POOL.acquire(
             flow_id=self.flow_id,
             src=self.host.name,
             dst=self.peer,
@@ -139,7 +140,7 @@ class PFabricSender:
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
-            self._timer.cancel()
+            self.sim.cancel(self._timer)
             self._timer = None
 
     def _on_timeout(self) -> None:

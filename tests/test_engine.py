@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import EventHandle, Simulator
 
 
 class TestScheduling:
@@ -59,18 +59,41 @@ class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()
         fired = []
-        handle = sim.schedule(0.5, lambda: fired.append(1))
+        entry = sim.schedule(0.5, lambda: fired.append(1))
+        sim.cancel(entry)
+        sim.run()
+        assert fired == []
+        assert sim.is_cancelled(entry)
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        entry = sim.schedule(0.5, lambda: None)
+        sim.cancel(entry)
+        sim.cancel(entry)
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        entry = sim.schedule(0.5, lambda: None)
+        sim.run()
+        sim.cancel(entry)  # late timer cancel: must not corrupt counts
+        assert not sim.is_cancelled(entry)
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending_events() == 1
+
+    def test_handle_wrapper_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_handle(0.5, lambda: fired.append(1))
+        assert isinstance(handle, EventHandle)
+        assert handle.time == pytest.approx(0.5)
+        assert not handle.cancelled
+        handle.cancel()
         handle.cancel()
         sim.run()
         assert fired == []
         assert handle.cancelled
-
-    def test_cancel_is_idempotent(self):
-        sim = Simulator()
-        handle = sim.schedule(0.5, lambda: None)
-        handle.cancel()
-        handle.cancel()
-        sim.run()
 
 
 class TestRunHorizon:
@@ -115,16 +138,112 @@ class TestIntrospection:
 
     def test_peek_skips_cancelled(self):
         sim = Simulator()
-        handle = sim.schedule(0.1, lambda: None)
+        entry = sim.schedule(0.1, lambda: None)
         sim.schedule(0.9, lambda: None)
-        handle.cancel()
+        sim.cancel(entry)
         assert sim.peek_time() == pytest.approx(0.9)
 
     def test_pending_events_counts_live_only(self):
         sim = Simulator()
         sim.schedule(0.1, lambda: None)
-        handle = sim.schedule(0.2, lambda: None)
-        handle.cancel()
+        entry = sim.schedule(0.2, lambda: None)
+        sim.cancel(entry)
+        assert sim.pending_events() == 1
+
+    def test_peek_and_cancel_interleaving_keeps_counts_exact(self):
+        # Regression: peek_time prunes cancelled entries off the heap; the
+        # pre-rewrite engine dropped them without any bookkeeping, which
+        # would desync an O(1) pending_events counter.  Interleave the two
+        # aggressively and require exact counts and firings throughout.
+        sim = Simulator()
+        fired = []
+        entries = [
+            sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+            for i in range(6)
+        ]
+        sim.cancel(entries[0])
+        sim.cancel(entries[1])
+        assert sim.peek_time() == pytest.approx(0.3)  # prunes two cancelled tops
+        assert sim.pending_events() == 4
+        sim.cancel(entries[2])
+        assert sim.pending_events() == 3
+        assert sim.peek_time() == pytest.approx(0.4)
+        sim.cancel(entries[5])
+        assert sim.pending_events() == 2
+        sim.run()
+        assert fired == [3, 4]
+        assert sim.pending_events() == 0
+        assert sim.peek_time() is None
+
+
+class TestCalendarMode:
+    """The bucketed front-end must be observationally identical."""
+
+    @staticmethod
+    def _mixed_workload(sim):
+        order = []
+        # Same-timestamp bursts plus distinct times, some cancelled.
+        for i in range(4):
+            sim.schedule(0.5, lambda i=i: order.append(("burst", i)))
+        sim.schedule(0.2, lambda: order.append(("early", 0)))
+        dead = sim.schedule(0.5, lambda: order.append(("dead", 0)))
+        sim.cancel(dead)
+        sim.schedule(0.9, lambda: order.append(("late", 0)))
+
+        def reschedule():
+            order.append(("resched", 0))
+            sim.schedule(0.0, lambda: order.append(("same-time-child", 0)))
+
+        sim.schedule(0.5, reschedule)
+        return order
+
+    def test_matches_plain_heap_order(self):
+        plain, calendar = Simulator(), Simulator(calendar=True)
+        expected = self._mixed_workload(plain)
+        observed = self._mixed_workload(calendar)
+        plain.run()
+        calendar.run()
+        assert observed == expected
+        assert calendar.events_processed == plain.events_processed
+
+    def test_pending_peek_and_horizon(self):
+        sim = Simulator(calendar=True)
+        fired = []
+        for i in range(3):
+            sim.schedule(0.5, lambda i=i: fired.append(i))
+        entry = sim.schedule(0.5, lambda: fired.append(99))
+        sim.cancel(entry)
+        sim.schedule(1.0, lambda: fired.append(10))
+        assert sim.pending_events() == 4
+        assert sim.peek_time() == pytest.approx(0.5)
+        sim.run(until=0.25)
+        assert fired == []
+        assert sim.now == 0.25
+        sim.run(until=0.75)
+        assert fired == [0, 1, 2]
+        assert sim.pending_events() == 1
+        sim.run()
+        assert fired == [0, 1, 2, 10]
+        assert sim.pending_events() == 0
+
+    def test_max_events_splits_bucket_resumably(self):
+        sim = Simulator(calendar=True)
+        fired = []
+        for i in range(5):
+            sim.schedule(0.5, lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+        assert sim.pending_events() == 3
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_all_cancelled_bucket_peek(self):
+        sim = Simulator(calendar=True)
+        entries = [sim.schedule(0.5, lambda: None) for _ in range(3)]
+        sim.schedule(0.9, lambda: None)
+        for entry in entries:
+            sim.cancel(entry)
+        assert sim.peek_time() == pytest.approx(0.9)
         assert sim.pending_events() == 1
 
 

@@ -206,6 +206,70 @@ class TestHygieneRules:
         assert codes(src, "src/repro/simulator/fixture.py") == []
 
 
+class TestPerfRule:
+    _DATACLASS_PREFIX = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class Entry:\n"
+        "    t: float\n"
+    )
+
+    def test_prf001_flags_dataclass_in_event_handler(self):
+        src = self._DATACLASS_PREFIX + (
+            "def on_packet(self, pkt):\n"
+            "    return Entry(t=0.0)\n"
+        )
+        assert codes(src) == ["PRF001"]
+
+    def test_prf001_flags_dispatch_and_allocate(self):
+        src = self._DATACLASS_PREFIX + (
+            "def _dispatch(self):\n"
+            "    e = Entry(1.0)\n"
+            "    return e\n"
+            "def allocate(self, flows, capacity_bps):\n"
+            "    return [Entry(t=f) for f in flows]\n"
+        )
+        assert codes(src) == ["PRF001", "PRF001"]
+
+    def test_prf001_flags_dataclasses_replace(self):
+        src = (
+            "import dataclasses\n"
+            "def on_ack(self, state):\n"
+            "    return dataclasses.replace(state, cwnd=1.0)\n"
+        )
+        assert codes(src) == ["PRF001"]
+
+    def test_prf001_allows_construction_outside_hot_functions(self):
+        src = self._DATACLASS_PREFIX + (
+            "def build_schedule():\n"
+            "    return Entry(t=0.0)\n"
+        )
+        assert codes(src) == []
+
+    def test_prf001_allows_non_dataclass_calls_in_hot_functions(self):
+        src = (
+            "def allocate(self, flows, capacity_bps):\n"
+            "    rates = dict()\n"
+            "    return sorted(rates)\n"
+        )
+        assert codes(src) == []
+
+    def test_prf001_scoped_to_simulator_and_fluid(self):
+        src = self._DATACLASS_PREFIX + (
+            "def on_packet(self, pkt):\n"
+            "    return Entry(t=0.0)\n"
+        )
+        assert codes(src, NEUTRAL) == []
+        assert codes(src, "src/repro/harness/fixture.py") == []
+
+    def test_prf001_suppressible_in_place(self):
+        src = self._DATACLASS_PREFIX + (
+            "def on_packet(self, pkt):\n"
+            "    return Entry(t=0.0)  # repro-lint: disable=PRF001\n"
+        )
+        assert codes(src) == []
+
+
 class TestSuppressions:
     def test_line_suppression_drops_the_finding(self):
         src = "import random\nx = random.random()  # repro-lint: disable=DET001\n"

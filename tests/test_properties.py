@@ -113,6 +113,106 @@ class TestWaterFillProperties:
         assert rates["hi"] >= rates["lo"] - 1e-9
 
 
+def _water_fill_reference(demands, weights, capacity):
+    """The pre-optimization ``water_fill`` (sorted-set version), verbatim.
+
+    The optimized implementation in :mod:`repro.fluid.allocation` keeps one
+    incrementally-filtered sorted list instead of re-sorting a set every
+    round; :class:`TestWaterFillEquivalence` pins the two to the same bits.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    rates = {}
+    unsaturated = {fid for fid in demands}
+    remaining = capacity
+    for fid, weight in weights.items():
+        if weight < 0:
+            raise ValueError(f"{fid}: weight must be non-negative, got {weight!r}")
+    while unsaturated and remaining > 1e-12:
+        total_weight = sum(weights[fid] for fid in sorted(unsaturated))
+        if total_weight <= 0:
+            equal = remaining / len(unsaturated)
+            newly_capped = {
+                fid for fid in unsaturated if demands[fid] <= equal + 1e-12
+            }
+            if not newly_capped:
+                for fid in sorted(unsaturated):
+                    rates[fid] = rates.get(fid, 0.0) + equal
+                return rates
+            for fid in sorted(newly_capped):
+                rates[fid] = demands[fid]
+                remaining -= demands[fid] - rates.get(fid, 0.0)
+            remaining = capacity - sum(
+                rates.get(fid, 0.0) for fid in demands if fid not in unsaturated
+            )
+            unsaturated -= newly_capped
+            continue
+        progressed = False
+        shares = {
+            fid: remaining * weights[fid] / total_weight
+            for fid in sorted(unsaturated)
+        }
+        capped = {
+            fid
+            for fid in unsaturated
+            if weights[fid] > 0 and shares[fid] >= demands[fid] - 1e-12
+        }
+        if capped:
+            for fid in sorted(capped):
+                rates[fid] = demands[fid]
+                remaining -= demands[fid]
+            unsaturated -= capped
+            progressed = True
+        if not progressed:
+            for fid in sorted(unsaturated):
+                rates[fid] = shares[fid]
+            return {fid: max(0.0, rate) for fid, rate in rates.items()}
+    for fid in sorted(unsaturated):
+        rates.setdefault(fid, 0.0)
+    return {fid: max(0.0, rate) for fid, rate in rates.items()}
+
+
+class TestWaterFillEquivalence:
+    """Optimized ``water_fill`` is bit-identical to the seed algorithm."""
+
+    flows = st.lists(
+        st.tuples(
+            st.floats(min_value=1e3, max_value=1e12, allow_nan=False),  # demand
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # weight
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @given(flows=flows, capacity=st.floats(min_value=1e3, max_value=1e12))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_bit_for_bit(self, flows, capacity):
+        demands = {f"f{i}": d for i, (d, _w) in enumerate(flows)}
+        weights = {f"f{i}": w for i, (_d, w) in enumerate(flows)}
+        got = water_fill(demands, weights, capacity)
+        want = _water_fill_reference(demands, weights, capacity)
+        assert set(got) == set(want)
+        for fid in want:
+            assert got[fid].hex() == want[fid].hex(), fid
+
+    @given(flows=flows, capacity=st.floats(min_value=1e3, max_value=1e12))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference_with_all_zero_weights(self, flows, capacity):
+        demands = {f"f{i}": d for i, (d, _w) in enumerate(flows)}
+        weights = {fid: 0.0 for fid in demands}
+        got = water_fill(demands, weights, capacity)
+        want = _water_fill_reference(demands, weights, capacity)
+        assert {fid: r.hex() for fid, r in got.items()} == {
+            fid: r.hex() for fid, r in want.items()
+        }
+
+    def test_validation_matches_reference(self):
+        with pytest.raises(ValueError):
+            water_fill({"a": 1.0}, {"a": 1.0}, 0.0)
+        with pytest.raises(ValueError):
+            water_fill({"a": 1.0}, {"a": -1.0}, 1.0)
+
+
 class TestPolicyProperties:
     flow_lists = st.lists(
         st.tuples(
