@@ -10,13 +10,13 @@ PYTHON ?= python
 BENCH_FLAGS = --benchmark-sort=name --benchmark-columns=min,mean,stddev,rounds \
 	--benchmark-warmup=on --benchmark-warmup-iterations=2 --benchmark-disable-gc
 
-.PHONY: install verify lint typecheck test test-fast bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke figures examples clean
 
 # The default verify path: repo-specific static analysis, type checking,
-# the fast test tier, then a one-round perf-regression smoke. CI and the
-# verify skill run this.
+# the fast test tier, a guarded fault-recovery smoke, then a one-round
+# perf-regression smoke. CI and the verify skill run this.
 .DEFAULT_GOAL := verify
-verify: lint typecheck test-fast bench-perf-smoke
+verify: lint typecheck test-fast guards-smoke bench-perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -50,11 +50,13 @@ test-fast:
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only $(BENCH_FLAGS)
 
-# The simulator microbenchmarks, gated against the committed optimized-tree
-# baseline (>15% slower on any benchmark fails). See docs/PERFORMANCE.md.
+# The simulator microbenchmarks (plus the armed-guardrail overhead suite),
+# gated against the committed optimized-tree baseline (>15% slower on any
+# benchmark fails). See docs/PERFORMANCE.md and docs/ROBUSTNESS.md.
 bench-perf:
 	@tmp=$$(mktemp) && \
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
+		benchmarks/bench_guard_overhead.py \
 		--benchmark-only --benchmark-json $$tmp $(BENCH_FLAGS) -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
 		--baseline bench_reports/perf_baseline.json; \
@@ -66,11 +68,19 @@ bench-perf:
 bench-perf-smoke:
 	@tmp=$$(mktemp) && \
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
+		benchmarks/bench_guard_overhead.py \
 		--benchmark-only --benchmark-json $$tmp --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
 		--baseline bench_reports/perf_baseline.json --threshold 1.0; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# Both substrates through the guarded fault-recovery experiment with every
+# invariant monitor armed in `raise` mode: one genuine violation aborts the
+# run and fails the target (docs/ROBUSTNESS.md).
+guards-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro guards --run --policy raise \
+		--substrate both --iterations 24
 
 # One fluid benchmark through the parallel runner with a throwaway cache,
 # then validate its JSON run-report against the schema in docs/.

@@ -15,6 +15,8 @@ Usage::
     python -m repro faults --fast --workers 4
     python -m repro faults --resume --report faults.run.json
     python -m repro faults --schedule my_faults.json --substrate packet
+    python -m repro guards my_run.run.json
+    python -m repro guards --run --policy raise --substrate both
 
 Each figure runner prints the same rows/series its benchmark emits.  The
 ``--fast`` flag shrinks iteration counts for a quick smoke run (shapes
@@ -36,6 +38,13 @@ per-point timeouts, retries, crash isolation, and a checkpoint file so
 ``bench-compare`` checks a pytest-benchmark report against a committed
 performance baseline (docs/PERFORMANCE.md) and fails on regressions beyond
 a threshold — the perf-gate behind ``make bench-perf``.
+
+``guards`` is the runtime-guardrail front end (docs/ROBUSTNESS.md): given a
+run-report it summarizes the v3 ``guards`` section and fails (exit 1) when
+invariant violations were recorded; with ``--run`` it executes a guarded
+fault-recovery experiment itself, attaching a
+:class:`repro.guards.GuardRail` to both substrates — the smoke target
+behind ``make guards-smoke``.
 
 ``lint`` runs the repo's AST-based determinism/unit-safety analyzer
 (docs/LINTING.md).  All subcommands share one error contract
@@ -338,6 +347,128 @@ def _faults_command(args) -> int:
         print(f"run-report written to {path}")
     print(runner.telemetry.summary_line())
     return 0
+
+
+def _guards_command(args) -> int:
+    """Execute ``repro guards``: summarize or produce guardrail telemetry.
+
+    Exit codes follow :mod:`repro.cliutil`: 0 when no invariant violation
+    was found, 1 when violations exist (in the report or during ``--run``),
+    2 when the input cannot be read.
+    """
+    import json
+
+    from .harness.report import render_guard_summary
+
+    if args.run:
+        return _guards_run_command(args)
+    if args.report_file is None:
+        return fail("give a run-report to summarize, or --run to produce one")
+    try:
+        report = json.loads(Path(args.report_file).read_text())
+    except (OSError, ValueError) as error:
+        return fail(f"cannot read report {args.report_file}: {error}")
+    guards = report.get("guards")
+    if guards is None:
+        print(
+            f"{args.report_file}: no guards section "
+            f"(schema v{report.get('schema_version', '?')} report predates v3)"
+        )
+        return EXIT_OK
+    print(render_guard_summary(guards))
+    violations = guards.get("violations", [])
+    if violations:
+        return report_violations(
+            f"{args.report_file}: {len(violations)} invariant violation(s)",
+            [str(v.get("detail", "")) for v in violations],
+        )
+    return EXIT_OK
+
+
+def _guards_run_command(args) -> int:
+    """Execute ``repro guards --run``: guarded fault-recovery end to end.
+
+    Attaches one :class:`~repro.guards.GuardRail` per substrate to a
+    :func:`~repro.harness.experiments.fault_recovery` run, then partitions
+    everything the rail caught into the v3 ``guards`` telemetry section:
+    fallback-engaged reports (MLTCP degrading to vanilla CC) are
+    *degradations* — expected, graceful —, everything else is a genuine
+    invariant *violation* and fails the command.
+    """
+    from .faults.schedule import FAULT_KINDS
+    from .guards import GuardRail, GuardViolationError
+    from .harness.experiments import fault_recovery
+    from .harness.report import render_guard_summary
+
+    if args.fault not in FAULT_KINDS:
+        return fail(
+            f"unknown fault class {args.fault!r}; valid: {sorted(FAULT_KINDS)}"
+        )
+    substrates = (
+        ["fluid", "packet"] if args.substrate == "both" else [args.substrate]
+    )
+    telemetry = RunTelemetry("cli.guards")
+    rows = []
+    hard_failures: list[str] = []
+    for substrate in substrates:
+        rail = GuardRail(args.policy)
+        iterations = (
+            args.iterations
+            if args.iterations is not None
+            else (40 if substrate == "fluid" else 30)
+        )
+        episodes = 0
+        try:
+            result = fault_recovery(
+                args.fault,
+                args.cc,
+                substrate,
+                iterations=iterations,
+                seed=args.seed,
+                guards=rail,
+            )
+        except GuardViolationError as error:
+            # The raising violation is already recorded in the rail; the
+            # run itself could not finish.
+            hard_failures.append(f"{substrate}: {error}")
+            recovered = "ABORTED"
+        else:
+            recovered = "yes" if result.recovered else "NO"
+            episodes = len(result.degradation_episodes)
+        for violation in rail.violations:
+            telemetry.record_guard_event(
+                "degradation" if violation.fallback_engaged else "violation",
+                violation.render(),
+                guard=violation.guard,
+                subject=violation.subject,
+                time=violation.time,
+                params={"substrate": substrate, "fault": args.fault},
+            )
+        genuine = sum(1 for v in rail.violations if not v.fallback_engaged)
+        rows.append([substrate, args.fault, genuine, episodes, recovered])
+    print(
+        render_table(
+            ["substrate", "fault", "violations", "degradations", "recovered"],
+            rows,
+            title=(
+                f"repro guards --run (cc={args.cc}, policy={args.policy}, "
+                f"seed={args.seed})"
+            ),
+        )
+    )
+    report = telemetry.as_report()
+    print(render_guard_summary(report["guards"]))
+    if args.report:
+        path = telemetry.write(args.report)
+        print(f"run-report written to {path}")
+    problems = hard_failures + [
+        str(e["detail"]) for e in report["guards"]["violations"]
+    ]
+    if problems:
+        return report_violations(
+            f"guards run: {len(problems)} invariant violation(s)", problems
+        )
+    return EXIT_OK
 
 
 def _validate_report_command(report_path: str, schema_path: Optional[str]) -> int:
@@ -650,6 +781,48 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="free-form provenance note embedded in the --save output",
     )
+    guards = subparsers.add_parser(
+        "guards",
+        help="summarize a run-report's guards section, or --run a guarded "
+        "fault-recovery experiment (docs/ROBUSTNESS.md)",
+    )
+    guards.add_argument(
+        "report_file", nargs="?", default=None, metavar="REPORT",
+        help="run-report (.run.json) whose guards section to summarize",
+    )
+    guards.add_argument(
+        "--run", action="store_true",
+        help="run fault_recovery with a guardrail attached instead of "
+        "reading a report",
+    )
+    guards.add_argument(
+        "--policy", choices=["record", "raise"], default="record",
+        help="guard policy for --run: record violations, or raise at the "
+        "first one (default: record)",
+    )
+    guards.add_argument(
+        "--cc", default="mltcp", metavar="POLICY",
+        help="congestion-control policy under test (default: mltcp)",
+    )
+    guards.add_argument(
+        "--fault", default="job_restart", metavar="CLASS",
+        help="fault class to inject during --run (default: job_restart)",
+    )
+    guards.add_argument(
+        "--substrate", choices=["fluid", "packet", "both"], default="both",
+        help="which simulator(s) to guard (default: both)",
+    )
+    guards.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="training iterations per run (default: 40 fluid / 30 packet)",
+    )
+    guards.add_argument(
+        "--seed", type=int, default=5, help="base seed (default 5)"
+    )
+    guards.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON run-report (v3 guards section) to PATH",
+    )
     validate = subparsers.add_parser(
         "validate-report",
         help="check a JSON run-report against the run-report schema",
@@ -687,6 +860,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         return _faults_command(args)
+
+    if args.command == "guards":
+        return _guards_command(args)
 
     return _run_command(args)
 

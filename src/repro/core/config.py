@@ -52,6 +52,38 @@ class MLTCPConfig:
         When learning ``comp_time`` online, the iteration boundary is an ACK
         gap exceeding this many smoothed RTTs ("gaps in the ack arrivals that
         exceed several round-trip times", §3.2).
+    degrade_on_unreliable:
+        Graceful-degradation master switch (docs/ROBUSTNESS.md): when the
+        tracker's TOTAL_BYTES estimate is flagged unreliable — observed
+        per-iteration volume drifting beyond ``drift_threshold``, a missed
+        boundary, or post-restart staleness — MLTCP clamps ``F`` to 1 and
+        behaves like its vanilla base algorithm until the estimate heals.
+    drift_threshold:
+        Fractional deviation of the observed per-iteration volume from the
+        TOTAL_BYTES estimate beyond which the estimate is unreliable.  The
+        default tolerates the paper's §4 noise (well under 45%) while a
+        2x/0.5x mis-estimate (drift 0.5/1.0) trips it.
+    reengage_iterations:
+        Hysteresis: consecutive clean iterations (volume within
+        ``drift_threshold`` of the estimate) required before a degraded
+        sender re-engages MLTCP.
+    degrade_after_iterations:
+        Entry hysteresis: consecutive drifting iterations required before
+        the estimate is condemned.  A single retransmission timeout can
+        split one healthy iteration into a tiny fragment plus a remainder
+        (one isolated drifting record); a genuinely wrong estimate drifts
+        on *every* iteration, so two in a row separates the two cleanly.
+        Missed-boundary overruns are not hysteresis-gated (they cannot
+        happen spuriously — fragments undershoot).
+    drift_warmup_iterations:
+        Completed iterations to observe before drift can condemn the
+        estimate.  ACK-gap boundary detection is noisy while a flow is in
+        slow start and early recovery — a retransmission timeout splits the
+        first iteration into small fragments whose volume is far below
+        TOTAL_BYTES — so judging drift from the start would degrade
+        perfectly healthy flows.  The missed-boundary overrun check is not
+        warmup-gated (fragments undershoot; only a genuinely low estimate
+        overruns).
     """
 
     function: AggressivenessFunction = field(default_factory=default_aggressiveness)
@@ -60,6 +92,11 @@ class MLTCPConfig:
     mtu_bytes: int = DEFAULT_MTU_BYTES
     learn_iterations: int = 2
     gap_rtt_multiplier: float = 4.0
+    degrade_on_unreliable: bool = True
+    drift_threshold: float = 0.45
+    reengage_iterations: int = 3
+    degrade_after_iterations: int = 2
+    drift_warmup_iterations: int = 3
 
     def __post_init__(self) -> None:
         if self.total_bytes is not None and self.total_bytes <= 0:
@@ -77,6 +114,25 @@ class MLTCPConfig:
                 "gap_rtt_multiplier must exceed 1 RTT to avoid classifying "
                 f"ordinary ACK jitter as an iteration boundary, got "
                 f"{self.gap_rtt_multiplier!r}"
+            )
+        if self.drift_threshold <= 0.0:
+            raise ValueError(
+                f"drift_threshold must be positive, got {self.drift_threshold!r}"
+            )
+        if self.reengage_iterations < 1:
+            raise ValueError(
+                f"reengage_iterations must be at least 1, got "
+                f"{self.reengage_iterations!r}"
+            )
+        if self.degrade_after_iterations < 1:
+            raise ValueError(
+                f"degrade_after_iterations must be at least 1, got "
+                f"{self.degrade_after_iterations!r}"
+            )
+        if self.drift_warmup_iterations < 0:
+            raise ValueError(
+                f"drift_warmup_iterations must be non-negative, got "
+                f"{self.drift_warmup_iterations!r}"
             )
 
     @property

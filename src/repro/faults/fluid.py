@@ -131,3 +131,17 @@ class FluidFaultState:
     def descriptions(self) -> list[str]:
         """The log as human-readable lines, in application order."""
         return [f"t={time:g}s: {text}" for time, text in self.log]
+
+    def context_for(self, time: float) -> Optional[str]:
+        """The most recent applied transition at or before ``time``.
+
+        Mirrors :meth:`repro.faults.packet.InjectionLog.context_for`: maps
+        an :class:`repro.guards.InvariantViolation` detection time back to
+        the fault that plausibly provoked it (docs/ROBUSTNESS.md).
+        """
+        latest: Optional[str] = None
+        for applied_at, text in self.log:
+            if applied_at > time:
+                break
+            latest = f"t={applied_at:g}s: {text}"
+        return latest

@@ -54,6 +54,21 @@ class InjectionLog:
         """The log as human-readable lines, in application order."""
         return [f"t={time:g}s: {text}" for time, text in self.entries]
 
+    def context_for(self, time: float) -> Optional[str]:
+        """The most recent applied transition at or before ``time``.
+
+        Lets a guard-summary reader correlate an
+        :class:`repro.guards.InvariantViolation` (which carries its
+        detection time) with the fault that plausibly provoked it
+        (docs/ROBUSTNESS.md).  ``None`` when no transition had fired yet.
+        """
+        latest: Optional[str] = None
+        for applied_at, text in self.entries:
+            if applied_at > time:
+                break
+            latest = f"t={applied_at:g}s: {text}"
+        return latest
+
 
 def _link_names(network: Network) -> dict[str, Link]:
     return {f"{src}->{dst}": link for (src, dst), link in network.links.items()}

@@ -38,7 +38,22 @@ __all__ = [
     "PDQ",
     "PIAS",
     "water_fill",
+    "allocation_excess",
 ]
+
+
+def allocation_excess(rates: Mapping[str, float], capacity_bps: float) -> float:
+    """How far a rate vector oversubscribes the bottleneck, in bps.
+
+    Positive means the policy violated its ``allocate`` contract ("Sum must
+    not exceed ``capacity_bps``"); zero or negative is a valid allocation.
+    Summation iterates flows in sorted order so the float total is
+    independent of dict insertion order (repro-lint DET004).
+    """
+    total = 0.0
+    for flow_id in sorted(rates):
+        total += rates[flow_id]
+    return total - capacity_bps
 
 
 class FlowView:

@@ -34,10 +34,16 @@ import numpy as np
 from ..core.tolerances import close, is_zero
 from ..core.units import bps_from_gbps, gbps_from_bps
 from ..workloads.job import JobSpec
-from .allocation import AllocationPolicy, FairShare, FlowView
+from .allocation import AllocationPolicy, FairShare, FlowView, allocation_excess
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.schedule import FaultSchedule
+    from ..guards.core import GuardRail
+
+#: Relative tolerance for the inline allocation-capacity guard; mirrors
+#: repro.guards.monitors.ALLOCATION_REL_TOL (kept literal here so this
+#: module never imports the guards package — guards imports allocation).
+_ALLOCATION_REL_TOL = 1e-6
 
 __all__ = [
     "Phase",
@@ -204,6 +210,7 @@ class FluidSimulator:
         seed: Optional[int] = 0,
         quantum: float = 0.02,
         faults: Optional["FaultSchedule"] = None,
+        guards: Optional["GuardRail"] = None,
     ) -> None:
         if not jobs:
             raise ValueError("need at least one job")
@@ -219,6 +226,10 @@ class FluidSimulator:
         self.capacity_gbps = capacity_gbps
         self.policy = policy if policy is not None else FairShare()
         self.quantum = quantum
+        #: Optional guardrail; when set, every allocation is checked against
+        #: the capacity/non-negativity contract and a livelocked run reports
+        #: ``fluid-stall`` before raising (docs/ROBUSTNESS.md).
+        self.guards = guards
         self._rng = np.random.default_rng(seed) if seed is not None else None
         if faults is not None:
             from ..faults.fluid import FluidFaultState
@@ -268,6 +279,8 @@ class FluidSimulator:
         full_capacity = self.capacity_bps
         allocate = self.policy.allocate
         policy_cache_key = self.policy.cache_key
+        guards = self.guards
+        policy_name = self.policy.name
         segments = result.segments
         # Allocation reuse: while the policy's cache token is unchanged the
         # previous rate vector is returned verbatim (see
@@ -300,6 +313,12 @@ class FluidSimulator:
                     rates = allocate(views, capacity)
                     last_key = key
                     last_rates = rates
+                    if guards is not None and rates:
+                        # Fresh allocations only: a cache-reused vector was
+                        # already checked when it was computed.
+                        self._check_allocation(
+                            guards, rates, capacity, now, policy_name
+                        )
             else:
                 rates = {}
             dt = self._next_event_dt(runtimes, rates, now, end_time)
@@ -324,6 +343,14 @@ class FluidSimulator:
                 rt.sent_bits = sent if sent < total else total
             now += dt
         else:
+            if guards is not None:
+                guards.violation(
+                    "fluid-stall",
+                    policy_name,
+                    now,
+                    f"exceeded {max_steps} steps without finishing; "
+                    "zero-rate livelock?",
+                )
             raise RuntimeError(
                 f"fluid simulation exceeded {max_steps} steps without finishing; "
                 "check for a zero-rate livelock"
@@ -335,6 +362,34 @@ class FluidSimulator:
         return result
 
     # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _check_allocation(
+        guards: "GuardRail",
+        rates: dict[str, float],
+        capacity: float,
+        now: float,
+        policy_name: str,
+    ) -> None:
+        """Enforce the ``AllocationPolicy.allocate`` contract at runtime."""
+        excess = allocation_excess(rates, capacity)
+        if excess > _ALLOCATION_REL_TOL * capacity:
+            guards.violation(
+                "allocation-capacity",
+                policy_name,
+                now,
+                f"allocated {capacity + excess:.6g} bps exceeds capacity "
+                f"{capacity:.6g} bps by {excess:.6g} bps",
+            )
+        for flow_id in sorted(rates):
+            rate = rates[flow_id]
+            if rate < 0.0:
+                guards.violation(
+                    "allocation-negative",
+                    str(flow_id),
+                    now,
+                    f"negative allocated rate {rate!r} bps from {policy_name}",
+                )
 
     def _horizon(self, max_iterations: Optional[int]) -> float:
         assert max_iterations is not None
@@ -476,10 +531,17 @@ def run_fluid(
     quantum: float = 0.02,
     record_segments: bool = True,
     faults: Optional["FaultSchedule"] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> FluidResult:
     """One-call convenience wrapper around :class:`FluidSimulator`."""
     simulator = FluidSimulator(
-        jobs, capacity_gbps, policy=policy, seed=seed, quantum=quantum, faults=faults
+        jobs,
+        capacity_gbps,
+        policy=policy,
+        seed=seed,
+        quantum=quantum,
+        faults=faults,
+        guards=guards,
     )
     return simulator.run(
         end_time=end_time,

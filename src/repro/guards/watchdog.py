@@ -1,0 +1,182 @@
+"""Watchdogs: progress monitors for the engine and packet-sim installers.
+
+Two complementary stall detectors exist:
+
+* The engine's own monitored event loop (``Simulator(monitor=rail)``)
+  checks *per event* that dispatch times never run backwards and that the
+  clock keeps advancing (``stall_event_limit`` events at one timestamp is
+  a zero-delay livelock).  Exact, but pays a branch per event.
+* :class:`EngineWatchdog` here samples *per heartbeat*: between beats it
+  bounds scheduling activity (an event storm that outruns
+  ``max_events_per_interval`` is a livelock in wall-clock terms) and
+  checks clock monotonicity.  Coarse, but nearly free.
+
+The third layer — converting a *wall-clock* hang into a
+:class:`repro.harness.runner.FailedPoint` — lives in the experiment
+runner's per-point timeout machinery and is surfaced through the
+telemetry ``guards.watchdog_fires`` section (docs/ROBUSTNESS.md).
+
+:func:`install_packet_guards` wires the periodic packet-substrate checks
+(cwnd bounds, link conservation, tracker sanity) onto a simulation as
+ordinary heartbeat events, so the hot event loop stays untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from .core import GuardRail
+from .monitors import check_cwnd_bounds, check_link_conservation, check_tracker_sanity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.engine import Simulator
+    from ..simulator.topology import Network
+    from ..tcp.base import TcpSender
+
+__all__ = ["EngineWatchdog", "bdp_cwnd_cap", "install_packet_guards"]
+
+
+class EngineWatchdog:
+    """Heartbeat-based progress monitor for one :class:`Simulator`.
+
+    Every ``interval`` seconds of simulation time the watchdog checks
+    that (a) the clock did not run backwards since the previous beat and
+    (b) no more than ``max_events_per_interval`` events were *scheduled*
+    between beats.  Scheduling activity is read off the engine's event
+    sequence counter, which is live mid-run — the engine's
+    ``events_processed`` counter is only flushed when ``run()`` returns,
+    so it cannot drive an in-run check; and for livelock detection the
+    two are equivalent, since a zero-delay livelock schedules (at least)
+    one event per event it burns.  The watchdog stops re-arming once it
+    would be the only pending event, so it never keeps a finished
+    simulation alive.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rail: GuardRail,
+        interval: float = 0.01,
+        max_events_per_interval: int = 2_000_000,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if max_events_per_interval < 1:
+            raise ValueError(
+                f"max_events_per_interval must be positive, got "
+                f"{max_events_per_interval!r}"
+            )
+        self.sim = sim
+        self.rail = rail
+        self.interval = interval
+        self.max_events_per_interval = max_events_per_interval
+        self.beats = 0
+        self._last_now = sim.now
+        self._last_seq = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the first heartbeat."""
+        if self._started:
+            raise RuntimeError("watchdog already started")
+        self._started = True
+        self._last_now = self.sim.now
+        entry = self.sim.schedule(self.interval, self._beat)
+        self._last_seq = int(entry[1])
+
+    def _beat(self) -> None:
+        sim = self.sim
+        now = sim.now
+        self.beats += 1
+        if now < self._last_now:
+            self.rail.violation(
+                "engine-monotonic",
+                "watchdog",
+                now,
+                f"clock ran backwards: {now!r} < previous beat {self._last_now!r}",
+            )
+        self._last_now = now
+        if sim.pending_events() <= 0:
+            return
+        # Re-arm first: the fresh entry's sequence number brackets exactly
+        # one interval's worth of schedule() calls (minus this arming).
+        entry = sim.schedule(self.interval, self._beat)
+        seq = int(entry[1])
+        delta = seq - self._last_seq - 1
+        self._last_seq = seq
+        if delta > self.max_events_per_interval:
+            self.rail.violation(
+                "engine-stall",
+                "watchdog",
+                now,
+                f"{delta} events scheduled in one {self.interval:.6g} s beat "
+                f"(limit {self.max_events_per_interval}); zero-delay livelock?",
+            )
+
+
+def bdp_cwnd_cap(
+    bottleneck_bps: float,
+    rtt_s: float,
+    mss_bytes: int,
+    queue_packets: int,
+    slack: float = 4.0,
+) -> float:
+    """A deliberately loose cwnd ceiling in segments.
+
+    One bandwidth-delay product plus the bottleneck buffer is the most a
+    well-behaved flow can usefully keep in flight; ``slack`` covers
+    slow-start overshoot and recovery inflation (dup-ACK window
+    inflation can legitimately double the window).  Anything beyond is
+    runaway growth.
+    """
+    if bottleneck_bps <= 0 or rtt_s <= 0 or mss_bytes <= 0:
+        raise ValueError(
+            f"bottleneck_bps, rtt_s and mss_bytes must be positive, got "
+            f"{bottleneck_bps!r}, {rtt_s!r}, {mss_bytes!r}"
+        )
+    bdp_segments = bottleneck_bps * rtt_s / (8.0 * mss_bytes)
+    return slack * (bdp_segments + queue_packets) + 10.0
+
+
+def install_packet_guards(
+    sim: "Simulator",
+    network: "Network",
+    senders: Mapping[str, "TcpSender"],
+    rail: GuardRail,
+    *,
+    interval: float = 0.005,
+    max_cwnd: float = float("inf"),
+    min_cwnd: float = 1.0,
+) -> None:
+    """Attach periodic invariant checks to a packet simulation.
+
+    Every ``interval`` seconds of sim time a heartbeat event sweeps all
+    senders (cwnd bounds, MLTCP tracker sanity when present) and all
+    links (packet conservation).  The heartbeat re-arms only while other
+    events are pending, so it never extends a finished run by more than
+    one interval.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval!r}")
+
+    def beat() -> None:
+        now = sim.now
+        for name in sorted(senders):
+            sender = senders[name]
+            check_cwnd_bounds(
+                rail,
+                name,
+                sender.cc.cwnd,
+                now=now,
+                min_cwnd=min_cwnd,
+                max_cwnd=max_cwnd,
+            )
+            mltcp = getattr(sender.cc, "mltcp", None)
+            if mltcp is not None:
+                check_tracker_sanity(rail, mltcp.tracker, now=now, flow=name)
+        for key in sorted(network.links):
+            check_link_conservation(rail, network.links[key], now=now)
+        if sim.pending_events() > 0:
+            sim.schedule(interval, beat)
+
+    sim.schedule(interval, beat)

@@ -11,9 +11,12 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..guards.core import GuardRail
 
 from ..core.aggressiveness import (
     AggressivenessFunction,
@@ -390,7 +393,15 @@ def fairness_competition_share(
                 bottleneck_random_loss=p,
                 loss_seed=seed,
             )
-            ccs = [MLTCPReno(_Cfg(total_bytes=1, comp_time=1e9)), RenoCC()]
+            # total_bytes=1 pins bytes_ratio at 1 (the saturated flow the
+            # quote describes), which is not an estimate of the real volume:
+            # degradation must stay out of the way.
+            ccs = [
+                MLTCPReno(
+                    _Cfg(total_bytes=1, comp_time=1e9, degrade_on_unreliable=False)
+                ),
+                RenoCC(),
+            ]
             senders = []
             for i, cc in enumerate(ccs):
                 sender = _Tx(
@@ -501,6 +512,10 @@ class FaultRecoveryResult:
     fault_log: list[str] = field(repr=False, default_factory=list)
     series: np.ndarray = field(repr=False, default_factory=lambda: np.array([]))
     baseline_series: np.ndarray = field(repr=False, default_factory=lambda: np.array([]))
+    #: MLTCP degradation episodes observed during the *faulted* run
+    #: (``{"flow", "reason", "start", "end"}``; packet substrate only —
+    #: fluid policies carry no per-flow tracker).  See docs/ROBUSTNESS.md.
+    degradation_episodes: list[dict] = field(repr=False, default_factory=list)
 
 
 def _fault_schedule_for(
@@ -540,6 +555,7 @@ def fault_recovery(
     tolerance: float = 0.10,
     capacity_gbps: float = BOTTLENECK_GBPS,
     schedule_json: Optional[str] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> FaultRecoveryResult:
     """Measure iterations-to-reconverge after one injected fault (§4's
     robustness claim, stress-tested).
@@ -558,14 +574,20 @@ def fault_recovery(
     point: MLTCP's interleaving re-forms by itself after the disturbance —
     no controller, no coordination — so its disturbed-round count stays
     small and ``recovered`` comes back ``True``.
+
+    ``guards`` threads a :class:`~repro.guards.core.GuardRail` through both
+    the clean and the faulted run (invariant monitors + watchdogs,
+    docs/ROBUSTNESS.md); violations accumulate on the rail and MLTCP
+    degradation episodes from the faulted run are surfaced on the result.
     """
     if substrate == "fluid":
         return _fault_recovery_fluid(
-            fault, policy, iterations, seed, tolerance, capacity_gbps, schedule_json
+            fault, policy, iterations, seed, tolerance, capacity_gbps,
+            schedule_json, guards,
         )
     if substrate == "packet":
         return _fault_recovery_packet(
-            fault, policy, iterations, seed, tolerance, schedule_json
+            fault, policy, iterations, seed, tolerance, schedule_json, guards
         )
     raise ValueError(
         f"unknown substrate {substrate!r}; valid: ['fluid', 'packet']"
@@ -617,6 +639,7 @@ def _fault_recovery_fluid(
     tolerance: float,
     capacity_gbps: float,
     schedule_json: Optional[str] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> FaultRecoveryResult:
     from ..faults.schedule import FaultSchedule
 
@@ -634,7 +657,7 @@ def _fault_recovery_fluid(
     jobs = three_job_scenario()
     clean = run_fluid(
         jobs, capacity_gbps, policy=policies[policy](),
-        max_iterations=iterations, seed=seed,
+        max_iterations=iterations, seed=seed, guards=guards,
     )
     baseline = clean.mean_iteration_by_round()
     unit = float(baseline[len(baseline) // 2:].mean())
@@ -644,7 +667,7 @@ def _fault_recovery_fluid(
         schedule = _fault_schedule_for(fault, unit, jobs[0].name, seed)
     faulted = run_fluid(
         jobs, capacity_gbps, policy=policies[policy](),
-        max_iterations=iterations, seed=seed, faults=schedule,
+        max_iterations=iterations, seed=seed, faults=schedule, guards=guards,
     )
     return _recovery_from_series(
         policy, fault, "fluid",
@@ -660,6 +683,7 @@ def _fault_recovery_packet(
     seed: int,
     tolerance: float,
     schedule_json: Optional[str] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> FaultRecoveryResult:
     from ..faults.schedule import FaultSchedule
     from ..tcp.dctcp import DctcpCC
@@ -688,7 +712,9 @@ def _fault_recovery_packet(
             "['dctcp', 'fair', 'mltcp', 'mltcp-dctcp', 'reno']"
         )
 
-    clean = run_packet_jobs(jobs, factory, max_iterations=iterations, seed=seed)
+    clean = run_packet_jobs(
+        jobs, factory, max_iterations=iterations, seed=seed, guards=guards
+    )
     baseline = clean.mean_iteration_by_round()
     unit = float(baseline[len(baseline) // 2:].mean())
     if schedule_json is not None:
@@ -696,10 +722,18 @@ def _fault_recovery_packet(
     else:
         schedule = _fault_schedule_for(fault, unit, jobs[0].name, seed)
     faulted = run_packet_jobs(
-        jobs, factory, max_iterations=iterations, seed=seed, faults=schedule
+        jobs, factory, max_iterations=iterations, seed=seed, faults=schedule,
+        guards=guards,
     )
     fault_log: list[str] = [event.describe() for event in schedule.sorted_events()]
-    return _recovery_from_series(
+    episodes: list[dict] = []
+    for name in sorted(faulted.senders):
+        mltcp = getattr(faulted.senders[name].cc, "mltcp", None)
+        if mltcp is not None:
+            episodes.extend(mltcp.degradation_episodes)
+    result = _recovery_from_series(
         policy, fault, "packet",
         faulted.mean_iteration_by_round(), baseline, tolerance, fault_log,
     )
+    result.degradation_episodes = episodes
+    return result

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.schedule import FaultSchedule
+    from ..guards.core import GuardRail
 
 import numpy as np
 
@@ -104,6 +105,7 @@ def run_packet_jobs(
     seed: int = 0,
     link_delay: float = 5e-6,
     faults: Optional["FaultSchedule"] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> PacketLabResult:
     """Run ``jobs`` over a dumbbell with per-job congestion control.
 
@@ -112,10 +114,16 @@ def run_packet_jobs(
     installs a :class:`~repro.faults.schedule.FaultSchedule` on the
     assembled testbed before the clock starts (docs/FAULTS.md); the
     default fault target is the dumbbell's ``sw_l->sw_r`` bottleneck.
+
+    ``guards`` installs the runtime guardrail (docs/ROBUSTNESS.md): the
+    engine's monitored event loop, periodic cwnd/link-conservation/tracker
+    heartbeats against a BDP-derived cwnd cap, and degradation reporting
+    from every MLTCP sender.  ``None`` (the default) changes nothing —
+    the unmonitored hot path runs.
     """
     if not jobs:
         raise ValueError("need at least one job")
-    sim = Simulator()
+    sim = Simulator(monitor=guards)
     network = build_dumbbell(
         sim,
         n_pairs=len(jobs),
@@ -144,6 +152,22 @@ def run_packet_jobs(
         from ..faults.packet import install_packet_faults
 
         install_packet_faults(sim, network, faults, apps=apps)
+
+    if guards is not None:
+        from ..guards.watchdog import bdp_cwnd_cap, install_packet_guards
+        from ..tcp.base import DEFAULT_MSS_BYTES
+
+        for sender in senders.values():
+            mltcp = getattr(sender.cc, "mltcp", None)
+            if mltcp is not None:
+                mltcp.attach_guardrail(guards)
+        # Dumbbell RTT: three hops each way (edge, bottleneck, edge) plus
+        # the worst-case bottleneck queueing delay — at these delays the
+        # queue, not propagation, dominates the RTT a full buffer produces.
+        queue_delay = queue_packets * 1500 * 8.0 / bottleneck_bps
+        rtt = 6.0 * link_delay + queue_delay + 1e-4
+        cap = bdp_cwnd_cap(bottleneck_bps, rtt, DEFAULT_MSS_BYTES, queue_packets)
+        install_packet_guards(sim, network, senders, guards, max_cwnd=cap)
 
     if until is None:
         longest = max(job.ideal_iteration_time for job in jobs)

@@ -13,7 +13,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "render_series", "sparkline", "format_seconds"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "sparkline",
+    "format_seconds",
+    "render_guard_summary",
+]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -79,6 +85,43 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
         return _SPARK_CHARS[0] * arr.size
     scaled = (arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
     return "".join(_SPARK_CHARS[int(round(s))] for s in scaled)
+
+
+def render_guard_summary(guards: dict) -> str:
+    """Human-readable summary of a run-report's v3 ``guards`` section.
+
+    Accepts the dict under ``report["guards"]`` (see
+    ``docs/run_report.schema.json``); tolerates missing arrays so partial
+    or hand-built sections still render.  Used by ``python -m repro
+    guards`` (docs/ROBUSTNESS.md).
+    """
+    violations = guards.get("violations", [])
+    degradations = guards.get("degradations", [])
+    watchdogs = guards.get("watchdog_fires", [])
+    lines = [
+        "guards: "
+        f"{len(violations)} violation(s), "
+        f"{len(degradations)} degradation episode(s), "
+        f"{len(watchdogs)} watchdog fire(s)"
+    ]
+    for label, events in (
+        ("violation", violations),
+        ("degradation", degradations),
+        ("watchdog", watchdogs),
+    ):
+        for event in events:
+            guard = event.get("guard")
+            subject = event.get("subject")
+            time = event.get("time")
+            prefix = f"  [{label}]"
+            if guard:
+                prefix += f" {guard}"
+            if subject:
+                prefix += f" {subject}"
+            if time is not None:
+                prefix += f" t={time:.6g}"
+            lines.append(f"{prefix}: {event.get('detail', '')}")
+    return "\n".join(lines)
 
 
 def _cell(value: object) -> str:

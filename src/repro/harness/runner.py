@@ -144,7 +144,7 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     for process in list(processes.values()):
         try:
             process.terminate()
-        except Exception:
+        except Exception:  # repro-lint: disable=GRD001 — process already gone
             pass
     pool.shutdown(wait=True, cancel_futures=True)
 
@@ -449,6 +449,11 @@ class ExperimentRunner:
         hung: list[int] = []
         for future, i in list(futures.items()):
             (requeue if future.cancel() else hung).append(i)
+        self.telemetry.record_guard_event(
+            "watchdog",
+            f"pool stall watchdog: no completion within {self.timeout}s; "
+            f"{len(hung)} hung point(s), {len(requeue)} requeued",
+        )
         if not self.isolate_failures:
             _terminate_pool(pool)
             raise PointTimeoutError(
@@ -553,6 +558,12 @@ class ExperimentRunner:
                     "timeout",
                     f"point ran {wall:.2f}s, over the {self.timeout}s budget "
                     "(sequential mode cannot preempt; result kept)",
+                    params=points[i],
+                )
+                self.telemetry.record_guard_event(
+                    "watchdog",
+                    f"wall-clock watchdog: point ran {wall:.2f}s, over the "
+                    f"{self.timeout}s budget",
                     params=points[i],
                 )
             self._finish(i, value, wall, events, "sequential", results, done, stats, keys)

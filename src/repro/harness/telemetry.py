@@ -8,7 +8,11 @@ total_events_processed`), whether the point was a cache hit, and how it ran
 (cached / sequential / pool worker / resumed from a checkpoint / failed).
 Since schema v2 it also accumulates a ``degradations`` array — every
 injected fault, retry, timeout and crash the run survived
-(:meth:`RunTelemetry.record_degradation`).  :meth:`RunTelemetry.as_report`
+(:meth:`RunTelemetry.record_degradation`).  Schema v3 adds the ``guards``
+section: invariant violations, MLTCP degradation episodes and watchdog
+fires collected from the runtime guardrail
+(:meth:`RunTelemetry.record_guard_event`, docs/ROBUSTNESS.md).
+:meth:`RunTelemetry.as_report`
 turns that into the JSON run-report the benchmarks write next to their text
 output in ``bench_reports/`` (``<name>.run.json``); the report format is
 frozen by :data:`RUN_REPORT_SCHEMA` (checked into
@@ -30,13 +34,16 @@ __all__ = [
     "RUN_REPORT_SCHEMA",
     "REPORT_SCHEMA_VERSION",
     "DEGRADATION_KINDS",
+    "GUARD_EVENT_KINDS",
     "validate_run_report",
 ]
 
 #: Version stamped into every run-report; bump on breaking format changes.
 #: v2 added the ``degradations`` section and the ``resumed``/``failed``
-#: point modes (optional additions — v1 reports still validate).
-REPORT_SCHEMA_VERSION = 2
+#: point modes; v3 added the ``guards`` section (invariant violations,
+#: MLTCP degradation episodes, watchdog fires).  Both are optional
+#: additions — v1/v2 reports still validate.
+REPORT_SCHEMA_VERSION = 3
 
 #: What a degradation entry's ``kind`` may be: ``retry`` (a failed attempt
 #: that was retried), ``timeout`` (a point blew its wall-clock budget),
@@ -44,6 +51,13 @@ REPORT_SCHEMA_VERSION = 2
 #: terminally with an exception), ``fault`` (an injected fault from a
 #: :class:`repro.faults.schedule.FaultSchedule` fired).
 DEGRADATION_KINDS = ("retry", "timeout", "crash", "error", "fault")
+
+#: What a guard event's ``kind`` may be: ``violation`` (an invariant
+#: monitor recorded an :class:`repro.guards.InvariantViolation`),
+#: ``degradation`` (an MLTCP sender fell back to vanilla CC because its
+#: tracker estimate became unreliable), ``watchdog`` (a stall watchdog
+#: fired — engine stall, event storm, or a harness wall-clock timeout).
+GUARD_EVENT_KINDS = ("violation", "degradation", "watchdog")
 
 
 @dataclass(frozen=True)
@@ -92,6 +106,7 @@ class RunTelemetry:
     records: list[PointRecord] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     degradations: list[dict] = field(default_factory=list)
+    guard_events: list[dict] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter)
 
     def record_point(
@@ -143,6 +158,41 @@ class RunTelemetry:
                 "detail": detail,
                 "params": dict(params) if params is not None else None,
                 "attempt": attempt,
+            }
+        )
+
+    def record_guard_event(
+        self,
+        kind: str,
+        detail: str,
+        *,
+        guard: Optional[str] = None,
+        subject: Optional[str] = None,
+        time: Optional[float] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one runtime-guardrail event (schema v3, docs/ROBUSTNESS.md).
+
+        ``kind`` partitions the event into the report's ``guards`` section:
+        ``"violation"`` → ``guards.violations``, ``"degradation"`` →
+        ``guards.degradations``, ``"watchdog"`` → ``guards.watchdog_fires``.
+        ``guard``/``subject``/``time`` carry the fields of an
+        :class:`repro.guards.InvariantViolation` when the event came from
+        one; harness-level watchdogs leave them ``None``.
+        """
+        if kind not in GUARD_EVENT_KINDS:
+            raise ValueError(
+                f"unknown guard event kind {kind!r}; expected one of "
+                f"{GUARD_EVENT_KINDS}"
+            )
+        self.guard_events.append(
+            {
+                "kind": kind,
+                "detail": detail,
+                "guard": guard,
+                "subject": subject,
+                "time": time,
+                "params": dict(params) if params is not None else None,
             }
         )
 
@@ -201,6 +251,17 @@ class RunTelemetry:
             "points": [r.as_dict() for r in self.records],
             "notes": list(self.notes),
             "degradations": [dict(d) for d in self.degradations],
+            "guards": {
+                "violations": [
+                    dict(e) for e in self.guard_events if e["kind"] == "violation"
+                ],
+                "degradations": [
+                    dict(e) for e in self.guard_events if e["kind"] == "degradation"
+                ],
+                "watchdog_fires": [
+                    dict(e) for e in self.guard_events if e["kind"] == "watchdog"
+                ],
+            },
         }
 
     def write(self, path: Path | str) -> Path:
@@ -229,6 +290,11 @@ class RunTelemetry:
                 if self.degradations
                 else ""
             )
+            + (
+                f", {len(self.guard_events)} guard event(s)"
+                if self.guard_events
+                else ""
+            )
         )
 
 
@@ -238,10 +304,24 @@ def _json_default(value: object) -> object:
     if callable(item):
         try:
             return value.item()
-        except Exception:
+        except Exception:  # repro-lint: disable=GRD001 — fall through to repr
             pass
     return repr(value)
 
+
+#: One entry of the v3 ``guards`` arrays; shared by all three partitions.
+_GUARD_EVENT_SCHEMA: dict = {
+    "type": "object",
+    "required": ["detail"],
+    "properties": {
+        "kind": {"enum": list(GUARD_EVENT_KINDS)},
+        "detail": {"type": "string"},
+        "guard": {"type": ["string", "null"]},
+        "subject": {"type": ["string", "null"]},
+        "time": {"type": ["number", "null"]},
+        "params": {"type": ["object", "null"]},
+    },
+}
 
 #: The run-report contract (a draft-07 JSON-Schema subset).  The canonical
 #: on-disk copy lives at docs/run_report.schema.json; a unit test keeps the
@@ -260,7 +340,7 @@ RUN_REPORT_SCHEMA: dict = {
         "notes",
     ],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1, 2]},
+        "schema_version": {"type": "integer", "enum": [1, 2, 3]},
         "experiment": {"type": "string"},
         "repro_version": {"type": "string"},
         "workers": {"type": ["integer", "null"], "minimum": 1},
@@ -331,6 +411,18 @@ RUN_REPORT_SCHEMA: dict = {
                     "params": {"type": ["object", "null"]},
                     "attempt": {"type": ["integer", "null"], "minimum": 1},
                 },
+            },
+        },
+        # Added in schema_version 3, also not in ``required`` so v1/v2
+        # reports keep validating: runtime-guardrail events, partitioned by
+        # kind (docs/ROBUSTNESS.md).
+        "guards": {
+            "type": "object",
+            "required": ["violations", "degradations", "watchdog_fires"],
+            "properties": {
+                "violations": {"items": _GUARD_EVENT_SCHEMA, "type": "array"},
+                "degradations": {"items": _GUARD_EVENT_SCHEMA, "type": "array"},
+                "watchdog_fires": {"items": _GUARD_EVENT_SCHEMA, "type": "array"},
             },
         },
     },

@@ -14,7 +14,7 @@ Public API::
 
 from __future__ import annotations
 
-from . import determinism, floats, hygiene, perf, units
+from . import determinism, floats, guards, hygiene, perf, units
 from .cli import lint_paths, run_lint
 from .engine import Finding, LintContext, Rule, lint_source
 
@@ -31,7 +31,12 @@ __all__ = [
 
 #: Every rule, in catalog order (the order docs/LINTING.md documents).
 ALL_RULES: tuple[Rule, ...] = (
-    determinism.RULES + floats.RULES + units.RULES + hygiene.RULES + perf.RULES
+    determinism.RULES
+    + floats.RULES
+    + units.RULES
+    + hygiene.RULES
+    + perf.RULES
+    + guards.RULES
 )
 
 

@@ -1,0 +1,95 @@
+"""Guard-hygiene rules (GRD001).
+
+The guardrail subsystem (docs/ROBUSTNESS.md) only works when failures are
+*visible*: an invariant monitor cannot report what an ``except Exception:
+pass`` silently ate three layers down.  GRD001 flags exception swallowing —
+a bare ``except:`` that never re-raises, or a catch-all handler whose body
+does nothing at all — so every broad catch in ``src/repro/`` either
+narrows its exception type, handles the error meaningfully, or carries an
+explicit ``# repro-lint: disable=GRD001`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, LintContext, Rule, terminal_name
+
+__all__ = ["RULES"]
+
+#: Catch-all exception names: catching these hides everything, including
+#: the guardrail's own :class:`~repro.guards.GuardViolationError`.
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+def _contains_raise(body: list[ast.stmt]) -> bool:
+    """Whether any statement (at any depth) in ``body`` re-raises."""
+    return any(
+        isinstance(node, ast.Raise) for stmt in body for node in ast.walk(stmt)
+    )
+
+
+def _is_catch_all(handler_type: ast.expr) -> bool:
+    """Whether the handler's type expression names a catch-all class."""
+    if isinstance(handler_type, ast.Tuple):
+        return any(terminal_name(el) in _CATCH_ALL for el in handler_type.elts)
+    return terminal_name(handler_type) in _CATCH_ALL
+
+
+def _is_swallow_only(body: list[ast.stmt]) -> bool:
+    """Whether the handler body discards the error without acting on it.
+
+    ``pass``, a lone docstring/constant expression, and ``continue`` are
+    pure swallows.  Anything else — logging, counters, ``return False``,
+    fallbacks — is a deliberate handling decision and GRD001 stays out of
+    the way.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+def _check_grd001(ctx: LintContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            # Bare ``except:`` catches KeyboardInterrupt/SystemExit too;
+            # only tolerable when the handler provably re-raises.
+            if not _contains_raise(node.body):
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "GRD001",
+                    "bare `except:` without a re-raise swallows every "
+                    "error (including GuardViolationError and "
+                    "KeyboardInterrupt); catch a specific exception or "
+                    "re-raise",
+                )
+        elif _is_catch_all(node.type):
+            if not _contains_raise(node.body) and _is_swallow_only(node.body):
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "GRD001",
+                    "`except Exception:` with an empty body silently "
+                    "discards the error; narrow the exception type, handle "
+                    "it, or justify with `# repro-lint: disable=GRD001`",
+                )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="GRD001",
+        name="swallowed-exception",
+        summary="no silent swallowing of broad exception catches",
+        rationale=(
+            "The guardrail subsystem relies on failures surfacing: a "
+            "catch-all handler that does nothing hides invariant "
+            "violations, masks real bugs as flaky behaviour, and can eat "
+            "the `raise`-policy GuardViolationError itself."
+        ),
+        checker=_check_grd001,
+    ),
+)

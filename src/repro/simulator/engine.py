@@ -35,9 +35,30 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush
 from itertools import count
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Protocol
 
-__all__ = ["Simulator", "EventHandle", "EventEntry", "total_events_processed"]
+__all__ = [
+    "Simulator",
+    "SimMonitor",
+    "EventHandle",
+    "EventEntry",
+    "total_events_processed",
+]
+
+
+class SimMonitor(Protocol):
+    """What the engine needs from a monitor (``repro.guards.GuardRail``).
+
+    Duck-typed on purpose: the engine must stay importable without the
+    guards package (no upward dependency), so it only requires this one
+    method rather than the concrete class.
+    """
+
+    def violation(
+        self, guard: str, subject: str, time: float, message: str
+    ) -> object:
+        """Report one invariant violation (see ``GuardRail.violation``)."""
+        ...
 
 #: Opaque token for a scheduled event.  Layout is ``[time, sequence,
 #: callback]``; treat it as opaque outside this module and pass it to
@@ -118,6 +139,15 @@ class Simulator:
     :param calendar: enable the bucketed same-timestamp front-end
         (identical firing order, fewer heap operations when many events
         share exact times).  Default off.
+    :param monitor: optional :class:`SimMonitor` (a
+        ``repro.guards.GuardRail``).  When set, the event loop checks two
+        engine invariants per dispatched event — dispatch times never run
+        backwards (``engine-monotonic``) and the clock keeps advancing
+        (``engine-stall``: ``stall_event_limit`` consecutive events at one
+        timestamp is a zero-delay livelock).  When ``None`` (the default)
+        the branch-free hot path runs and nothing is paid.
+    :param stall_event_limit: events allowed at a single timestamp before
+        the monitor's ``engine-stall`` guard fires (once per run).
     """
 
     __slots__ = (
@@ -129,9 +159,20 @@ class Simulator:
         "_calendar",
         "_buckets",
         "_bucketed",
+        "_monitor",
+        "_stall_event_limit",
     )
 
-    def __init__(self, calendar: bool = False) -> None:
+    def __init__(
+        self,
+        calendar: bool = False,
+        monitor: Optional[SimMonitor] = None,
+        stall_event_limit: int = 1_000_000,
+    ) -> None:
+        if stall_event_limit < 1:
+            raise ValueError(
+                f"stall_event_limit must be positive, got {stall_event_limit!r}"
+            )
         self.now: float = 0.0
         self._queue: list[EventEntry] = []
         self._counter = count()
@@ -142,6 +183,8 @@ class Simulator:
         self._buckets: Dict[float, Deque[EventEntry]] = {}
         #: Entries resident in calendar buckets (calendar mode only).
         self._bucketed = 0
+        self._monitor = monitor
+        self._stall_event_limit = stall_event_limit
 
     @property
     def events_processed(self) -> int:
@@ -221,8 +264,13 @@ class Simulator:
         queue = self._queue
         processed = 0
         try:
-            if until is None and max_events is None and not self._calendar:
-                # Hot path: no horizon, no budget, plain heap.
+            if (
+                until is None
+                and max_events is None
+                and not self._calendar
+                and self._monitor is None
+            ):
+                # Hot path: no horizon, no budget, plain heap, no monitor.
                 pop = heappop
                 while queue:
                     entry = pop(queue)
@@ -245,9 +293,18 @@ class Simulator:
     def _run_general(
         self, until: Optional[float], max_events: Optional[int]
     ) -> int:
-        """Slow-path loop: horizons, event budgets, calendar buckets."""
+        """Slow-path loop: horizons, event budgets, calendar buckets,
+        monitored invariant checks."""
         queue = self._queue
         processed = 0
+        monitor = self._monitor
+        stall_limit = self._stall_event_limit
+        # Stall tracking: consecutive dispatches that fail to advance the
+        # clock past ``last_time``.  Ordered comparisons only — exact float
+        # equality is precisely what a zero-delay livelock produces, and we
+        # must not depend on it (repro-lint FLT001).
+        last_time = self.now
+        stall_count = 0
         while queue:
             if max_events is not None and processed >= max_events:
                 break
@@ -263,6 +320,29 @@ class Simulator:
             if cb is None:
                 self._cancelled -= 1
                 continue
+            if monitor is not None:
+                if time < self.now:
+                    monitor.violation(
+                        "engine-monotonic",
+                        "engine",
+                        self.now,
+                        f"event scheduled at {time!r} dispatched after the "
+                        f"clock reached {self.now!r}",
+                    )
+                if time > last_time:
+                    last_time = time
+                    stall_count = 0
+                else:
+                    stall_count += 1
+                    if stall_count == stall_limit:
+                        monitor.violation(
+                            "engine-stall",
+                            "engine",
+                            time,
+                            f"{stall_count} consecutive events without the "
+                            f"clock advancing past {last_time!r}; "
+                            "zero-delay livelock?",
+                        )
             if cb is _BUCKET:
                 processed += self._drain_bucket(
                     time,

@@ -252,6 +252,28 @@ class Link:
         """Total bits serialized onto the wire so far."""
         return self.bits_sent
 
+    @property
+    def offered_packets(self) -> int:
+        """Packets offered to this link: accepted plus every drop class."""
+        return (
+            self.queue.enqueued
+            + self.queue.drops
+            + self.random_drops
+            + self.fault_drops
+        )
+
+    def conservation_delta(self) -> int:
+        """Accepted packets minus (dequeued + still buffered); zero when sane.
+
+        Exact at any instant under lazy settling: a planned-but-started
+        packet stays both buffered (in the queue) and unsettled (not yet in
+        ``_packets_settled``), so it contributes to exactly one side of the
+        identity.  Non-zero means a packet was lost or double-counted inside
+        the link — the ``link-conservation`` guard
+        (:func:`repro.guards.monitors.check_link_conservation`).
+        """
+        return self.queue.enqueued - (self._packets_settled + len(self.queue))
+
     def mean_rate_bps(self, elapsed: float) -> float:
         """Average throughput over ``elapsed`` seconds of simulation."""
         if elapsed <= 0:

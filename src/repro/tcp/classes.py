@@ -89,6 +89,9 @@ def _latency_factory(job: Optional[JobSpec]) -> CongestionControl:
         function=ConstantAggressiveness(LATENCY_AGGRESSIVENESS),
         total_bytes=1,       # ratio saturates immediately: constant weight
         comp_time=1e9,       # no iteration structure for request traffic
+        # total_bytes=1 is a constant-weight trick, not an estimate of the
+        # real volume; the missed-boundary guard must not condemn it.
+        degrade_on_unreliable=False,
     )
     return MLTCPReno(config)
 

@@ -13,9 +13,20 @@ things, mirroring the paper's kernel module:
 
 Everything else — slow start, loss recovery, timers — is inherited
 unchanged, which is the paper's deployability argument.
+
+Robustness (beyond the paper, docs/ROBUSTNESS.md): when the tracker flags
+its TOTAL_BYTES estimate unreliable, :meth:`MltcpState.aggressiveness`
+clamps ``F`` to exactly 1, which makes every MLTCP-X behave as its vanilla
+base algorithm until the tracker re-earns trust.  Episodes are recorded in
+:attr:`MltcpState.degradation_episodes` and, when a
+:class:`~repro.guards.core.GuardRail` is attached, reported with
+``fallback_engaged=True`` (degrading *is* the graceful path, so it never
+raises even under the ``raise`` policy).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
 
 from ..core.config import MLTCPConfig
 from ..core.iteration import IterationTracker
@@ -23,6 +34,9 @@ from .base import CongestionControl, TcpSender
 from .cubic import CubicCC
 from .dctcp import DctcpCC
 from .reno import RenoCC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..guards.core import GuardRail
 
 __all__ = ["MltcpState", "MLTCPReno", "MLTCPCubic", "MLTCPDctcp"]
 
@@ -33,6 +47,20 @@ class MltcpState:
     def __init__(self, config: MLTCPConfig | None = None) -> None:
         self.config = config if config is not None else MLTCPConfig()
         self.tracker = IterationTracker(self.config)
+        self.guardrail: Optional["GuardRail"] = None
+        #: Completed and open degradation episodes, oldest first:
+        #: ``{"flow", "reason", "start", "end"}`` with ``end is None`` while
+        #: the episode is still open.
+        self.degradation_episodes: list[dict] = []
+
+    def attach_guardrail(self, rail: "GuardRail") -> None:
+        """Report degradation transitions to ``rail`` from now on."""
+        self.guardrail = rail
+
+    @property
+    def degraded(self) -> bool:
+        """Whether F is currently clamped to 1 (vanilla base CC)."""
+        return self.tracker.estimate_unreliable
 
     def observe_ack(self, newly_acked: int, conn: TcpSender) -> None:
         """Algorithm 1 lines 7–17: update bytes_sent / bytes_ratio."""
@@ -41,21 +69,52 @@ class MltcpState:
             acked_bytes=newly_acked * conn.mss_bytes,
             smoothed_rtt=conn.smoothed_rtt,
         )
+        # Test doubles may omit flow_id; the label is cosmetic here.
+        self._sync_degradation(conn.sim.now, getattr(conn, "flow_id", ""))
 
     def aggressiveness(self) -> float:
-        """``F(bytes_ratio)`` with the current tracker state."""
+        """``F(bytes_ratio)``, clamped to 1 (vanilla CC) while degraded."""
+        if self.tracker.estimate_unreliable:
+            return 1.0
         return self.tracker.aggressiveness()
 
-    def reset_iteration(self, now: float) -> None:
-        """Drop Algorithm 1's progress state at an iteration abort.
+    def reset_iteration(self, now: float, flow: str = "") -> None:
+        """Drop *all* Algorithm 1 state at a job kill/restart.
 
-        A killed-and-restarted job begins a *fresh* iteration: carrying the
-        aborted iteration's ``bytes_sent`` forward would make the restarted
-        flow look late in its collective and therefore unduly aggressive.
-        The tracker treats the abort as an iteration boundary, so
-        ``bytes_sent`` and ``bytes_ratio`` restart from zero.
+        A killed-and-restarted job begins a fresh iteration AND a fresh
+        training run: carrying the aborted iteration's ``bytes_sent``
+        forward would make the restarted flow look late in its collective,
+        and learned TOTAL_BYTES/COMP_TIME estimates describe a run that no
+        longer exists (learning from the aborted partial iteration would
+        poison them).  :meth:`IterationTracker.reset_after_restart` discards
+        everything and — when learned estimates were in use — flags the
+        estimate unreliable, which degrades this flow to vanilla CC until
+        re-learning completes.
         """
-        self.tracker.notify_iteration_boundary(now)
+        self.tracker.reset_after_restart(now)
+        self._sync_degradation(now, flow)
+
+    def _sync_degradation(self, now: float, flow: str) -> None:
+        """Mirror the tracker's reliability flag into the episode log."""
+        open_episode = bool(
+            self.degradation_episodes
+            and self.degradation_episodes[-1]["end"] is None
+        )
+        if self.tracker.estimate_unreliable and not open_episode:
+            reason = self.tracker.unreliable_reason or "unknown"
+            self.degradation_episodes.append(
+                {"flow": flow, "reason": reason, "start": now, "end": None}
+            )
+            if self.guardrail is not None:
+                self.guardrail.violation(
+                    "tracker-sanity",
+                    flow,
+                    now,
+                    f"estimate unreliable ({reason}); degraded to vanilla CC",
+                    fallback_engaged=True,
+                )
+        elif not self.tracker.estimate_unreliable and open_episode:
+            self.degradation_episodes[-1]["end"] = now
 
 
 class _MltcpMixin(CongestionControl):
@@ -79,9 +138,9 @@ class _MltcpMixin(CongestionControl):
         return self.mltcp.aggressiveness()
 
     def on_transfer_abort(self, conn: TcpSender) -> None:
-        """Iteration aborted (job kill/restart): reset ``bytes_sent``."""
+        """Transfer aborted (job kill/restart): full Algorithm 1 reset."""
         super().on_transfer_abort(conn)
-        self.mltcp.reset_iteration(conn.sim.now)
+        self.mltcp.reset_iteration(conn.sim.now, getattr(conn, "flow_id", ""))
 
 
 class MLTCPReno(_MltcpMixin, RenoCC):

@@ -112,3 +112,8 @@ class MLTCPSwift(SwiftCC):
 
     def _ai_scale(self, conn: TcpSender) -> float:
         return self.mltcp.aggressiveness()
+
+    def on_transfer_abort(self, conn: TcpSender) -> None:
+        """Transfer aborted (job kill/restart): full Algorithm 1 reset."""
+        super().on_transfer_abort(conn)
+        self.mltcp.reset_iteration(conn.sim.now, getattr(conn, "flow_id", ""))

@@ -439,6 +439,49 @@ class TestPacketInjector:
         assert tracker.bytes_sent <= result.jobs[0].comm_bytes + sender.mss_bytes
         assert len(result.iteration_times("Job1")) >= 8
 
+    def test_job_restart_fully_resets_learned_tracker_state(self):
+        # Regression (docs/ROBUSTNESS.md): restart used to reset only
+        # bytes_sent, keeping the learned TOTAL_BYTES/COMP_TIME and the
+        # completed-iteration history — so a pre-fault estimate poisoned
+        # the max-window of the first post-restart iterations.  The
+        # tracker must re-learn from post-restart traffic only.
+        from repro.core.config import MLTCPConfig
+
+        restart_time = 0.06
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(
+                    kind="job_restart", time=restart_time, job="Job1",
+                    restart_delay=0.01,
+                ),
+            )
+        )
+        result = run_packet_jobs(
+            _packet_jobs(),
+            # Learning mode: TOTAL_BYTES unset, boundaries from comp_time.
+            lambda job: MLTCPReno(
+                MLTCPConfig(comp_time=max(1e-4, 0.3 * job.compute_time))
+            ),
+            max_iterations=40,
+            until=0.4,
+            faults=schedule,
+        )
+        assert result.apps["Job1"].restarts == 1
+        tracker = result.senders["Job1"].cc.mltcp.tracker
+        # Every surviving iteration record post-dates the restart: the
+        # pre-fault history (and anything learned from it) was discarded.
+        assert tracker.completed_iterations
+        assert all(
+            record.start_time >= restart_time
+            for record in tracker.completed_iterations
+        )
+        # And re-learning completed from fresh traffic: the new estimate
+        # matches the job's real per-iteration volume.
+        comm_bytes = result.jobs[0].comm_bytes
+        mss = result.senders["Job1"].mss_bytes
+        assert tracker.total_bytes is not None
+        assert 0.5 * comm_bytes <= tracker.total_bytes <= comm_bytes + 2 * mss
+
     def test_burst_loss_replays_deterministically(self):
         schedule = FaultSchedule(
             events=(

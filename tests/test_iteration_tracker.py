@@ -133,3 +133,135 @@ class TestOnlineLearning:
         tracker = make_tracker(total_bytes=9999, comp_time=0.123)
         assert tracker.total_bytes == 9999
         assert tracker.comp_time == 0.123
+
+
+def drive_iterations(tracker, volume, count, start=0.0, chunk=1500, period=1.0):
+    """Feed ``count`` iterations of ``volume`` bytes each; returns end time."""
+    now = start
+    for _ in range(count):
+        sent = 0
+        while sent < volume:
+            step = min(chunk, volume - sent)
+            tracker.on_ack(now, step)
+            sent += step
+            now += 0.001
+        now += period  # >> comp_time: the next ACK opens a new iteration
+    return now
+
+
+class TestAdversarialEstimates:
+    """Mis-estimated TOTAL_BYTES must trip the degradation state machine
+    (docs/ROBUSTNESS.md), not silently skew the aggressiveness."""
+
+    def test_2x_overestimate_degrades_after_consecutive_drift(self):
+        # Real volume 6000, estimate 12000: drift = 0.5 > 0.45 every
+        # iteration.  Entry needs degrade_after_iterations consecutive
+        # dirty boundaries (here 2).
+        tracker = make_tracker(
+            total_bytes=12000, comp_time=0.05,
+            drift_warmup_iterations=0, degrade_after_iterations=2,
+        )
+        drive_iterations(tracker, volume=6000, count=2)
+        tracker.on_ack(10.0, 1500)  # boundary of the 2nd iteration
+        assert tracker.estimate_unreliable
+        assert tracker.unreliable_reason.startswith("drift=")
+
+    def test_single_drifting_iteration_is_forgiven(self):
+        # One short iteration (an RTO fragment, a straggler hiccup) must
+        # not condemn an otherwise-correct estimate.
+        tracker = make_tracker(
+            total_bytes=12000, comp_time=0.05,
+            drift_warmup_iterations=0, degrade_after_iterations=2,
+        )
+        end = drive_iterations(tracker, volume=6000, count=1)  # drifted
+        drive_iterations(tracker, volume=12000, count=2, start=end)  # clean
+        tracker.on_ack(100.0, 1500)
+        assert not tracker.estimate_unreliable
+
+    def test_half_x_underestimate_latches_missed_boundary(self):
+        # Real volume 2x the estimate: bytes_sent overruns
+        # (1 + drift_threshold) * total mid-iteration, flagged immediately
+        # without waiting for a boundary that may never be detected.
+        tracker = make_tracker(total_bytes=6000, comp_time=0.05)
+        drive_iterations(tracker, volume=12000, count=1)
+        assert tracker.estimate_unreliable
+        assert tracker.unreliable_reason == "missed-boundary"
+
+    def test_ratio_clamps_at_the_edges_under_overrun(self):
+        tracker = make_tracker(total_bytes=6000, comp_time=0.05)
+        assert tracker.bytes_ratio == 0.0
+        now = 0.0
+        for _ in range(10):  # 15000 bytes >> 6000 estimate
+            ratio = tracker.on_ack(now, 1500)
+            assert 0.0 <= ratio <= 1.0
+            now += 0.001
+        assert tracker.bytes_ratio == 1.0
+
+    def test_reengages_after_k_clean_iterations(self):
+        tracker = make_tracker(
+            total_bytes=12000, comp_time=0.05,
+            drift_warmup_iterations=0, degrade_after_iterations=2,
+            reengage_iterations=3,
+        )
+        end = drive_iterations(tracker, volume=6000, count=2)
+        # Clean iterations: 2 are not enough, the 3rd redeems.
+        end = drive_iterations(tracker, volume=12000, count=2, start=end)
+        tracker.on_ack(end, 1500)
+        assert tracker.estimate_unreliable
+        tracker.bytes_sent = 0  # restart the partial iteration cleanly
+        end = drive_iterations(tracker, volume=12000, count=1, start=end + 1.0)
+        tracker.on_ack(end, 1500)
+        assert not tracker.estimate_unreliable
+        assert tracker.unreliable_reason is None
+
+    def test_warmup_iterations_count_for_nothing(self):
+        # Startup fragments (slow start, RTOs) drift wildly; inside the
+        # warmup window they neither condemn nor redeem.
+        tracker = make_tracker(
+            total_bytes=12000, comp_time=0.05,
+            drift_warmup_iterations=3, degrade_after_iterations=2,
+        )
+        drive_iterations(tracker, volume=1500, count=3)  # all inside warmup
+        tracker.on_ack(10.0, 1500)
+        assert not tracker.estimate_unreliable
+
+    def test_degrade_opt_out_never_flags(self):
+        # The saturation idiom (total_bytes=1 as a constant-weight trick)
+        # must be usable with the guard disabled.
+        tracker = make_tracker(
+            total_bytes=1, comp_time=1e9, degrade_on_unreliable=False
+        )
+        now = 0.0
+        for _ in range(50):
+            tracker.on_ack(now, 1500)
+            now += 0.001
+        assert not tracker.estimate_unreliable
+        assert tracker.bytes_ratio == 1.0
+
+
+class TestRestartReset:
+    def test_reset_after_restart_discards_learned_state(self):
+        tracker = IterationTracker(
+            MLTCPConfig(comp_time=0.05, learn_iterations=2)
+        )
+        for start in (0.0, 1.0, 2.0, 3.0):
+            tracker.on_ack(start, 1500)
+            tracker.on_ack(start + 0.001, 1500)
+        assert tracker.total_bytes is not None  # learning completed
+        tracker.reset_after_restart(5.0)
+        assert tracker.total_bytes is None
+        assert tracker.bytes_sent == 0
+        assert tracker.bytes_ratio == 0.0
+        assert tracker.iteration_index == 0
+        assert tracker.completed_iterations == ()
+        # Learned state was in use → the estimate is distrusted until
+        # re-learning completes.
+        assert tracker.estimate_unreliable
+        assert tracker.unreliable_reason == "post-restart"
+
+    def test_reset_after_restart_keeps_configured_estimates_trusted(self):
+        tracker = make_tracker(total_bytes=3000, comp_time=0.05)
+        drive_iterations(tracker, volume=3000, count=2)
+        tracker.reset_after_restart(10.0)
+        assert tracker.total_bytes == 3000  # configured: ground truth
+        assert not tracker.estimate_unreliable

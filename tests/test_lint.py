@@ -270,6 +270,79 @@ class TestPerfRule:
         assert codes(src) == []
 
 
+class TestGuardRule:
+    def test_grd001_flags_bare_except_without_reraise(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except:\n"
+            "    cleanup()\n"
+        )
+        assert codes(src, path=NEUTRAL) == ["GRD001"]
+
+    def test_grd001_allows_bare_except_that_reraises(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except:\n"
+            "    cleanup()\n"
+            "    raise\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd001_flags_exception_pass(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert codes(src, path=NEUTRAL) == ["GRD001"]
+
+    def test_grd001_flags_base_exception_and_tuples(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except (ValueError, BaseException):\n"
+            "    continue\n"
+        )
+        # Wrap in a loop so `continue` parses.
+        src = "for _ in items:\n" + "\n".join(
+            "    " + line for line in src.splitlines()
+        ) + "\n"
+        assert codes(src, path=NEUTRAL) == ["GRD001"]
+
+    def test_grd001_allows_handled_catch_all(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    return False\n"
+        )
+        src = "def f():\n" + "\n".join(
+            "    " + line for line in src.splitlines()
+        ) + "\n"
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd001_allows_narrow_swallow(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except OSError:\n"
+            "    pass\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd001_suppressible_in_place(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:  # repro-lint: disable=GRD001\n"
+            "    pass\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+
 class TestSuppressions:
     def test_line_suppression_drops_the_finding(self):
         src = "import random\nx = random.random()  # repro-lint: disable=DET001\n"

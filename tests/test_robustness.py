@@ -104,3 +104,43 @@ class TestHeterogeneousRtt:
             times = app.iteration_times()
             assert len(times) == 35
             assert times[-5:].mean() == pytest.approx(ideal, rel=0.1), app.job.name
+
+
+class TestStragglerBoundaries:
+    def test_straggler_does_not_trip_the_degradation_guard(self):
+        """A straggler stretches the compute gap — boundary detection only
+        becomes *more* certain and the per-iteration volume stays the
+        configured TOTAL_BYTES, so the reliability guard
+        (docs/ROBUSTNESS.md) must not condemn the estimate."""
+        from repro.faults import FaultEvent, FaultSchedule
+        from repro.harness.packetlab import mltcp_config_for, run_packet_jobs
+
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(
+                    kind="straggler", time=0.05, duration=0.1,
+                    job="Job1", factor=4.0,
+                ),
+            )
+        )
+        jobs = [
+            JobSpec(
+                f"Job{i + 1}", comm_bits=2e6, demand_gbps=1.0,
+                compute_time=0.005,
+            )
+            for i in range(2)
+        ]
+        result = run_packet_jobs(
+            jobs,
+            lambda job: MLTCPReno(mltcp_config_for(job)),
+            max_iterations=30,
+            until=0.5,
+            faults=schedule,
+        )
+        for name in ("Job1", "Job2"):
+            mltcp = result.senders[name].cc.mltcp
+            tracker = mltcp.tracker
+            assert not tracker.estimate_unreliable, name
+            assert mltcp.degradation_episodes == [], name
+            assert tracker.iteration_index >= 10, name
+            assert 0.0 <= tracker.bytes_ratio <= 1.0, name
