@@ -10,13 +10,14 @@ PYTHON ?= python
 BENCH_FLAGS = --benchmark-sort=name --benchmark-columns=min,mean,stddev,rounds \
 	--benchmark-warmup=on --benchmark-warmup-iterations=2 --benchmark-disable-gc
 
-.PHONY: install verify lint typecheck test test-fast bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke figures examples clean
 
 # The default verify path: repo-specific static analysis, type checking,
-# the fast test tier, a guarded fault-recovery smoke, then a one-round
-# perf-regression smoke. CI and the verify skill run this.
+# the fast test tier, executable-docs check, a guarded fault-recovery
+# smoke, then a one-round perf-regression smoke. CI and the verify skill
+# run this.
 .DEFAULT_GOAL := verify
-verify: lint typecheck test-fast guards-smoke bench-perf-smoke
+verify: lint typecheck test-fast docs-check guards-smoke bench-perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -46,6 +47,11 @@ test:
 
 test-fast:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+# Execute every ```python fence in docs/*.md so documented examples can't
+# rot; fragments keep highlighting with ```python no-check (docs/TOPOLOGIES.md).
+docs-check:
+	PYTHONPATH=src $(PYTHON) -m repro docs-check docs
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only $(BENCH_FLAGS)

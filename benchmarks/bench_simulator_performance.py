@@ -63,3 +63,31 @@ def test_fluid_four_jobs_benchmark(benchmark):
         return len(result.iterations)
 
     assert benchmark(run) >= 80
+
+
+def test_fat_tree_transfer_benchmark(benchmark):
+    """Packet cost of two cross-rack TCP transfers over a fat-tree fabric.
+
+    Exercises the fabric-specific hot path the dumbbell benches never
+    touch: multi-hop ECMP routes through rack and spine switches
+    (docs/TOPOLOGIES.md).  Two flows, ECMP-split over the two spines.
+    """
+    from repro.simulator.topology import build_fat_tree
+    from repro.workloads.placement import FabricSpec
+
+    spec = FabricSpec(n_racks=2, hosts_per_rack=2, n_spines=2, ecmp_seed=2)
+
+    def transfer():
+        sim = Simulator()
+        net = build_fat_tree(sim, spec)
+        senders = []
+        for i in range(2):
+            src, dst = f"h0_{i}", f"h1_{i}"
+            sender = TcpSender(sim, net.hosts[src], f"f{i}", dst, RenoCC())
+            TcpReceiver(sim, net.hosts[dst], f"f{i}", src)
+            sender.send_bytes(250_000)
+            senders.append(sender)
+        sim.run(until=0.2)
+        return all(s.all_acked() for s in senders)
+
+    assert benchmark(transfer)

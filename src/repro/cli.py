@@ -17,6 +17,8 @@ Usage::
     python -m repro faults --schedule my_faults.json --substrate packet
     python -m repro guards my_run.run.json
     python -m repro guards --run --policy raise --substrate both
+    python -m repro cross-rack --racks 4 --oversub 2 --substrate both
+    python -m repro docs-check docs
 
 Each figure runner prints the same rows/series its benchmark emits.  The
 ``--fast`` flag shrinks iteration counts for a quick smoke run (shapes
@@ -45,6 +47,15 @@ invariant violations were recorded; with ``--run`` it executes a guarded
 fault-recovery experiment itself, attaching a
 :class:`repro.guards.GuardRail` to both substrates — the smoke target
 behind ``make guards-smoke``.
+
+``cross-rack`` compares MLTCP against vanilla congestion control on a
+parameterized multi-rack fat tree (racks, spines, oversubscription,
+placement policy; docs/TOPOLOGIES.md) in either or both substrates, and
+writes per-link utilization into the run-report's ``link_utilization``
+section.
+
+``docs-check`` executes the python code fences of the markdown docs
+(the gate behind ``make docs-check``) so documented examples can't rot.
 
 ``lint`` runs the repo's AST-based determinism/unit-safety analyzer
 (docs/LINTING.md).  All subcommands share one error contract
@@ -598,6 +609,111 @@ def _compat_command(scenario_path: str, capacity_gbps: float) -> int:
     return 0
 
 
+def _cross_rack_command(args) -> int:
+    """Execute ``repro cross-rack``: MLTCP vs vanilla CC on a fat tree.
+
+    Runs :func:`~repro.harness.experiments.cross_rack_interleaving` for
+    each requested substrate through the experiment runner, prints the
+    per-link contention analysis and converged iteration times, and
+    records every fabric link's utilization (both policies) into the
+    run-report's ``link_utilization`` section (docs/TOPOLOGIES.md).
+    """
+    from .harness.experiments import cross_rack_interleaving
+    from .workloads.placement import PLACEMENT_POLICIES
+
+    if args.placement not in PLACEMENT_POLICIES:
+        return fail(
+            f"unknown placement policy {args.placement!r}; "
+            f"valid: {list(PLACEMENT_POLICIES)}"
+        )
+    substrates = (
+        ["fluid", "packet"] if args.substrate == "both" else [args.substrate]
+    )
+    iterations = args.iterations
+    if iterations is None:
+        iterations = 20 if args.fast else 40
+    points = [
+        {
+            "substrate": substrate,
+            "n_racks": args.racks,
+            "hosts_per_rack": args.hosts_per_rack,
+            "n_spines": args.spines,
+            "oversubscription": args.oversub,
+            "placement": args.placement,
+            "iterations": iterations,
+            "seed": args.seed,
+            "ecmp_seed": args.ecmp_seed,
+        }
+        for substrate in substrates
+    ]
+    runner = ExperimentRunner(
+        name="cli.cross_rack",
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        telemetry=RunTelemetry("cli.cross_rack"),
+    )
+    try:
+        results = runner.run_points(cross_rack_interleaving, points)
+    except ValueError as error:
+        return fail(str(error))
+
+    for point, result in zip(points, results):
+        fabric_links = set(result.spec.fabric_links())
+        print(
+            render_table(
+                ["uplink", "competitors", "mean (Gbps)", "peak", "overloaded"],
+                [
+                    [
+                        c.link,
+                        ",".join(c.competitors) if c.competitors else "-",
+                        c.mean_load_gbps,
+                        c.peak_load_gbps,
+                        f"{c.overload_fraction:.0%}",
+                    ]
+                    for c in result.contention
+                    if c.competitors
+                ],
+                title=(
+                    f"cross-rack [{result.substrate}] — "
+                    f"{result.spec.n_racks} racks x "
+                    f"{result.spec.hosts_per_rack} hosts, "
+                    f"{result.spec.n_spines} spines, "
+                    f"{result.spec.oversubscription:g}:1 oversubscribed "
+                    f"({result.spec.uplink_gbps:g} Gbps/uplink), "
+                    f"placement={result.placement_policy}"
+                ),
+            )
+        )
+        print(
+            f"  {result.cross_rack_flows}/{len(result.placements)} flows "
+            f"cross racks; ideal iteration "
+            f"{1000 * result.ideal_iteration_time:.1f} ms"
+        )
+        print(
+            f"  final mean iteration: mltcp "
+            f"{1000 * result.final_mean('mltcp'):.1f} ms, vanilla "
+            f"{1000 * result.final_mean('fair'):.1f} ms "
+            f"(speedup {result.speedup:.2f}x)"
+        )
+        print()
+        for policy in ("mltcp", "fair"):
+            utilization = result.link_utilization[policy]
+            for link in sorted(fabric_links):
+                runner.telemetry.record_link_utilization(
+                    link,
+                    utilization[link],
+                    capacity_gbps=result.spec.uplink_gbps,
+                    policy=policy,
+                    substrate=result.substrate,
+                    params=point,
+                )
+    if args.report:
+        path = runner.telemetry.write(args.report)
+        print(f"run-report written to {path}")
+    print(runner.telemetry.summary_line())
+    return EXIT_OK
+
+
 def _positive_int(text: str) -> int:
     """argparse type for ``--workers``: a clean error instead of a traceback."""
     value = int(text)
@@ -823,6 +939,73 @@ def main(argv: list[str] | None = None) -> int:
         "--report", metavar="PATH", default=None,
         help="also write the JSON run-report (v3 guards section) to PATH",
     )
+    cross_rack = subparsers.add_parser(
+        "cross-rack",
+        help="MLTCP vs vanilla CC on a multi-rack oversubscribed fat tree, "
+        "with per-link contention telemetry (docs/TOPOLOGIES.md)",
+    )
+    cross_rack.add_argument(
+        "--racks", type=_positive_int, default=4, metavar="N",
+        help="number of racks (default 4)",
+    )
+    cross_rack.add_argument(
+        "--hosts-per-rack", type=_positive_int, default=4, metavar="N",
+        help="hosts per rack (default 4)",
+    )
+    cross_rack.add_argument(
+        "--spines", type=_positive_int, default=2, metavar="N",
+        help="number of spine switches (default 2)",
+    )
+    cross_rack.add_argument(
+        "--oversub", type=float, default=2.0, metavar="RATIO",
+        help="oversubscription ratio: host bandwidth into a rack over its "
+        "uplink bandwidth (default 2.0)",
+    )
+    cross_rack.add_argument(
+        "--placement", default="spread", metavar="POLICY",
+        help="job placement policy: packed, spread or random "
+        "(default: spread)",
+    )
+    cross_rack.add_argument(
+        "--substrate", choices=["fluid", "packet", "both"], default="fluid",
+        help="which simulator(s) to run (default: fluid; packet is slower)",
+    )
+    cross_rack.add_argument(
+        "--iterations", type=_positive_int, default=None, metavar="N",
+        help="training iterations per job (default: 40, or 20 with --fast)",
+    )
+    cross_rack.add_argument(
+        "--fast", action="store_true", help="smaller iteration counts"
+    )
+    cross_rack.add_argument(
+        "--seed", type=int, default=2, help="base seed (default 2)"
+    )
+    cross_rack.add_argument(
+        "--ecmp-seed", type=int, default=2,
+        help="seed of the deterministic ECMP spine choice (default 2)",
+    )
+    cross_rack.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="run substrates on an N-process pool (default: sequential)",
+    )
+    cross_rack.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    cross_rack.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON run-report (includes the "
+        "link_utilization section) to PATH",
+    )
+    docs_check = subparsers.add_parser(
+        "docs-check",
+        help="execute the python code fences in markdown docs so examples "
+        "can't rot (the gate behind `make docs-check`)",
+    )
+    docs_check.add_argument(
+        "paths", nargs="*", default=["docs"],
+        help="markdown files or directories to check (default: docs)",
+    )
     validate = subparsers.add_parser(
         "validate-report",
         help="check a JSON run-report against the run-report schema",
@@ -857,6 +1040,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "validate-report":
         return _validate_report_command(args.report, args.schema)
+
+    if args.command == "cross-rack":
+        return _cross_rack_command(args)
+
+    if args.command == "docs-check":
+        from .docscheck import run_docs_check
+
+        return run_docs_check(args.paths)
 
     if args.command == "faults":
         return _faults_command(args)

@@ -1,0 +1,144 @@
+"""Docs smoke gate: execute the python code fences in markdown files.
+
+Documentation examples rot silently — an import renamed, a parameter
+dropped — unless something runs them.  ``repro docs-check`` extracts every
+fenced code block whose info string is exactly ``python`` and executes the
+fences of each file, in order, in one shared namespace (so a worked
+example can build on earlier fences).  Errors are reported with the
+markdown file and the absolute line inside it.
+
+Fences that are deliberately *not* runnable — fragments with placeholder
+variables, suppression examples — keep their syntax highlighting by using
+the info string ``python no-check`` instead.  ``pycon`` / ``text`` fences
+are never executed.
+
+Wired into ``make docs-check`` (part of ``make verify``); exit codes
+follow :mod:`repro.cliutil`: 0 when every fence runs, 1 when one raises,
+2 when an input path cannot be read.
+"""
+
+from __future__ import annotations
+
+import traceback
+from pathlib import Path
+
+__all__ = ["CodeFence", "extract_python_fences", "check_file", "run_docs_check"]
+
+#: Info strings that mark an executable fence (exact match after strip).
+_EXECUTABLE_INFOS = ("python", "py")
+
+
+class CodeFence:
+    """One fenced code block: where it starts and what it contains."""
+
+    def __init__(self, path: Path, line: int, source: str) -> None:
+        self.path = path
+        #: 1-based line of the first code line (the line after the fence).
+        self.line = line
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CodeFence({self.path}:{self.line})"
+
+
+def extract_python_fences(path: Path) -> list[CodeFence]:
+    """Executable python fences of one markdown file, in document order."""
+    fences: list[CodeFence] = []
+    info: str | None = None
+    fence_marker: str | None = None
+    buffer: list[str] = []
+    start_line = 0
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        stripped = raw.strip()
+        if fence_marker is None:
+            if stripped.startswith("```") and stripped != "```":
+                fence_marker = "```"
+                info = stripped[3:].strip().lower()
+                buffer = []
+                start_line = lineno + 1
+            elif stripped == "```":
+                # An opening fence with no info string: not executable,
+                # but we must still track it to find its closing fence.
+                fence_marker = "```"
+                info = ""
+                buffer = []
+                start_line = lineno + 1
+        else:
+            if stripped == "```":
+                if info in _EXECUTABLE_INFOS:
+                    fences.append(
+                        CodeFence(path, start_line, "\n".join(buffer) + "\n")
+                    )
+                fence_marker = None
+                info = None
+            else:
+                buffer.append(raw)
+    return fences
+
+
+def check_file(path: Path) -> list[str]:
+    """Execute every python fence of one file; returns error strings.
+
+    All fences of a file share one namespace, executed top to bottom, so
+    later fences can use names an earlier fence defined — exactly how a
+    reader follows a worked example.  Each fence is compiled with enough
+    newline padding that tracebacks point at the markdown file's real
+    line numbers.
+    """
+    errors: list[str] = []
+    namespace: dict[str, object] = {"__name__": f"docscheck:{path.name}"}
+    for fence in extract_python_fences(path):
+        padded = "\n" * (fence.line - 1) + fence.source
+        try:
+            code = compile(padded, str(path), "exec")
+            exec(code, namespace)  # noqa: S102 - the point of the gate
+        except Exception as error:
+            frame = traceback.extract_tb(error.__traceback__)[-1:]
+            location = (
+                f"{path}:{frame[0].lineno}"
+                if frame and frame[0].filename == str(path)
+                else f"{path}:{fence.line}"
+            )
+            errors.append(
+                f"{location}: fence raised {type(error).__name__}: {error}"
+            )
+    return errors
+
+
+def run_docs_check(paths: list[str]) -> int:
+    """Execute the python fences under each path (file or directory).
+
+    Directories are searched for ``*.md`` recursively, sorted.  Prints a
+    per-file summary; returns a :mod:`repro.cliutil` exit code.
+    """
+    from .cliutil import EXIT_OK, fail, report_violations
+
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            return fail(f"no such file or directory: {raw}")
+    if not files:
+        return fail(f"no markdown files under {paths!r}")
+
+    all_errors: list[str] = []
+    checked = 0
+    for path in files:
+        fences = extract_python_fences(path)
+        if not fences:
+            continue
+        errors = check_file(path)
+        status = "ok" if not errors else f"{len(errors)} error(s)"
+        print(f"  {path}: {len(fences)} fence(s) {status}")
+        checked += len(fences)
+        all_errors.extend(errors)
+    if all_errors:
+        return report_violations(
+            f"docs-check: {len(all_errors)} failing fence(s)", all_errors
+        )
+    print(f"docs-check: {checked} fence(s) across {len(files)} file(s) all pass")
+    return EXIT_OK

@@ -10,6 +10,7 @@ from .allocation import (
     SRPT,
     water_fill,
 )
+from .fabric import FluidFabric, fabric_capacities, place_on_fabric
 from .network import (
     NetworkFluidResult,
     NetworkFluidSimulator,
@@ -46,4 +47,7 @@ __all__ = [
     "NetworkFluidResult",
     "run_network_fluid",
     "weighted_max_min",
+    "FluidFabric",
+    "fabric_capacities",
+    "place_on_fabric",
 ]

@@ -1,0 +1,69 @@
+"""Fluid-side realization of a multi-rack fabric.
+
+The packet simulator builds a :class:`~repro.workloads.placement.FabricSpec`
+into switches and links (:func:`repro.simulator.topology.build_fat_tree`);
+the fluid simulator only needs the *capacity map* of those links and the
+link set each placed flow crosses.  Both come verbatim from the spec, so a
+fluid run and a packet run of the same placement see identical bottlenecks:
+same link names, same Gbps, same ECMP spine choices.
+
+Typical use::
+
+    spec = FabricSpec(n_racks=4, hosts_per_rack=4, n_spines=2,
+                      oversubscription=2.0)
+    placements = place_jobs(jobs, spec, policy="spread")
+    fabric = FluidFabric.from_spec(spec)
+    result = run_network_fluid(fabric.place(placements),
+                               fabric.capacities_gbps, mltcp=True)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..workloads.placement import FabricSpec, JobPlacement
+from .network import PlacedJob
+
+__all__ = ["FluidFabric", "fabric_capacities", "place_on_fabric"]
+
+
+def fabric_capacities(spec: FabricSpec) -> dict[str, float]:
+    """Per-link capacities (Gbps) of the spec's fabric, keyed ``"a->b"``."""
+    return spec.capacities_gbps()
+
+
+def place_on_fabric(
+    spec: FabricSpec, placements: Sequence[JobPlacement]
+) -> tuple[PlacedJob, ...]:
+    """Resolve host-level placements into fluid :class:`PlacedJob` paths."""
+    return tuple(
+        PlacedJob(
+            job=placement.job,
+            links=placement.links(spec),
+            src=placement.src,
+            dst=placement.dst,
+        )
+        for placement in placements
+    )
+
+
+@dataclass(frozen=True)
+class FluidFabric:
+    """A :class:`FabricSpec` resolved for the fluid simulator."""
+
+    spec: FabricSpec
+
+    @classmethod
+    def from_spec(cls, spec: FabricSpec) -> "FluidFabric":
+        """Build the fluid fabric for ``spec`` (mirrors ``build_fat_tree``)."""
+        return cls(spec=spec)
+
+    @property
+    def capacities_gbps(self) -> dict[str, float]:
+        """The capacity map ``run_network_fluid`` consumes."""
+        return fabric_capacities(self.spec)
+
+    def place(self, placements: Sequence[JobPlacement]) -> tuple[PlacedJob, ...]:
+        """Resolve placements into :class:`PlacedJob` instances on this fabric."""
+        return place_on_fabric(self.spec, placements)

@@ -41,16 +41,27 @@ _EPS_CAP = 1e-9
 
 @dataclass(frozen=True)
 class PlacedJob:
-    """A periodic job plus the set of links its flow traverses."""
+    """A periodic job plus the set of links its flow traverses.
+
+    ``src``/``dst`` optionally carry the fabric placement the link set was
+    derived from (host names on a
+    :class:`~repro.workloads.placement.FabricSpec`); they are pure
+    metadata — rate allocation depends only on ``links`` — so existing
+    callers that build link sets by hand are unaffected.
+    """
 
     job: JobSpec
     links: tuple[str, ...]
+    src: Optional[str] = None
+    dst: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.links:
             raise ValueError(f"{self.job.name}: need at least one link")
         if len(set(self.links)) != len(self.links):
             raise ValueError(f"{self.job.name}: duplicate links in path")
+        if self.src is not None and self.src == self.dst:
+            raise ValueError(f"{self.job.name}: src and dst must differ")
 
 
 @dataclass
@@ -85,6 +96,31 @@ class NetworkFluidResult:
         return np.array(
             [float(np.mean([t[i] for t in per_job])) for i in range(rounds)]
         )
+
+    def link_utilization(self) -> dict[str, float]:
+        """Mean utilization of every link over the run.
+
+        Fluid flows deliver exactly their nominal per-iteration volume, so
+        the bits a link carried are ``comm_bits x completed iterations``
+        summed over the flows crossing it, divided by ``capacity x
+        end_time``.  Keys are sorted link names, mirroring the packet
+        side's :meth:`repro.simulator.topology.Network.link_utilization`.
+        (With ``volume_jitter_fraction > 0`` this uses nominal volumes —
+        a mean-level approximation.)
+        """
+        bits_by_link = {link: 0.0 for link in sorted(self.capacities_gbps)}
+        for placement in self.placements:
+            bits = placement.job.comm_bits * len(
+                self.iterations_of(placement.job.name)
+            )
+            for link in placement.links:
+                bits_by_link[link] += bits
+        if self.end_time <= 0:
+            return {link: 0.0 for link in bits_by_link}
+        return {
+            link: bits / (bps_from_gbps(self.capacities_gbps[link]) * self.end_time)
+            for link, bits in bits_by_link.items()
+        }
 
 
 @dataclass

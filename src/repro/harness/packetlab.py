@@ -26,11 +26,18 @@ from ..core.config import MLTCPConfig
 from ..simulator.app import TrainingApp
 from ..simulator.engine import Simulator
 from ..simulator.queues import DropTailQueue
-from ..simulator.topology import Network, build_dumbbell
+from ..simulator.topology import Network, build_dumbbell, build_fat_tree
 from ..tcp.base import CongestionControl, TcpReceiver, TcpSender
 from ..workloads.job import JobSpec
+from ..workloads.placement import FabricSpec, JobPlacement
 
-__all__ = ["PacketLabResult", "run_packet_jobs", "mltcp_config_for", "throughput_timeline"]
+__all__ = [
+    "PacketLabResult",
+    "run_packet_jobs",
+    "run_packet_placements",
+    "mltcp_config_for",
+    "throughput_timeline",
+]
 
 CcFactory = Callable[[JobSpec], CongestionControl]
 
@@ -177,6 +184,77 @@ def run_packet_jobs(
         sim=sim,
         network=network,
         jobs=tuple(jobs),
+        apps=apps,
+        senders=senders,
+        receivers=receivers,
+    )
+
+
+def run_packet_placements(
+    placements: Sequence[JobPlacement],
+    spec: FabricSpec,
+    cc_factory: CcFactory,
+    max_iterations: int = 40,
+    until: Optional[float] = None,
+    seed: int = 0,
+    link_delay: float = 5e-6,
+    uplink_queue_capacity: int = 100,
+    edge_queue_capacity: int = 256,
+) -> PacketLabResult:
+    """Run placed jobs over a multi-rack fat-tree fabric.
+
+    The fabric-shaped sibling of :func:`run_packet_jobs`: builds
+    ``spec``'s fat tree (:func:`~repro.simulator.topology.build_fat_tree`)
+    and drives one TCP flow per placement from its source host to its
+    destination host, so flows traverse the rack uplinks and spine
+    downlinks the spec's deterministic ECMP rule assigns them — multiple
+    bottlenecks with distinct competitor sets.  Per-link utilization is
+    available afterwards via ``result.network.link_utilization()``.
+    """
+    if not placements:
+        raise ValueError("need at least one placed job")
+    names = [p.job.name for p in placements]
+    if len(set(names)) != len(names):
+        raise ValueError(f"job names must be unique, got {names}")
+    endpoints = [host for p in placements for host in (p.src, p.dst)]
+    if len(set(endpoints)) != len(endpoints):
+        raise ValueError(
+            "placements must not share hosts (one flow endpoint per host), "
+            f"got {endpoints}"
+        )
+    sim = Simulator()
+    network = build_fat_tree(
+        sim,
+        spec,
+        link_delay=link_delay,
+        uplink_queue_capacity=uplink_queue_capacity,
+        edge_queue_capacity=edge_queue_capacity,
+    )
+    rng = np.random.default_rng(seed)
+    apps: dict[str, TrainingApp] = {}
+    senders: dict[str, TcpSender] = {}
+    receivers: dict[str, TcpReceiver] = {}
+    for placement in placements:
+        job = placement.job
+        src_host, dst_host = network.hosts[placement.src], network.hosts[placement.dst]
+        cc = cc_factory(job)
+        sender = TcpSender(sim, src_host, job.name, dst_host.name, cc)
+        receiver = TcpReceiver(sim, dst_host, job.name, src_host.name)
+        sender.peer_rx = receiver
+        app = TrainingApp(sim, sender, job, max_iterations=max_iterations, rng=rng)
+        app.start()
+        apps[job.name] = app
+        senders[job.name] = sender
+        receivers[job.name] = receiver
+
+    if until is None:
+        longest = max(p.job.ideal_iteration_time for p in placements)
+        until = 4.0 * longest * max_iterations
+    sim.run(until=until)
+    return PacketLabResult(
+        sim=sim,
+        network=network,
+        jobs=tuple(p.job for p in placements),
         apps=apps,
         senders=senders,
         receivers=receivers,

@@ -107,6 +107,7 @@ class RunTelemetry:
     notes: list[str] = field(default_factory=list)
     degradations: list[dict] = field(default_factory=list)
     guard_events: list[dict] = field(default_factory=list)
+    link_utilization: list[dict] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter)
 
     def record_point(
@@ -196,6 +197,43 @@ class RunTelemetry:
             }
         )
 
+    def record_link_utilization(
+        self,
+        link: str,
+        utilization: float,
+        *,
+        capacity_gbps: Optional[float] = None,
+        policy: Optional[str] = None,
+        substrate: Optional[str] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one link's mean utilization over a run (schema v3,
+        optional ``link_utilization`` section).
+
+        ``utilization`` is the fraction of the link's capacity the run
+        used (0.0–1.0ish; transient queueing can push a packet-level
+        measurement slightly above 1 counting headers).  ``policy`` and
+        ``substrate`` say which run the sample came from when one report
+        carries several (e.g. mltcp vs fair on fluid and packet);
+        ``params`` carries the experiment point, like degradations do.
+        """
+        if utilization < 0:
+            raise ValueError(
+                f"utilization must be non-negative, got {utilization!r}"
+            )
+        self.link_utilization.append(
+            {
+                "link": link,
+                "utilization": float(utilization),
+                "capacity_gbps": (
+                    float(capacity_gbps) if capacity_gbps is not None else None
+                ),
+                "policy": policy,
+                "substrate": substrate,
+                "params": dict(params) if params is not None else None,
+            }
+        )
+
     @property
     def cache_hits(self) -> int:
         """Points served from the result cache."""
@@ -251,6 +289,7 @@ class RunTelemetry:
             "points": [r.as_dict() for r in self.records],
             "notes": list(self.notes),
             "degradations": [dict(d) for d in self.degradations],
+            "link_utilization": [dict(u) for u in self.link_utilization],
             "guards": {
                 "violations": [
                     dict(e) for e in self.guard_events if e["kind"] == "violation"
@@ -410,6 +449,24 @@ RUN_REPORT_SCHEMA: dict = {
                     "detail": {"type": "string"},
                     "params": {"type": ["object", "null"]},
                     "attempt": {"type": ["integer", "null"], "minimum": 1},
+                },
+            },
+        },
+        # Also a v3 optional section: per-link mean utilization from fabric
+        # runs (docs/TOPOLOGIES.md).  One entry per (link, run); ``policy``
+        # and ``substrate`` disambiguate multi-run reports.
+        "link_utilization": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["link", "utilization"],
+                "properties": {
+                    "link": {"type": "string"},
+                    "utilization": {"type": "number", "minimum": 0},
+                    "capacity_gbps": {"type": ["number", "null"]},
+                    "policy": {"type": ["string", "null"]},
+                    "substrate": {"type": ["string", "null"]},
+                    "params": {"type": ["object", "null"]},
                 },
             },
         },

@@ -1,5 +1,11 @@
 """Metrics: iteration-time statistics and convergence detection."""
 
+from .contention import (
+    LinkContention,
+    hyper_period,
+    link_contention_report,
+    rack_link_loads,
+)
 from .convergence import (
     ConvergenceReport,
     detect_convergence,
@@ -26,4 +32,8 @@ __all__ = [
     "detect_convergence",
     "relative_gap",
     "is_stable_after",
+    "LinkContention",
+    "hyper_period",
+    "link_contention_report",
+    "rack_link_loads",
 ]

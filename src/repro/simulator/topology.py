@@ -19,12 +19,19 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
+from ..workloads.placement import FabricSpec, ecmp_index
 from .engine import Simulator
 from .link import Link
 from .node import Host, Node, Switch
 from .queues import DropTailQueue, QueueDiscipline
 
-__all__ = ["Network", "build_dumbbell", "build_leaf_spine", "build_from_graph"]
+__all__ = [
+    "Network",
+    "build_dumbbell",
+    "build_leaf_spine",
+    "build_fat_tree",
+    "build_from_graph",
+]
 
 
 @dataclass
@@ -35,6 +42,10 @@ class Network:
     hosts: dict[str, Host] = field(default_factory=dict)
     switches: dict[str, Switch] = field(default_factory=dict)
     links: dict[tuple[str, str], Link] = field(default_factory=dict)
+    #: Every path programmed via :meth:`install_route`, keyed by
+    #: ``(src_host, dst_host)`` — the packet-side ground truth the ECMP
+    #: determinism tests compare against the fluid side's ``path_nodes``.
+    routes: dict[tuple[str, str], tuple[str, ...]] = field(default_factory=dict)
 
     def node(self, name: str) -> Node:
         """Look up a host or switch by name."""
@@ -112,6 +123,25 @@ class Network:
             # Node has no routing table, so narrow before set_route.
             assert isinstance(node, (Host, Switch))
             node.set_route(dst_host, nxt)
+        self.routes[(src_host, dst_host)] = tuple(path)
+
+    def link_utilization(self, elapsed: Optional[float] = None) -> dict[str, float]:
+        """Mean utilization of every link over ``elapsed`` seconds.
+
+        Utilization is ``bits_sent / (rate * elapsed)`` — the fraction of
+        the link's capacity the run actually used.  ``elapsed`` defaults to
+        the simulator clock; links are keyed by their ``"src->dst"`` name,
+        sorted, so reports are deterministic.
+        """
+        seconds = self.sim.now if elapsed is None else elapsed
+        if elapsed is not None and elapsed <= 0:
+            raise ValueError(f"elapsed must be positive, got {elapsed!r}")
+        return {
+            link.name: (
+                link.bits_sent / (link.rate_bps * seconds) if seconds > 0 else 0.0
+            )
+            for _key, link in sorted(self.links.items())
+        }
 
 
 def build_dumbbell(
@@ -188,15 +218,25 @@ def build_leaf_spine(
     link_delay: float = 5e-6,
     uplink_queue_capacity: int = 100,
     edge_queue_capacity: int = 256,
+    n_spines: int = 1,
+    ecmp_seed: int = 0,
 ) -> Network:
-    """A two-tier leaf-spine fabric with one spine switch.
+    """A two-tier leaf-spine fabric with one or more spine switches.
 
     Hosts are named ``h{leaf}_{index}``; each leaf switch ``leaf{i}``
     connects its hosts at ``edge_bps`` (default 4x the uplink) and reaches
-    every other leaf through the single spine over a ``leaf_uplink_bps``
-    uplink — so each leaf's uplink is an independent bottleneck.  Used by
-    the multi-bottleneck experiments: MLTCP must interleave the jobs on
-    *each* congested uplink independently, with no coordination across them.
+    every other leaf through a spine over a ``leaf_uplink_bps`` uplink —
+    so each leaf's uplinks are independent bottlenecks.  Used by the
+    multi-bottleneck experiments: MLTCP must interleave the jobs on *each*
+    congested uplink independently, with no coordination across them.
+
+    With ``n_spines == 1`` (the default) the single spine keeps its
+    historical name ``"spine"``; with more, spines are named ``spine0``,
+    ``spine1``, ... and each leaf picks the spine for a destination via
+    the deterministic seeded ECMP rule
+    (:func:`repro.workloads.placement.ecmp_index`): routing tables are
+    destination-keyed, so the choice is per ``(leaf, dst)``, identical
+    across reruns and substrates for the same ``ecmp_seed``.
     """
     if n_leaves < 2:
         raise ValueError(f"n_leaves must be at least 2, got {n_leaves!r}")
@@ -204,28 +244,35 @@ def build_leaf_spine(
         raise ValueError(f"hosts_per_leaf must be positive, got {hosts_per_leaf!r}")
     if leaf_uplink_bps <= 0:
         raise ValueError(f"leaf_uplink_bps must be positive, got {leaf_uplink_bps!r}")
+    if n_spines < 1:
+        raise ValueError(f"n_spines must be positive, got {n_spines!r}")
     if edge_bps is None:
         edge_bps = 4.0 * leaf_uplink_bps
 
+    spine_names = (
+        ["spine"] if n_spines == 1 else [f"spine{k}" for k in range(n_spines)]
+    )
     network = Network(sim=sim)
-    network.add_switch("spine")
+    for spine_name in spine_names:
+        network.add_switch(spine_name)
     for leaf in range(n_leaves):
         leaf_name = f"leaf{leaf}"
         network.add_switch(leaf_name)
-        network.add_link(
-            leaf_name,
-            "spine",
-            leaf_uplink_bps,
-            link_delay,
-            queue=DropTailQueue(uplink_queue_capacity),
-        )
-        network.add_link(
-            "spine",
-            leaf_name,
-            leaf_uplink_bps,
-            link_delay,
-            queue=DropTailQueue(uplink_queue_capacity),
-        )
+        for spine_name in spine_names:
+            network.add_link(
+                leaf_name,
+                spine_name,
+                leaf_uplink_bps,
+                link_delay,
+                queue=DropTailQueue(uplink_queue_capacity),
+            )
+            network.add_link(
+                spine_name,
+                leaf_name,
+                leaf_uplink_bps,
+                link_delay,
+                queue=DropTailQueue(uplink_queue_capacity),
+            )
         for index in range(hosts_per_leaf):
             host_name = f"h{leaf}_{index}"
             network.add_host(host_name)
@@ -238,7 +285,7 @@ def build_leaf_spine(
                 queue=DropTailQueue(edge_queue_capacity),
             )
 
-    # Static routes: intra-leaf direct, inter-leaf via the spine.
+    # Static routes: intra-leaf direct, inter-leaf via an ECMP-chosen spine.
     host_names = list(network.hosts)
     for src in host_names:
         src_leaf = f"leaf{src[1:].split('_')[0]}"
@@ -249,8 +296,56 @@ def build_leaf_spine(
             if src_leaf == dst_leaf:
                 path = [src, src_leaf, dst]
             else:
-                path = [src, src_leaf, "spine", dst_leaf, dst]
+                spine = spine_names[ecmp_index(ecmp_seed, src_leaf, dst, n_spines)]
+                path = [src, src_leaf, spine, dst_leaf, dst]
             network.install_route(src, dst, path)
+    return network
+
+
+def build_fat_tree(
+    sim: Simulator,
+    spec: FabricSpec,
+    link_delay: float = 5e-6,
+    uplink_queue_capacity: int = 100,
+    edge_queue_capacity: int = 256,
+) -> Network:
+    """The packet-side realization of a :class:`FabricSpec` fat-tree.
+
+    One switch per rack (``rack{i}``) and spine (``spine{k}``), hosts
+    ``h{rack}_{index}`` attached at ``spec.host_gbps``, and every
+    rack<->spine pair wired at ``spec.uplink_gbps`` — the oversubscribed
+    links.  Rates and paths come from the spec itself
+    (:meth:`FabricSpec.capacities_gbps`, :meth:`FabricSpec.path_nodes`),
+    so a fluid run over :func:`repro.fluid.fabric.fabric_capacities` of
+    the same spec shares this fabric's exact capacity model and routes.
+    """
+    network = Network(sim=sim)
+    for spine in range(spec.n_spines):
+        network.add_switch(spec.spine_name(spine))
+    for rack in range(spec.n_racks):
+        rack_name = spec.rack_name(rack)
+        network.add_switch(rack_name)
+        for spine in range(spec.n_spines):
+            spine_name = spec.spine_name(spine)
+            for a, b in ((rack_name, spine_name), (spine_name, rack_name)):
+                network.add_link(
+                    a, b, spec.uplink_gbps * 1e9, link_delay,
+                    queue=DropTailQueue(uplink_queue_capacity),
+                )
+        for index in range(spec.hosts_per_rack):
+            host_name = spec.host_name(rack, index)
+            network.add_host(host_name)
+            for a, b in ((host_name, rack_name), (rack_name, host_name)):
+                network.add_link(
+                    a, b, spec.host_gbps * 1e9, link_delay,
+                    queue=DropTailQueue(edge_queue_capacity),
+                )
+
+    for src in spec.host_names():
+        for dst in spec.host_names():
+            if dst == src:
+                continue
+            network.install_route(src, dst, list(spec.path_nodes(src, dst)))
     return network
 
 

@@ -153,3 +153,27 @@ def identical_jobs(template: JobSpec, count: int) -> list[JobSpec]:
     if count < 1:
         raise ValueError(f"count must be positive, got {count!r}")
     return [template.with_name(f"Job{i + 1}") for i in range(count)]
+
+
+def cross_rack_job(jitter_sigma: float = 0.0005) -> JobSpec:
+    """The packet-scale template of the cross-rack fabric experiments.
+
+    Same units as the leaf-spine convergence tests (8 Mb per iteration at
+    1 Gbps plus 10 ms compute, alpha ~ 0.44): small enough for the packet
+    simulator, and used unscaled by the fluid substrate so both report
+    directly comparable iteration times.
+    """
+    return JobSpec(
+        name="Job",
+        comm_bits=8e6,
+        demand_gbps=1.0,
+        compute_time=0.010,
+        jitter_sigma=jitter_sigma,
+    )
+
+
+def cross_rack_scenario(
+    n_jobs: int, jitter_sigma: float = 0.0005
+) -> list[JobSpec]:
+    """``n_jobs`` identical cross-rack jobs (see :func:`cross_rack_job`)."""
+    return identical_jobs(cross_rack_job(jitter_sigma=jitter_sigma), n_jobs)

@@ -176,3 +176,57 @@ class TestValidateReport:
         assert main(["validate-report", str(tmp_path / "nope.json")]) == 2
         err = capsys.readouterr().err
         assert "repro: error:" in err and "cannot read" in err
+
+
+class TestCrossRack:
+    def test_fluid_fast_run(self, capsys):
+        assert main([
+            "cross-rack", "--fast", "--no-cache",
+            "--racks", "2", "--hosts-per-rack", "2", "--oversub", "1.0",
+            "--ecmp-seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cross-rack [fluid]" in out
+        assert "uplink" in out and "competitors" in out
+        assert "speedup" in out
+
+    def test_report_includes_link_utilization(self, tmp_path, capsys):
+        import json
+
+        from repro.harness.telemetry import validate_run_report
+
+        report_path = tmp_path / "cross_rack.run.json"
+        assert main([
+            "cross-rack", "--fast", "--no-cache",
+            "--racks", "2", "--hosts-per-rack", "2",
+            "--report", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        report = json.loads(report_path.read_text())
+        assert validate_run_report(report) == []
+        entries = report["link_utilization"]
+        assert entries and {e["policy"] for e in entries} == {"mltcp", "fair"}
+        assert all(e["utilization"] >= 0 for e in entries)
+
+    def test_unknown_placement_fails(self, capsys):
+        assert main(["cross-rack", "--placement", "diagonal"]) == 2
+        assert "placement" in capsys.readouterr().err
+
+    def test_packed_control(self, capsys):
+        assert main([
+            "cross-rack", "--fast", "--no-cache", "--placement", "packed",
+            "--racks", "2", "--hosts-per-rack", "2",
+        ]) == 0
+        assert "0/2 flows cross racks" in capsys.readouterr().out
+
+
+class TestDocsCheck:
+    def test_docs_tree_passes(self, capsys):
+        assert main(["docs-check"]) == 0
+        assert "all pass" in capsys.readouterr().out
+
+    def test_failing_fence_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\nraise ValueError('rotted example')\n```\n")
+        assert main(["docs-check", str(bad)]) == 1
+        assert "rotted example" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Tests for the executable-docs gate (``repro docs-check``)."""
+
+import pytest
+
+from repro.docscheck import check_file, extract_python_fences, run_docs_check
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestFenceExtraction:
+    def test_only_python_fences_are_executable(self, tmp_path):
+        path = _write(tmp_path, "doc.md", "\n".join([
+            "```python",
+            "a = 1",
+            "```",
+            "```py",
+            "b = 2",
+            "```",
+            "```python no-check",
+            "broken(",
+            "```",
+            "```bash",
+            "echo hi",
+            "```",
+            "```",
+            "plain block",
+            "```",
+        ]))
+        fences = extract_python_fences(path)
+        assert [fence.source for fence in fences] == ["a = 1\n", "b = 2\n"]
+
+    def test_line_numbers_point_into_the_markdown(self, tmp_path):
+        path = _write(tmp_path, "doc.md", "\n".join([
+            "# title",
+            "",
+            "```python",
+            "x = 1",
+            "```",
+        ]))
+        (fence,) = extract_python_fences(path)
+        assert fence.line == 4
+
+    def test_info_string_is_case_insensitive(self, tmp_path):
+        path = _write(tmp_path, "doc.md", "```Python\nx = 1\n```\n")
+        assert len(extract_python_fences(path)) == 1
+
+
+class TestCheckFile:
+    def test_fences_share_one_namespace(self, tmp_path):
+        path = _write(tmp_path, "doc.md", "\n".join([
+            "```python",
+            "value = 21",
+            "```",
+            "prose in between",
+            "```python",
+            "assert value * 2 == 42",
+            "```",
+        ]))
+        assert check_file(path) == []
+
+    def test_error_reports_markdown_line(self, tmp_path):
+        path = _write(tmp_path, "doc.md", "\n".join([
+            "# heading",
+            "```python",
+            "ok = True",
+            "raise RuntimeError('boom')",
+            "```",
+        ]))
+        (error,) = check_file(path)
+        assert error.startswith(f"{path}:4:")
+        assert "RuntimeError" in error and "boom" in error
+
+    def test_failing_fence_does_not_stop_later_fences(self, tmp_path):
+        path = _write(tmp_path, "doc.md", "\n".join([
+            "```python",
+            "undefined_name",
+            "```",
+            "```python",
+            "later = 'still runs'",
+            "```",
+        ]))
+        errors = check_file(path)
+        assert len(errors) == 1
+        assert "NameError" in errors[0]
+
+
+class TestRunDocsCheck:
+    def test_passing_tree(self, tmp_path, capsys):
+        _write(tmp_path, "a.md", "```python\nx = 1\n```\n")
+        _write(tmp_path, "b.md", "no fences here\n")
+        assert run_docs_check([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 fence(s)" in out and "all pass" in out
+
+    def test_failing_fence_sets_exit_code(self, tmp_path, capsys):
+        _write(tmp_path, "bad.md", "```python\n1 / 0\n```\n")
+        assert run_docs_check([str(tmp_path)]) == 1
+        assert "ZeroDivisionError" in capsys.readouterr().err
+
+    def test_missing_path_fails(self, tmp_path, capsys):
+        assert run_docs_check([str(tmp_path / "nope.md")]) == 2
+
+    def test_repo_docs_pass(self):
+        """The checked-in docs/ tree itself must stay executable."""
+        assert run_docs_check(["docs"]) == 0

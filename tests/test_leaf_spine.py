@@ -7,10 +7,11 @@ from repro.core.config import MLTCPConfig
 from repro.simulator.app import TrainingApp
 from repro.simulator.engine import Simulator
 from repro.simulator.packet import Packet
-from repro.simulator.topology import build_leaf_spine
+from repro.simulator.topology import build_fat_tree, build_leaf_spine
 from repro.tcp.base import TcpReceiver, TcpSender
 from repro.tcp.mltcp import MLTCPReno
 from repro.workloads.job import JobSpec
+from repro.workloads.placement import FabricSpec
 
 OVERHEAD = 1500 / 1460
 
@@ -65,6 +66,125 @@ class TestFabricStructure:
         with pytest.raises(ValueError, match="hosts_per_leaf"):
             build_leaf_spine(Simulator(), n_leaves=2, hosts_per_leaf=0,
                              leaf_uplink_bps=1e9)
+        with pytest.raises(ValueError, match="n_spines"):
+            build_leaf_spine(Simulator(), n_leaves=2, hosts_per_leaf=1,
+                             leaf_uplink_bps=1e9, n_spines=0)
+
+
+class TestMultiSpine:
+    def test_single_spine_keeps_historical_name(self):
+        net = build_leaf_spine(Simulator(), n_leaves=2, hosts_per_leaf=1,
+                               leaf_uplink_bps=1e9, n_spines=1)
+        assert "spine" in net.switches and "spine0" not in net.switches
+
+    def test_node_and_uplink_inventory(self):
+        net = build_leaf_spine(Simulator(), n_leaves=3, hosts_per_leaf=2,
+                               leaf_uplink_bps=1e9, n_spines=2)
+        assert {"spine0", "spine1", "leaf0", "leaf1", "leaf2"} <= set(net.switches)
+        uplinks = [key for key in net.links
+                   if key[0].startswith("leaf") and key[1].startswith("spine")]
+        assert len(uplinks) == 3 * 2   # every leaf to every spine
+
+    def test_ecmp_routes_are_seed_deterministic(self):
+        def routes(ecmp_seed):
+            net = build_leaf_spine(Simulator(), n_leaves=2, hosts_per_leaf=4,
+                                   leaf_uplink_bps=1e9, n_spines=2,
+                                   ecmp_seed=ecmp_seed)
+            return net.routes
+
+        assert routes(0) == routes(0)
+        seeds_differ = any(routes(0) != routes(seed) for seed in range(1, 8))
+        assert seeds_differ
+
+    def test_ecmp_uses_every_spine(self):
+        net = build_leaf_spine(Simulator(), n_leaves=2, hosts_per_leaf=8,
+                               leaf_uplink_bps=1e9, n_spines=2)
+        spines_used = {
+            path[2]
+            for (src, _dst), path in net.routes.items()
+            if len(path) == 5 and src.startswith("h0")
+        }
+        assert spines_used == {"spine0", "spine1"}
+
+    def test_same_destination_same_spine(self):
+        """Destination-keyed tables: all of leaf0's flows to one host share
+        a spine, whatever their source host."""
+        net = build_leaf_spine(Simulator(), n_leaves=2, hosts_per_leaf=4,
+                               leaf_uplink_bps=1e9, n_spines=2)
+        via = {net.routes[(f"h0_{i}", "h1_0")][2] for i in range(4)}
+        assert len(via) == 1
+
+    def test_multi_spine_delivery(self):
+        sim = Simulator()
+        net = build_leaf_spine(sim, n_leaves=2, hosts_per_leaf=2,
+                               leaf_uplink_bps=1e9, n_spines=2)
+        sink = _Recorder()
+        net.hosts["h1_1"].register_flow("f", sink)
+        net.hosts["h0_0"].send(
+            Packet(flow_id="f", src="h0_0", dst="h1_1", is_ack=False,
+                   seq=0, payload_bytes=100)
+        )
+        sim.run()
+        assert len(sink.packets) == 1
+
+
+class TestFatTree:
+    spec = FabricSpec(n_racks=4, hosts_per_rack=2, n_spines=2,
+                      oversubscription=2.0)
+
+    def test_inventory_matches_spec(self):
+        net = build_fat_tree(Simulator(), self.spec)
+        assert set(net.hosts) == set(self.spec.host_names())
+        assert set(net.switches) == {
+            "rack0", "rack1", "rack2", "rack3", "spine0", "spine1"
+        }
+
+    def test_oversubscribed_uplink_rates(self):
+        net = build_fat_tree(Simulator(), self.spec)
+        # 2 hosts x 1 Gbps / 2:1 oversub / 2 spines = 0.5 Gbps per uplink.
+        assert self.spec.uplink_gbps == pytest.approx(0.5)
+        for rack in range(4):
+            for spine in range(2):
+                link = net.link(f"rack{rack}", f"spine{spine}")
+                assert link.rate_bps == pytest.approx(0.5e9)
+        edge = net.link("h0_0", "rack0")
+        assert edge.rate_bps == pytest.approx(1e9)
+
+    def test_routes_agree_with_spec_paths(self):
+        """The packet network's programmed paths are exactly the spec's
+        path_nodes — the substrate-agreement half of the ECMP contract."""
+        net = build_fat_tree(Simulator(), self.spec)
+        hosts = self.spec.host_names()
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                assert net.routes[(src, dst)] == self.spec.path_nodes(src, dst)
+
+    def test_capacity_model_matches_spec(self):
+        net = build_fat_tree(Simulator(), self.spec)
+        for name, gbps in self.spec.capacities_gbps().items():
+            src, dst = name.split("->")
+            assert net.link(src, dst).rate_bps == pytest.approx(gbps * 1e9)
+
+    def test_link_utilization_reporting(self):
+        sim = Simulator()
+        net = build_fat_tree(sim, self.spec)
+        assert all(v == 0.0 for v in net.link_utilization().values())
+        sink = _Recorder()
+        net.hosts["h1_0"].register_flow("f", sink)
+        net.hosts["h0_0"].send(
+            Packet(flow_id="f", src="h0_0", dst="h1_0", is_ack=False,
+                   seq=0, payload_bytes=1500)
+        )
+        sim.run()
+        used = {k for k, v in net.link_utilization().items() if v > 0}
+        spine = self.spec.spine_name(self.spec.spine_for(0, "h1_0"))
+        assert used == {
+            "h0_0->rack0", f"rack0->{spine}", f"{spine}->rack1", "rack1->h1_0"
+        }
+        with pytest.raises(ValueError, match="elapsed"):
+            net.link_utilization(elapsed=0.0)
 
 
 class TestDualBottleneckConvergence:
