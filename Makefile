@@ -10,14 +10,14 @@ PYTHON ?= python
 BENCH_FLAGS = --benchmark-sort=name --benchmark-columns=min,mean,stddev,rounds \
 	--benchmark-warmup=on --benchmark-warmup-iterations=2 --benchmark-disable-gc
 
-.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke chaos-smoke figures examples clean
 
 # The default verify path: repo-specific static analysis, type checking,
 # the fast test tier, executable-docs check, a guarded fault-recovery
-# smoke, then a one-round perf-regression smoke. CI and the verify skill
-# run this.
+# smoke, a seeded chaos-campaign smoke, then a one-round perf-regression
+# smoke. CI and the verify skill run this.
 .DEFAULT_GOAL := verify
-verify: lint typecheck test-fast docs-check guards-smoke bench-perf-smoke
+verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke bench-perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -63,6 +63,7 @@ bench-perf:
 	@tmp=$$(mktemp) && \
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
 		benchmarks/bench_guard_overhead.py \
+		benchmarks/bench_chaos_recovery.py \
 		--benchmark-only --benchmark-json $$tmp $(BENCH_FLAGS) -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
 		--baseline bench_reports/perf_baseline.json; \
@@ -75,6 +76,7 @@ bench-perf-smoke:
 	@tmp=$$(mktemp) && \
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
 		benchmarks/bench_guard_overhead.py \
+		benchmarks/bench_chaos_recovery.py \
 		--benchmark-only --benchmark-json $$tmp --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
@@ -87,6 +89,17 @@ bench-perf-smoke:
 guards-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro guards --run --policy raise \
 		--substrate both --iterations 24
+
+# One tiny seeded chaos campaign on the default fabric, with monitors
+# recording and the recovery-SLO report validated against the v4 schema
+# (docs/FAULTS.md "Fabric faults & chaos campaigns").
+chaos-smoke:
+	@tmp=$$(mktemp) && \
+	PYTHONPATH=src $(PYTHON) -m repro chaos --fast --campaigns 1 --no-cache \
+		--report $$tmp && \
+	PYTHONPATH=src $(PYTHON) -m repro validate-report $$tmp \
+		--schema docs/run_report.schema.json; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 # One fluid benchmark through the parallel runner with a throwaway cache,
 # then validate its JSON run-report against the schema in docs/.

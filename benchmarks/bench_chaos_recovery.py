@@ -1,0 +1,79 @@
+"""Chaos campaign cost: what a seeded fabric-fault campaign adds on top.
+
+Not a paper figure — a pytest-benchmark suite keeping the chaos machinery
+(docs/FAULTS.md "Fabric faults & chaos campaigns") inside the
+bench-compare perf gate.  Three layers, cheapest first: campaign
+*generation* (pure sampling, no simulation), the failure-aware routing
+state under a burst of apply/revert transitions, and one end-to-end
+fluid `chaos_recovery` campaign with recovery SLOs scored.
+"""
+
+from repro.faults import ChaosBudget, FabricRoutingState, FaultEvent, generate_campaign
+from repro.harness import chaos_recovery
+from repro.workloads.placement import FabricSpec
+
+
+def test_chaos_campaign_generation_benchmark(benchmark):
+    """Sampling 50 validated schedules from one budget (covers the
+    blast-radius check against every rack pair per candidate)."""
+    spec = FabricSpec(
+        n_racks=4, hosts_per_rack=4, n_spines=2, oversubscription=2.0,
+        ecmp_seed=2,
+    )
+    budget = ChaosBudget(
+        horizon=0.5, mtbf=0.05, mean_duration=0.05, max_concurrent=2
+    )
+
+    def sample_50():
+        total = 0
+        for seed in range(50):
+            total += len(generate_campaign(spec, budget, seed=seed))
+        return total
+
+    assert benchmark(sample_50) >= 50
+
+
+def test_fabric_reroute_churn_benchmark(benchmark):
+    """2k apply/revert transitions with a full path recomputation for
+    every host pair after each — the routing-side cost of a reroute."""
+    spec = FabricSpec(
+        n_racks=4, hosts_per_rack=2, n_spines=4, oversubscription=2.0,
+        ecmp_seed=2,
+    )
+    hosts = spec.host_names()
+    events = [
+        FaultEvent("spine_down", time=0.1 * i, duration=0.05,
+                   spine=f"spine{i % spec.n_spines}")
+        for i in range(4)
+    ]
+
+    def churn():
+        state = FabricRoutingState(spec)
+        routed = 0
+        for _round in range(250):
+            for event in events:
+                state.apply(event)
+                for src in hosts[:4]:
+                    for dst in hosts[-4:]:
+                        if state.path_nodes(src, dst) is not None:
+                            routed += 1
+                state.revert(event)
+        assert state.healthy()
+        return routed
+
+    assert benchmark(churn) > 0
+
+
+def test_fluid_chaos_recovery_benchmark(benchmark):
+    """One seeded campaign end to end on the fluid substrate: MLTCP and
+    fair-share runs plus their shared control, SLO scoring included."""
+
+    def run():
+        results = chaos_recovery(
+            substrate="fluid", campaigns=1, iterations=32, guard_policy=None
+        )
+        assert len(results) == 1
+        assert results[0].slos["mltcp"]
+        return len(results[0].slos["mltcp"])
+
+    assert benchmark(run) >= 1

@@ -714,6 +714,162 @@ def _cross_rack_command(args) -> int:
     return EXIT_OK
 
 
+def _chaos_command(args) -> int:
+    """Execute ``repro chaos``: seeded chaos campaigns with recovery SLOs.
+
+    Runs :func:`~repro.harness.experiments.chaos_recovery` through the
+    experiment runner, prints a per-fault campaign summary (time to
+    reroute, time to re-interleave, goodput lost for MLTCP vs fair
+    share), and records everything into the run-report: each scheduled
+    fault in ``degradations``, every guard report and MLTCP degradation
+    episode (annotated with its coinciding fault window) in ``guards``,
+    and the per-fault SLOs in the v4 ``recovery`` section.
+    """
+    from .harness.experiments import chaos_recovery
+    from .workloads.placement import PLACEMENT_POLICIES
+
+    if args.placement not in PLACEMENT_POLICIES:
+        return fail(
+            f"unknown placement policy {args.placement!r}; "
+            f"valid: {list(PLACEMENT_POLICIES)}"
+        )
+    substrates = (
+        ["fluid", "packet"] if args.substrate == "both" else [args.substrate]
+    )
+    iterations = args.iterations
+    if iterations is None:
+        iterations = 32 if args.fast else 48
+    points = [
+        {
+            "substrate": substrate,
+            "campaigns": args.campaigns,
+            "n_racks": args.racks,
+            "hosts_per_rack": args.hosts_per_rack,
+            "n_spines": args.spines,
+            "oversubscription": args.oversub,
+            "placement": args.placement,
+            "iterations": iterations,
+            "seed": args.seed,
+            "ecmp_seed": args.ecmp_seed,
+            "guard_policy": args.guard_policy,
+        }
+        for substrate in substrates
+    ]
+    runner = ExperimentRunner(
+        name="cli.chaos",
+        workers=args.workers,
+        cache=None if args.no_cache else ResultCache(),
+        telemetry=RunTelemetry("cli.chaos"),
+    )
+    try:
+        all_results = runner.run_points(chaos_recovery, points)
+    except ValueError as error:
+        return fail(str(error))
+
+    for point, campaigns in zip(points, all_results):
+        rows = []
+        reinterleaved = {"mltcp": 0, "fair": 0}
+        n_faults = 0
+        for result in campaigns:
+            # The two policies replay the identical schedule, so their SLO
+            # tuples align fault-by-fault.
+            for mltcp_slo, fair_slo in zip(
+                result.slos["mltcp"], result.slos["fair"]
+            ):
+                n_faults += 1
+                reinterleaved["mltcp"] += int(mltcp_slo.reinterleaved)
+                reinterleaved["fair"] += int(fair_slo.reinterleaved)
+                rows.append(
+                    [
+                        result.campaign_index,
+                        mltcp_slo.fault,
+                        f"{1000 * mltcp_slo.time_to_reroute:.1f}",
+                        _format_tti(mltcp_slo.time_to_reinterleave),
+                        _format_tti(fair_slo.time_to_reinterleave),
+                        f"{mltcp_slo.goodput_lost_bits / 1e6:.0f}",
+                        f"{fair_slo.goodput_lost_bits / 1e6:.0f}",
+                    ]
+                )
+            for description in result.fault_descriptions:
+                runner.telemetry.record_degradation(
+                    "fault", description, params=point
+                )
+            for policy in ("mltcp", "fair"):
+                for slo in result.slos[policy]:
+                    runner.telemetry.record_recovery(
+                        slo.fault,
+                        strike_time=slo.strike_time,
+                        recovery_time=slo.recovery_time,
+                        time_to_reroute=slo.time_to_reroute,
+                        time_to_reinterleave=slo.time_to_reinterleave,
+                        goodput_lost_bits=slo.goodput_lost_bits,
+                        interleavable=slo.interleavable,
+                        policy=policy,
+                        substrate=result.substrate,
+                        campaign=result.campaign_index,
+                        params=point,
+                    )
+                for violation in result.violations[policy]:
+                    context = violation.get("fault_context")
+                    runner.telemetry.record_guard_event(
+                        "violation",
+                        violation["message"]
+                        + (f" (during: {context})" if context else ""),
+                        guard=violation["guard"],
+                        subject=violation["subject"],
+                        time=violation["time"],
+                        params=point,
+                    )
+            for episode in result.degradation_episodes:
+                context = episode.get("fault_context")
+                runner.telemetry.record_guard_event(
+                    "degradation",
+                    str(episode.get("reason", "degraded to vanilla CC"))
+                    + (f" (during: {context})" if context else ""),
+                    subject=str(episode.get("flow")),
+                    time=float(episode.get("start", 0.0)),
+                    params=point,
+                )
+        print(
+            render_table(
+                [
+                    "campaign",
+                    "fault",
+                    "reroute (ms)",
+                    "mltcp re-interleave",
+                    "fair re-interleave",
+                    "mltcp lost (Mb)",
+                    "fair lost (Mb)",
+                ],
+                rows,
+                title=(
+                    f"chaos [{point['substrate']}] — "
+                    f"{args.campaigns} campaign(s) on "
+                    f"{args.racks} racks x {args.hosts_per_rack} hosts, "
+                    f"{args.spines} spines, {args.oversub:g}:1 "
+                    f"oversubscribed, seed {args.seed}"
+                ),
+            )
+        )
+        print(
+            f"  re-interleaved after mltcp {reinterleaved['mltcp']}/{n_faults}"
+            f", fair {reinterleaved['fair']}/{n_faults} fault(s)"
+        )
+        print()
+    if args.report:
+        path = runner.telemetry.write(args.report)
+        print(f"run-report written to {path}")
+    print(runner.telemetry.summary_line())
+    return EXIT_OK
+
+
+def _format_tti(time_to_reinterleave: Optional[float]) -> str:
+    """Render a time-to-reinterleave: milliseconds, or "never"."""
+    if time_to_reinterleave is None:
+        return "never"
+    return f"{1000 * time_to_reinterleave:.1f} ms"
+
+
 def _positive_int(text: str) -> int:
     """argparse type for ``--workers``: a clean error instead of a traceback."""
     value = int(text)
@@ -997,6 +1153,72 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the JSON run-report (includes the "
         "link_utilization section) to PATH",
     )
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded chaos campaigns on the fabric: failure-aware ECMP "
+        "rerouting + recovery SLOs (docs/FAULTS.md)",
+    )
+    chaos.add_argument(
+        "--campaigns", type=_positive_int, default=3, metavar="N",
+        help="independently seeded campaigns to run (default 3)",
+    )
+    chaos.add_argument(
+        "--racks", type=_positive_int, default=4, metavar="N",
+        help="number of racks (default 4)",
+    )
+    chaos.add_argument(
+        "--hosts-per-rack", type=_positive_int, default=4, metavar="N",
+        help="hosts per rack (default 4)",
+    )
+    chaos.add_argument(
+        "--spines", type=_positive_int, default=2, metavar="N",
+        help="number of spine switches (default 2)",
+    )
+    chaos.add_argument(
+        "--oversub", type=float, default=2.0, metavar="RATIO",
+        help="oversubscription ratio (default 2.0)",
+    )
+    chaos.add_argument(
+        "--placement", default="spread", metavar="POLICY",
+        help="job placement policy: packed, spread or random "
+        "(default: spread)",
+    )
+    chaos.add_argument(
+        "--substrate", choices=["fluid", "packet", "both"], default="fluid",
+        help="which simulator(s) to run (default: fluid; packet is slower)",
+    )
+    chaos.add_argument(
+        "--iterations", type=_positive_int, default=None, metavar="N",
+        help="training iterations per job (default: 48, or 32 with --fast)",
+    )
+    chaos.add_argument(
+        "--fast", action="store_true", help="smaller iteration counts"
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=2,
+        help="base seed; campaigns derive theirs from it (default 2)",
+    )
+    chaos.add_argument(
+        "--ecmp-seed", type=int, default=2,
+        help="seed of the deterministic ECMP spine choice (default 2)",
+    )
+    chaos.add_argument(
+        "--guard-policy", choices=["record", "raise", "off"], default="record",
+        help="guardrail policy for the faulted runs (default: record)",
+    )
+    chaos.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="run substrates on an N-process pool (default: sequential)",
+    )
+    chaos.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    chaos.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON run-report (includes the v4 recovery "
+        "section) to PATH",
+    )
     docs_check = subparsers.add_parser(
         "docs-check",
         help="execute the python code fences in markdown docs so examples "
@@ -1043,6 +1265,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "cross-rack":
         return _cross_rack_command(args)
+
+    if args.command == "chaos":
+        return _chaos_command(args)
 
     if args.command == "docs-check":
         from .docscheck import run_docs_check

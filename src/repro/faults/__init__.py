@@ -11,19 +11,34 @@ replay the *same* schedule in both simulation substrates —
 :func:`install_packet_faults` for the packet-level simulator and
 :class:`FluidFaultState` for the fluid one (``run_fluid(..., faults=...)``).
 
+Fabric-level chaos rides on the same schedule layer: fabric fault kinds
+(:data:`FABRIC_KINDS` — spine/uplink failures, rack partitions, ECMP
+re-hashes) replay through a shared :class:`FabricRoutingState` that
+recomputes ECMP over the surviving spines identically in both substrates,
+and :class:`ChaosCampaign` samples whole randomized schedules from a
+declarative :class:`ChaosBudget`, bit-reproducibly.
+
 See docs/FAULTS.md for the fault model, the schedule file format and the
 recovery metrics built on top of it.
 """
 
+from .chaos import ChaosBudget, ChaosCampaign, generate_campaign
 from .fluid import FluidFaultState
 from .packet import InjectionLog, install_packet_faults
-from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from .routing import FabricRoutingState, rehashed_seed
+from .schedule import FABRIC_KINDS, FAULT_KINDS, FaultEvent, FaultSchedule
 
 __all__ = [
+    "FABRIC_KINDS",
     "FAULT_KINDS",
+    "ChaosBudget",
+    "ChaosCampaign",
+    "FabricRoutingState",
     "FaultEvent",
     "FaultSchedule",
     "FluidFaultState",
     "InjectionLog",
+    "generate_campaign",
     "install_packet_faults",
+    "rehashed_seed",
 ]

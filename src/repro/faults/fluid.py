@@ -31,7 +31,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Optional
 
-from .schedule import FaultEvent, FaultSchedule
+from .schedule import FABRIC_KINDS, FaultEvent, FaultSchedule
 
 __all__ = ["FluidFaultState", "ECN_STORM_CAPACITY_FACTOR"]
 
@@ -58,6 +58,14 @@ class FluidFaultState:
         self, schedule: FaultSchedule, job_names: Iterable[str]
     ) -> None:
         schedule.validate(link_names=_FLUID_LINKS, job_names=job_names)
+        for event in schedule:
+            if event.kind in FABRIC_KINDS:
+                raise ValueError(
+                    f"fault {event.describe()} is a fabric fault; the "
+                    "single-bottleneck fluid model has no fabric — replay "
+                    "it with repro.fluid.fabric.FluidFabricFaults on a "
+                    "FabricSpec instead"
+                )
         self.schedule = schedule
         self._capacity_events: list[FaultEvent] = []
         self._straggler_events: list[FaultEvent] = []

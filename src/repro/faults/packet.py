@@ -19,7 +19,7 @@ faults act.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 import numpy as np
 
@@ -27,7 +27,12 @@ from ..simulator.app import TrainingApp
 from ..simulator.engine import Simulator
 from ..simulator.link import Link
 from ..simulator.topology import Network
-from .schedule import FaultEvent, FaultSchedule
+from .routing import FabricRoutingState
+from .schedule import FABRIC_KINDS, FaultEvent, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..guards import GuardRail
+    from ..workloads.placement import FabricSpec
 
 __all__ = ["InjectionLog", "install_packet_faults", "DEFAULT_BOTTLENECK"]
 
@@ -80,6 +85,8 @@ def install_packet_faults(
     schedule: FaultSchedule,
     apps: Optional[Mapping[str, TrainingApp]] = None,
     log: Optional[InjectionLog] = None,
+    fabric: Optional["FabricSpec"] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> InjectionLog:
     """Arm every fault in ``schedule`` on an assembled packet testbed.
 
@@ -90,15 +97,42 @@ def install_packet_faults(
     written for one topology fails fast on another.  Returns the
     :class:`InjectionLog` that the armed events will append to as the
     simulation replays them.
+
+    Fabric faults (:data:`~repro.faults.schedule.FABRIC_KINDS`) require
+    ``fabric`` — the :class:`~repro.workloads.placement.FabricSpec` the
+    network was built from.  On each strike/revert the shared
+    :class:`~repro.faults.routing.FabricRoutingState` recomputes ECMP over
+    the surviving spines, the affected links are toggled down/up, and every
+    changed host-pair route is reinstalled in ``network.routes`` — so
+    in-flight flows reroute deterministically onto the same links the fluid
+    substrate picks.  Pairs with *no* surviving path keep their stale route
+    and blackhole at the severed link until repair.  When ``guards`` is
+    given, the route-liveness and reroute-conservation monitors run after
+    every fabric transition.
     """
     links = _link_names(network)
     job_names = set(apps) if apps is not None else None
-    schedule.validate(link_names=links, job_names=job_names)
+    schedule.validate(link_names=links, job_names=job_names, fabric=fabric)
     log = log if log is not None else InjectionLog()
     loss_rng = np.random.default_rng(schedule.seed)
 
+    fabric_events = [e for e in schedule.sorted_events() if e.kind in FABRIC_KINDS]
+    routing: Optional[FabricRoutingState] = None
+    if fabric_events:
+        if fabric is None:
+            raise ValueError(
+                f"fault {fabric_events[0].describe()} is a fabric fault; "
+                "pass fabric=FabricSpec(...) to install_packet_faults so "
+                "routing can be recomputed over the surviving spines"
+            )
+        routing = FabricRoutingState(fabric)
+        reroute = _fabric_transition_applier(sim, network, routing, links, guards)
+
     for event in schedule.sorted_events():
-        if event.kind in ("straggler", "job_restart"):
+        if event.kind in FABRIC_KINDS:
+            assert routing is not None
+            _arm_fabric_fault(sim, event, routing, reroute, log)
+        elif event.kind in ("straggler", "job_restart"):
             if apps is None:
                 raise ValueError(
                     f"fault {event.describe()} targets a job but no apps "
@@ -145,6 +179,64 @@ def _arm_link_fault(
             link.set_fault_loss(0.0)
         elif event.kind == "ecn_storm":
             link.set_ecn_storm(False)
+
+    sim.schedule_at(event.time, strike)
+    sim.schedule_at(event.end_time, revert)
+
+
+def _fabric_transition_applier(
+    sim: Simulator,
+    network: Network,
+    routing: FabricRoutingState,
+    links: dict[str, Link],
+    guards: Optional["GuardRail"],
+):
+    """Closure syncing the live network to the routing state after a fault.
+
+    Only the delta against the links *this* subsystem previously downed is
+    toggled, so a concurrent classic ``link_down`` on an unrelated link is
+    never clobbered by a fabric reversion.  Route reinstalls go through
+    :meth:`Network.apply_routing`; pairs with no surviving path keep their
+    stale route and blackhole at the severed link.
+    """
+    fabric_down: list[frozenset[str]] = [frozenset()]
+
+    def apply_transition() -> None:
+        down = routing.down_links()
+        for name in sorted(fabric_down[0] - down):
+            links[name].set_up()
+        for name in sorted(down - fabric_down[0]):
+            links[name].set_down()
+        fabric_down[0] = down
+        network.apply_routing(routing)
+        if guards is not None:
+            from ..guards.monitors import (
+                check_reroute_conservation,
+                check_route_liveness,
+            )
+
+            check_route_liveness(guards, network, routing, now=sim.now)
+            check_reroute_conservation(guards, network, now=sim.now)
+
+    return apply_transition
+
+
+def _arm_fabric_fault(
+    sim: Simulator,
+    event: FaultEvent,
+    routing: FabricRoutingState,
+    reroute,
+    log: InjectionLog,
+) -> None:
+    def strike() -> None:
+        log.record(sim.now, event.describe())
+        routing.apply(event)
+        reroute()
+
+    def revert() -> None:
+        log.record(sim.now, f"{event.kind} on {event.target} reverted")
+        routing.revert(event)
+        reroute()
 
     sim.schedule_at(event.time, strike)
     sim.schedule_at(event.end_time, revert)

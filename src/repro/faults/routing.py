@@ -1,0 +1,236 @@
+"""Failure-aware ECMP routing state for multi-rack fabrics.
+
+:class:`FabricRoutingState` is the single source of truth both injectors
+consult when a fabric fault (:data:`repro.faults.schedule.FABRIC_KINDS`)
+strikes or reverts: it tracks which spines, uplinks, and racks are down,
+and recomputes paths with the *same* CRC32+avalanche ECMP rule
+(:func:`repro.workloads.placement.ecmp_index`) applied over the set of
+surviving spines.  Because the packet simulator reinstalls
+``Network.routes`` from this state and the fluid simulator asks it for
+``path_links`` directly, a failed flow is rerouted onto bit-identical
+links in both substrates — the property the packet-vs-fluid equivalence
+test in ``tests/test_chaos.py`` pins down.
+
+With no active faults and rehash depth 0 the state reproduces
+``FabricSpec.path_nodes`` exactly, so installing it is free until the
+first fault strikes.
+
+Overlapping identical faults are reference-counted: two concurrent
+``spine_down`` events on the same spine keep it down until *both* revert.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from typing import Optional
+
+from ..workloads.placement import FabricSpec, ecmp_index, host_rack
+from .schedule import FABRIC_KINDS, FaultEvent
+
+__all__ = ["FabricRoutingState", "rehashed_seed"]
+
+
+def rehashed_seed(seed: int, depth: int) -> int:
+    """The effective ECMP seed after ``depth`` nested ``ecmp_rehash`` events.
+
+    Depth 0 is the fabric's configured seed; each nesting level derives a
+    new 32-bit seed from the base via CRC32 so the perturbation is
+    deterministic, substrate-independent, and reverts exactly when the
+    rehash window closes.
+    """
+    if depth <= 0:
+        return seed
+    return zlib.crc32(f"{seed}/rehash{depth}".encode("ascii"))
+
+
+class FabricRoutingState:
+    """Live fault state + surviving-spine ECMP for one :class:`FabricSpec`."""
+
+    def __init__(self, spec: FabricSpec) -> None:
+        self.spec = spec
+        self._down_spines: Counter[int] = Counter()
+        self._down_uplinks: Counter[tuple[int, int]] = Counter()
+        self._partitioned_racks: Counter[int] = Counter()
+        self._rehash_depth = 0
+        #: Bumped on every apply/revert — cheap change detection for callers
+        #: that cache derived routing tables.
+        self.generation = 0
+
+    # -- fault bookkeeping -------------------------------------------------
+
+    @property
+    def ecmp_seed(self) -> int:
+        """The seed the hash currently runs under (rehash-aware)."""
+        return rehashed_seed(self.spec.ecmp_seed, self._rehash_depth)
+
+    def healthy(self) -> bool:
+        """True when no fabric fault is active and the seed is unperturbed."""
+        return (
+            not +self._down_spines
+            and not +self._down_uplinks
+            and not +self._partitioned_racks
+            and self._rehash_depth == 0
+        )
+
+    def apply(self, event: FaultEvent) -> None:
+        """Register a striking fabric fault."""
+        self._shift(event, +1)
+
+    def revert(self, event: FaultEvent) -> None:
+        """Unregister a reverting fabric fault (must pair with an apply)."""
+        self._shift(event, -1)
+
+    def _shift(self, event: FaultEvent, delta: int) -> None:
+        if event.kind == "ecmp_rehash":
+            if delta < 0 and self._rehash_depth <= 0:
+                raise ValueError(
+                    f"revert of {event.describe()} without a matching apply"
+                )
+            self._rehash_depth += delta
+        else:
+            if event.kind == "spine_down":
+                counter: Counter = self._down_spines
+                key: object = self._spine_index(event.spine)
+            elif event.kind == "uplink_down":
+                counter = self._down_uplinks
+                key = self._uplink_indices(event.link)
+            elif event.kind == "rack_partition":
+                counter = self._partitioned_racks
+                key = self._rack_index(event.rack)
+            else:
+                raise ValueError(
+                    f"{event.kind!r} is not a fabric fault; fabric kinds "
+                    f"are {sorted(FABRIC_KINDS)}"
+                )
+            if delta < 0 and counter[key] <= 0:
+                raise ValueError(
+                    f"revert of {event.describe()} without a matching apply"
+                )
+            counter[key] += delta
+        self.generation += 1
+
+    def _spine_index(self, name: Optional[str]) -> int:
+        index = _indexed(name, "spine")
+        if index is None or not 0 <= index < self.spec.n_spines:
+            raise ValueError(
+                f"spine {name!r} does not exist; the fabric has "
+                f"{self.spec.n_spines} spines"
+            )
+        return index
+
+    def _rack_index(self, name: Optional[str]) -> int:
+        index = _indexed(name, "rack")
+        if index is None or not 0 <= index < self.spec.n_racks:
+            raise ValueError(
+                f"rack {name!r} does not exist; the fabric has "
+                f"{self.spec.n_racks} racks"
+            )
+        return index
+
+    def _uplink_indices(self, link: Optional[str]) -> tuple[int, int]:
+        src, _, dst = (link or "").partition("->")
+        rack = _indexed(src, "rack")
+        spine = _indexed(dst, "spine")
+        if (
+            rack is None or spine is None
+            or not 0 <= rack < self.spec.n_racks
+            or not 0 <= spine < self.spec.n_spines
+        ):
+            raise ValueError(
+                f"uplink {link!r} does not exist; name it 'rack{{r}}->spine"
+                f"{{s}}' with r < {self.spec.n_racks}, s < {self.spec.n_spines}"
+            )
+        return rack, spine
+
+    # -- surviving topology ------------------------------------------------
+
+    def uplink_up(self, rack: int, spine: int) -> bool:
+        """Is the physical rack<->spine uplink pair currently usable?"""
+        return (
+            self._down_spines[spine] == 0
+            and self._down_uplinks[(rack, spine)] == 0
+            and self._partitioned_racks[rack] == 0
+        )
+
+    def surviving_spines(self, src_rack: int, dst_rack: int) -> tuple[int, ...]:
+        """Spines that can still carry src_rack -> dst_rack traffic."""
+        return tuple(
+            k
+            for k in range(self.spec.n_spines)
+            if self.uplink_up(src_rack, k) and self.uplink_up(dst_rack, k)
+        )
+
+    def spine_for(self, src_rack: int, dst_host: str) -> Optional[int]:
+        """Deterministic ECMP spine over the surviving set (None = no path).
+
+        Healthy state reproduces ``FabricSpec.spine_for`` bit-for-bit: the
+        hash input is unchanged and the choice set is all spines.
+        """
+        dst_rack = host_rack(dst_host)
+        choices = self.surviving_spines(src_rack, dst_rack)
+        if not choices:
+            return None
+        pick = ecmp_index(
+            self.ecmp_seed, self.spec.rack_name(src_rack), dst_host,
+            len(choices),
+        )
+        return choices[pick]
+
+    def path_nodes(self, src: str, dst: str) -> Optional[tuple[str, ...]]:
+        """Current hop sequence src -> dst, or None when no path survives."""
+        src_rack = host_rack(src)
+        dst_rack = host_rack(dst)
+        if src_rack == dst_rack:
+            return (src, self.spec.rack_name(src_rack), dst)
+        spine = self.spine_for(src_rack, dst)
+        if spine is None:
+            return None
+        return (
+            src,
+            self.spec.rack_name(src_rack),
+            self.spec.spine_name(spine),
+            self.spec.rack_name(dst_rack),
+            dst,
+        )
+
+    def path_links(self, src: str, dst: str) -> Optional[tuple[str, ...]]:
+        """Directed link names of :meth:`path_nodes` (None = no path)."""
+        nodes = self.path_nodes(src, dst)
+        if nodes is None:
+            return None
+        return tuple(f"{a}->{b}" for a, b in zip(nodes, nodes[1:]))
+
+    def down_links(self) -> frozenset[str]:
+        """Directed fabric link names currently severed by active faults."""
+        spec = self.spec
+        down: set[str] = set()
+
+        def _pair(rack: int, spine: int) -> None:
+            rack_name = spec.rack_name(rack)
+            spine_name = spec.spine_name(spine)
+            down.add(f"{rack_name}->{spine_name}")
+            down.add(f"{spine_name}->{rack_name}")
+
+        for spine, count in self._down_spines.items():
+            if count > 0:
+                for rack in range(spec.n_racks):
+                    _pair(rack, spine)
+        for (rack, spine), count in self._down_uplinks.items():
+            if count > 0:
+                _pair(rack, spine)
+        for rack, count in self._partitioned_racks.items():
+            if count > 0:
+                for spine in range(spec.n_spines):
+                    _pair(rack, spine)
+        return frozenset(down)
+
+
+def _indexed(name: Optional[str], prefix: str) -> Optional[int]:
+    """Parse ``"{prefix}{i}"`` -> ``i``; None when malformed."""
+    if not name or not name.startswith(prefix):
+        return None
+    suffix = name[len(prefix):]
+    if not suffix.isdigit():
+        return None
+    return int(suffix)

@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule"]
+__all__ = ["FABRIC_KINDS", "FAULT_KINDS", "FaultEvent", "FaultSchedule"]
 
 #: Every fault class the injectors understand, with a one-line meaning.
 FAULT_KINDS: dict[str, str] = {
@@ -33,11 +33,22 @@ FAULT_KINDS: dict[str, str] = {
     "ecn_storm": "every ECN-capable packet is CE-marked for `duration` s",
     "straggler": "job's compute phases stretched by `factor` for `duration` s",
     "job_restart": "job killed mid-iteration; restarts after `restart_delay` s",
+    "spine_down": "spine switch and all its uplinks fail for `duration` s",
+    "uplink_down": "one rack<->spine uplink pair fails for `duration` s",
+    "rack_partition": "every uplink of `rack` fails for `duration` s",
+    "ecmp_rehash": "ECMP seed perturbed for `duration` s (paths reshuffle)",
 }
 
 #: Kinds that target a link (``event.link``) vs. a job (``event.job``).
 _LINK_KINDS = frozenset({"link_down", "bandwidth", "loss_burst", "ecn_storm"})
 _JOB_KINDS = frozenset({"straggler", "job_restart"})
+
+#: Fabric-level kinds: they perturb the multi-rack routing state rather than
+#: a single directed link, need a :class:`~repro.workloads.placement.FabricSpec`
+#: to replay, and are handled by :class:`repro.faults.routing.FabricRoutingState`.
+FABRIC_KINDS = frozenset(
+    {"spine_down", "uplink_down", "rack_partition", "ecmp_rehash"}
+)
 
 
 @dataclass(frozen=True)
@@ -57,8 +68,14 @@ class FaultEvent:
     link:
         Target link for link faults, as ``"src->dst"`` (e.g.
         ``"sw_l->sw_r"``).  ``None`` means the topology's bottleneck.
+        For ``uplink_down`` this is the canonical ``"rack{r}->spine{s}"``
+        name and means *both* directions of the physical uplink.
     job:
         Target job name for ``straggler`` / ``job_restart``.
+    spine:
+        Target spine switch for ``spine_down`` (e.g. ``"spine0"``).
+    rack:
+        Target rack switch for ``rack_partition`` (e.g. ``"rack2"``).
     factor:
         ``bandwidth``: remaining fraction of the rate, in (0, 1).
         ``straggler``: compute-time multiplier, > 1.
@@ -74,6 +91,8 @@ class FaultEvent:
     duration: float = 0.0
     link: Optional[str] = None
     job: Optional[str] = None
+    spine: Optional[str] = None
+    rack: Optional[str] = None
     factor: float = 1.0
     loss: float = 0.0
     restart_delay: float = 0.0
@@ -83,21 +102,45 @@ class FaultEvent:
         """When the fault reverts (equals :attr:`time` for instant faults)."""
         return self.time + self.duration
 
+    @property
+    def target(self) -> str:
+        """The name of whatever the fault hits, for logs and reports."""
+        field_name, _ = _DESCRIBE_RECIPES.get(self.kind, ("", ()))
+        value = getattr(self, field_name, None) if field_name else None
+        if value is not None:
+            return str(value)
+        return "the fabric" if self.kind in FABRIC_KINDS else "bottleneck"
+
     def describe(self) -> str:
         """Human-readable one-liner for reports and degradation records."""
-        target = self.link or self.job or "bottleneck"
-        extra = ""
-        if self.kind == "bandwidth" or self.kind == "straggler":
-            extra = f" factor={self.factor:g}"
-        elif self.kind == "loss_burst":
-            extra = f" loss={self.loss:g}"
-        elif self.kind == "job_restart":
-            extra = f" restart_delay={self.restart_delay:g}s"
+        _, params = _DESCRIBE_RECIPES.get(self.kind, ("", ()))
+        extra = "".join(
+            f" {name}={getattr(self, name):g}{suffix}" for name, suffix in params
+        )
         return (
-            f"{self.kind} on {target} at t={self.time:g}s"
+            f"{self.kind} on {self.target} at t={self.time:g}s"
             + (f" for {self.duration:g}s" if self.duration > 0 else "")
             + extra
         )
+
+
+#: How :meth:`FaultEvent.describe` renders each kind: the attribute naming
+#: the target (empty string → substrate default) and the parameter attributes
+#: worth printing, each with a unit suffix.  The table must cover
+#: :data:`FAULT_KINDS` exactly — a test enforces the pairing, so a new kind
+#: cannot ship without a rendering.
+_DESCRIBE_RECIPES: dict[str, tuple[str, tuple[tuple[str, str], ...]]] = {
+    "link_down": ("link", ()),
+    "bandwidth": ("link", (("factor", ""),)),
+    "loss_burst": ("link", (("loss", ""),)),
+    "ecn_storm": ("link", ()),
+    "straggler": ("job", (("factor", ""),)),
+    "job_restart": ("job", (("restart_delay", "s"),)),
+    "spine_down": ("spine", ()),
+    "uplink_down": ("link", ()),
+    "rack_partition": ("rack", ()),
+    "ecmp_rehash": ("", ()),
+}
 
 
 def _check(condition: bool, index: int, event: FaultEvent, message: str) -> None:
@@ -131,6 +174,7 @@ class FaultSchedule:
         self,
         link_names: Optional[Iterable[str]] = None,
         job_names: Optional[Iterable[str]] = None,
+        fabric: Optional[object] = None,
     ) -> None:
         """Check every event; raise ``ValueError`` naming the first bad one.
 
@@ -138,9 +182,21 @@ class FaultSchedule:
         ``link_names`` / ``job_names`` are given — the topology's links and
         the scenario's jobs — targets are checked for existence too, so a
         typo'd link name fails before the simulation starts.
+
+        ``fabric`` accepts a :class:`repro.workloads.placement.FabricSpec`
+        or an assembled :class:`repro.simulator.topology.Network` and checks
+        fabric-fault targets (spines, racks, uplinks) for existence, with
+        errors naming the valid targets.  It also supplies ``link_names``
+        when those were not given explicitly.
         """
         links = set(link_names) if link_names is not None else None
         jobs = set(job_names) if job_names is not None else None
+        spines: Optional[set[str]] = None
+        racks: Optional[set[str]] = None
+        if fabric is not None:
+            fabric_links, spines, racks = _topology_names(fabric)
+            if links is None:
+                links = fabric_links
         for i, event in enumerate(self.events):
             _check(
                 event.kind in FAULT_KINDS, i, event,
@@ -193,6 +249,60 @@ class FaultSchedule:
                 _check(event.restart_delay >= 0, i, event,
                        "restart_delay must be non-negative, got "
                        f"{event.restart_delay!r}")
+            if event.kind in FABRIC_KINDS:
+                _check(event.job is None, i, event,
+                       "a fabric fault cannot name a job")
+                _check(event.duration > 0, i, event,
+                       f"a {event.kind} needs a positive duration")
+            else:
+                _check(event.spine is None and event.rack is None, i, event,
+                       "only fabric faults may name a spine or rack")
+            if event.kind == "spine_down":
+                _check(event.spine is not None, i, event,
+                       "a spine_down must name its spine (e.g. 'spine0')")
+                _check(event.link is None and event.rack is None, i, event,
+                       "a spine_down targets only a spine")
+                if spines is not None:
+                    _check(
+                        event.spine in spines, i, event,
+                        f"spine {event.spine!r} does not exist in the "
+                        f"fabric; valid spines: {sorted(spines)}",
+                    )
+            if event.kind == "uplink_down":
+                _check(
+                    event.link is not None and "->" in (event.link or ""),
+                    i, event,
+                    "an uplink_down must name its uplink as "
+                    "'rack{r}->spine{s}' (e.g. 'rack0->spine1')",
+                )
+                _check(event.spine is None and event.rack is None, i, event,
+                       "an uplink_down targets only its rack->spine uplink")
+                if spines is not None and racks is not None:
+                    uplinks = {f"{r}->{s}" for r in racks for s in spines}
+                    _check(
+                        event.link in uplinks, i, event,
+                        f"uplink {event.link!r} does not exist in the "
+                        f"fabric; valid uplinks: {sorted(uplinks)}",
+                    )
+            if event.kind == "rack_partition":
+                _check(event.rack is not None, i, event,
+                       "a rack_partition must name its rack (e.g. 'rack2')")
+                _check(event.link is None and event.spine is None, i, event,
+                       "a rack_partition targets only a rack")
+                if racks is not None:
+                    _check(
+                        event.rack in racks, i, event,
+                        f"rack {event.rack!r} does not exist in the "
+                        f"fabric; valid racks: {sorted(racks)}",
+                    )
+            if event.kind == "ecmp_rehash":
+                _check(
+                    event.link is None and event.spine is None
+                    and event.rack is None,
+                    i, event,
+                    "an ecmp_rehash takes no target (it perturbs the whole "
+                    "fabric's hash seed)",
+                )
 
     def sorted_events(self) -> tuple[FaultEvent, ...]:
         """Events ordered by strike time (stable for equal times)."""
@@ -258,3 +368,35 @@ def _event_fields():
     from dataclasses import fields
 
     return fields(FaultEvent)
+
+
+def _topology_names(topology: object) -> tuple[set[str], set[str], set[str]]:
+    """``(links, spines, racks)`` name sets of a FabricSpec or a Network.
+
+    Duck-typed so :mod:`repro.faults` needs no import of either class: a
+    ``FabricSpec`` exposes ``capacities_gbps()`` plus ``spine_name`` /
+    ``rack_name``; an assembled ``Network`` exposes ``links`` keyed by
+    ``(src, dst)`` and a ``switches`` mapping whose spine/rack switches
+    follow the fat-tree naming convention.
+    """
+    capacities = getattr(topology, "capacities_gbps", None)
+    if callable(capacities):
+        links = set(capacities())
+        spines = {
+            topology.spine_name(k) for k in range(topology.n_spines)  # type: ignore[attr-defined]
+        }
+        racks = {
+            topology.rack_name(r) for r in range(topology.n_racks)  # type: ignore[attr-defined]
+        }
+        return links, spines, racks
+    net_links = getattr(topology, "links", None)
+    switches = getattr(topology, "switches", None)
+    if isinstance(net_links, dict) and switches is not None:
+        links = {f"{src}->{dst}" for (src, dst) in net_links}
+        spines = {name for name in switches if name.startswith("spine")}
+        racks = {name for name in switches if name.startswith("rack")}
+        return links, spines, racks
+    raise TypeError(
+        "fabric must be a FabricSpec or an assembled Network, got "
+        f"{type(topology).__name__}"
+    )

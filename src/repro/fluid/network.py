@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,10 @@ from ..core.aggressiveness import (
 from ..core.units import bps_from_gbps
 from ..workloads.job import JobSpec
 from .flowsim import IterationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..guards.core import GuardRail
+    from .fabric import FluidFabricFaults
 
 __all__ = ["PlacedJob", "NetworkFluidResult", "NetworkFluidSimulator", "run_network_fluid"]
 
@@ -73,6 +77,13 @@ class NetworkFluidResult:
     policy_name: str
     iterations: list[IterationResult] = field(default_factory=list)
     end_time: float = 0.0
+    #: Applied fault transitions when the run had fabric faults attached
+    #: (human-readable lines, mirroring ``FluidResult.fault_log``).
+    fault_log: list[str] = field(default_factory=list)
+    #: Measured bits per link, recorded only by faulted runs (reroutes move
+    #: traffic off a flow's nominal path, so the static accounting below
+    #: would charge bits to severed links).  Empty for fault-free runs.
+    delivered_bits_by_link: dict[str, float] = field(default_factory=dict)
 
     def iterations_of(self, job: str) -> list[IterationResult]:
         """Completed iterations of one job, in order."""
@@ -106,15 +117,21 @@ class NetworkFluidResult:
         end_time``.  Keys are sorted link names, mirroring the packet
         side's :meth:`repro.simulator.topology.Network.link_utilization`.
         (With ``volume_jitter_fraction > 0`` this uses nominal volumes —
-        a mean-level approximation.)
+        a mean-level approximation.)  Faulted runs record the bits each
+        link actually carried (reroutes shift traffic off nominal paths),
+        so those use the measured accounting instead.
         """
         bits_by_link = {link: 0.0 for link in sorted(self.capacities_gbps)}
-        for placement in self.placements:
-            bits = placement.job.comm_bits * len(
-                self.iterations_of(placement.job.name)
-            )
-            for link in placement.links:
-                bits_by_link[link] += bits
+        if self.delivered_bits_by_link:
+            for link, bits in self.delivered_bits_by_link.items():
+                bits_by_link[link] = bits
+        else:
+            for placement in self.placements:
+                bits = placement.job.comm_bits * len(
+                    self.iterations_of(placement.job.name)
+                )
+                for link in placement.links:
+                    bits_by_link[link] += bits
         if self.end_time <= 0:
             return {link: 0.0 for link in bits_by_link}
         return {
@@ -226,6 +243,8 @@ class NetworkFluidSimulator:
         fair_share: bool = False,
         seed: Optional[int] = 0,
         quantum: float = 0.02,
+        fabric_faults: Optional["FluidFabricFaults"] = None,
+        guards: Optional["GuardRail"] = None,
     ) -> None:
         if not placements:
             raise ValueError("need at least one placed job")
@@ -250,6 +269,13 @@ class NetworkFluidSimulator:
         )
         self.quantum = quantum
         self._rng = np.random.default_rng(seed) if seed is not None else None
+        #: Optional fabric-fault replay (:class:`~repro.fluid.fabric.
+        #: FluidFabricFaults`).  ``None`` keeps the fault-free path
+        #: bit-identical to the pre-fault code.
+        self.fabric_faults = fabric_faults
+        #: Optional guardrail: when set with faults, route-liveness and
+        #: down-link allocation checks run every step.
+        self.guards = guards
 
     def run(self, max_iterations: int) -> NetworkFluidResult:
         """Simulate until every job completed ``max_iterations`` cycles."""
@@ -291,38 +317,151 @@ class NetworkFluidSimulator:
                 return slope * ratio + intercept
             return self.function(rt.bytes_ratio)
 
+        # Fabric-fault state: all of it is gated on ``fabric_faults`` being
+        # attached, so a fault-free run takes exactly the pre-fault path.
+        faults = self.fabric_faults
+        guards = self.guards
+        effective_capacities = capacities_bps
+        flow_links: dict[str, Optional[tuple[str, ...]]] = {}
+        bits_by_link: dict[str, float] = {}
+        routing_generation = -1
+        last_factors: dict[str, float] = {}
+
         for _step in range(max_steps):
+            if faults is not None:
+                faults.advance_to(now)
+                if faults.routing.generation != routing_generation:
+                    routing_generation = faults.routing.generation
+                    # Reroute every flow over the surviving spines; an
+                    # in-flight flow keeps sent/remaining bits, so a reroute
+                    # moves the tail of the transfer, not the whole volume.
+                    flow_links = {
+                        p.job.name: faults.links_for(p) for p in self.placements
+                    }
+                factors = faults.capacity_factors(now)
+                if factors != last_factors:
+                    last_factors = factors
+                    effective_capacities = (
+                        {
+                            link: cap * factors.get(link, 1.0)
+                            for link, cap in capacities_bps.items()
+                        }
+                        if factors
+                        else capacities_bps
+                    )
             self._transitions(runtimes, now, result, max_iterations)
             if all(rt.iteration_index >= max_iterations for rt in runtimes):
                 break
             active = [rt for rt in runtimes if rt.phase == "comm"]
+            if faults is None:
+                flow_specs = {
+                    rt.spec.name: (
+                        flow_weight(rt),
+                        rt.spec.demand_bps,
+                        rt.placement.links,
+                    )
+                    for rt in active
+                }
+            else:
+                flow_specs = {}
+                for rt in active:
+                    links = flow_links[rt.spec.name]
+                    if links is None:
+                        # No surviving path (partitioned): the flow stalls
+                        # until a reversion restores connectivity — the
+                        # fluid rendering of a blackhole.
+                        continue
+                    flow_specs[rt.spec.name] = (
+                        flow_weight(rt),
+                        rt.spec.demand_bps,
+                        links,
+                    )
             rates = (
-                weighted_max_min(
-                    {
-                        rt.spec.name: (
-                            flow_weight(rt),
-                            rt.spec.demand_bps,
-                            rt.placement.links,
-                        )
-                        for rt in active
-                    },
-                    capacities_bps,
-                )
-                if active
+                weighted_max_min(flow_specs, effective_capacities)
+                if flow_specs
                 else {}
             )
+            if faults is not None and guards is not None:
+                self._check_fabric_guards(
+                    guards, flow_specs, rates, effective_capacities,
+                    last_factors, now,
+                )
             dt = self._next_dt(runtimes, rates, now)
+            if faults is not None:
+                upcoming = faults.next_transition_after(now)
+                if upcoming is not None and upcoming - now > _EPS_TIME:
+                    dt = min(dt, upcoming - now)
             for rt in active:
                 delivered = rates.get(rt.spec.name, 0.0) * dt
+                if faults is not None and delivered > 0.0:
+                    links = flow_links[rt.spec.name]
+                    assert links is not None
+                    for link in links:
+                        bits_by_link[link] = (
+                            bits_by_link.get(link, 0.0) + delivered
+                        )
                 rt.remaining_bits = max(0.0, rt.remaining_bits - delivered)
                 rt.sent_bits = min(rt.spec.comm_bits, rt.sent_bits + delivered)
             now += dt
         else:
             raise RuntimeError("network fluid simulation exceeded its step budget")
         result.end_time = now
+        if faults is not None:
+            result.fault_log = faults.descriptions()
+            result.delivered_bits_by_link = bits_by_link
         return result
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _check_fabric_guards(
+        guards: "GuardRail",
+        flow_specs: dict[str, tuple[float, float, tuple[str, ...]]],
+        rates: dict[str, float],
+        capacities_bps: dict[str, float],
+        factors: dict[str, float],
+        now: float,
+    ) -> None:
+        """Fluid renditions of the fabric-fault guards.
+
+        ``route-liveness``: no allocated flow's *current* path may cross a
+        severed (factor-0) link — tripping means the reroute cache went
+        stale.  ``reroute-conservation``: on every fault-affected link the
+        allocated rates must still fit the degraded capacity.  Both only
+        scan the (small) set of affected links, so armed-guard overhead
+        scales with fault blast radius, not fabric size.
+        """
+        if not factors:
+            return
+        for fid in sorted(flow_specs):
+            _weight, _demand, links = flow_specs[fid]
+            # Identity check: severed links get a literal 0.0 factor.
+            if any(
+                factors.get(link, 1.0) == 0.0 for link in links  # repro-lint: disable=FLT001
+            ):
+                guards.violation(
+                    "route-liveness",
+                    fid,
+                    now,
+                    "flow is allocated across a severed link; the "
+                    "surviving-spine reroute missed it",
+                )
+        for link in sorted(factors):
+            capacity = capacities_bps.get(link)
+            if capacity is None:
+                continue
+            total = 0.0
+            for fid in sorted(flow_specs):
+                if link in flow_specs[fid][2]:
+                    total += rates.get(fid, 0.0)
+            if total > capacity + 1e-6 * max(capacity, 1.0):
+                guards.violation(
+                    "reroute-conservation",
+                    link,
+                    now,
+                    f"allocated {total:.6g} bps exceeds the degraded "
+                    f"capacity {capacity:.6g} bps",
+                )
 
     def _transitions(
         self,
@@ -384,6 +523,8 @@ def run_network_fluid(
     max_iterations: int = 40,
     seed: Optional[int] = 0,
     quantum: float = 0.02,
+    fabric_faults: Optional["FluidFabricFaults"] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> NetworkFluidResult:
     """One-call convenience wrapper around :class:`NetworkFluidSimulator`."""
     simulator = NetworkFluidSimulator(
@@ -393,5 +534,7 @@ def run_network_fluid(
         fair_share=not mltcp,
         seed=seed,
         quantum=quantum,
+        fabric_faults=fabric_faults,
+        guards=guards,
     )
     return simulator.run(max_iterations=max_iterations)

@@ -34,6 +34,8 @@ from .monitors import (
     check_allocation,
     check_cwnd_bounds,
     check_link_conservation,
+    check_reroute_conservation,
+    check_route_liveness,
     check_tracker_sanity,
 )
 from .watchdog import EngineWatchdog, bdp_cwnd_cap, install_packet_guards
@@ -47,6 +49,8 @@ __all__ = [
     "check_allocation",
     "check_cwnd_bounds",
     "check_link_conservation",
+    "check_reroute_conservation",
+    "check_route_liveness",
     "check_tracker_sanity",
     "EngineWatchdog",
     "bdp_cwnd_cap",

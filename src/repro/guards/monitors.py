@@ -22,6 +22,9 @@ docs/ROBUSTNESS.md.  Call sites:
   ``fallback_engaged=True`` when it clamps F to 1).
 * ``engine-monotonic`` / ``engine-stall`` — the engine's monitored event
   loop and :class:`repro.guards.watchdog.EngineWatchdog`.
+* ``route-liveness`` / ``reroute-conservation`` — after every fabric-fault
+  transition in :func:`repro.faults.packet.install_packet_faults` and per
+  step in the faulted :class:`repro.fluid.network.NetworkFluidSimulator`.
 """
 
 from __future__ import annotations
@@ -33,13 +36,17 @@ from .core import GuardRail
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.iteration import IterationTracker
+    from ..faults.routing import FabricRoutingState
     from ..simulator.link import Link
+    from ..simulator.topology import Network
 
 __all__ = [
     "ALLOCATION_REL_TOL",
     "check_allocation",
     "check_link_conservation",
     "check_cwnd_bounds",
+    "check_reroute_conservation",
+    "check_route_liveness",
     "check_tracker_sanity",
 ]
 
@@ -127,6 +134,58 @@ def check_cwnd_bounds(
             now,
             f"cwnd {cwnd:.6g} above the BDP-derived cap {max_cwnd:.6g}",
         )
+
+
+def check_route_liveness(
+    rail: GuardRail,
+    network: "Network",
+    routing: "FabricRoutingState",
+    *,
+    now: float,
+) -> None:
+    """Installed routes agree with the failure-aware routing state.
+
+    After a fabric-fault transition every host pair that still *has* a
+    surviving path must have exactly that path programmed in
+    ``network.routes`` — anything else means the reroute pass missed a
+    pair and live traffic is steered at a severed or stale link.  Pairs
+    whose current path is ``None`` (e.g. a partitioned rack) are expected
+    to keep their stale route and blackhole, so they are skipped.
+    """
+    for (src, dst), installed in sorted(network.routes.items()):
+        expected = routing.path_nodes(src, dst)
+        if expected is not None and tuple(expected) != installed:
+            rail.violation(
+                "route-liveness",
+                f"{src}->{dst}",
+                now,
+                f"installed route {'->'.join(installed)} disagrees with the "
+                f"surviving-spine path {'->'.join(expected)}",
+            )
+
+
+def check_reroute_conservation(
+    rail: GuardRail, network: "Network", *, now: float
+) -> None:
+    """No packet vanishes across a reroute: every link still conserves.
+
+    Severing a link mid-serialization and repointing routing tables must
+    leave each link's accepted = dequeued + buffered identity intact
+    (:meth:`repro.simulator.link.Link.conservation_delta` is exact even
+    while a link is down).  Run after every fabric-fault transition;
+    reports under its own guard name so a report reader can tell a
+    reroute-triggered breach from a periodic heartbeat one.
+    """
+    for _key, link in sorted(network.links.items()):
+        delta = link.conservation_delta()
+        if delta != 0:
+            rail.violation(
+                "reroute-conservation",
+                link.name,
+                now,
+                f"accepted-packet imbalance {delta:+d} across a fabric "
+                "transition (enqueued != dequeued + buffered)",
+            )
 
 
 def check_tracker_sanity(

@@ -21,10 +21,12 @@ covers the fault-injection and recovery experiments.
 """
 
 from .experiments import (
+    ChaosResult,
     FaultRecoveryResult,
     Fig2Result,
     Fig4Result,
     Fig6Result,
+    chaos_recovery,
     fairness_loss_response,
     fault_recovery,
     fig1_traffic_patterns,
@@ -69,6 +71,8 @@ __all__ = [
     "fairness_loss_response",
     "fault_recovery",
     "FaultRecoveryResult",
+    "chaos_recovery",
+    "ChaosResult",
     "PacketLabResult",
     "run_packet_jobs",
     "mltcp_config_for",

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import FaultSchedule
     from ..guards.core import GuardRail
 
 from ..core.aggressiveness import (
@@ -24,9 +25,11 @@ from ..core.aggressiveness import (
     paper_functions,
 )
 from ..core.analysis import convergence_error_std, gradient_descent, loss_curve, signed_shift
+from ..faults.chaos import ChaosBudget, ChaosCampaign
 from ..fluid.allocation import FairShare, MLTCPWeighted, SRPT
-from ..fluid.flowsim import FluidResult, run_fluid
+from ..fluid.flowsim import FluidResult, IterationResult, run_fluid
 from ..metrics.convergence import detect_convergence
+from ..metrics.recovery import RecoverySLO, recovery_slos
 from ..metrics.stats import empirical_cdf, percentile, tail_speedup
 from ..schedulers.centralized import CentralizedScheduler, Schedule
 from ..tcp.mltcp import MLTCPReno
@@ -61,6 +64,8 @@ __all__ = [
     "fault_recovery",
     "CrossRackResult",
     "cross_rack_interleaving",
+    "ChaosResult",
+    "chaos_recovery",
 ]
 
 
@@ -900,3 +905,329 @@ def _cross_rack_packet(
             (lab.mean_iteration_by_round(), lab.network.link_utilization())
         )
     return out
+
+
+# ---------------------------------------------------------------------------
+# Chaos campaigns: failure-aware rerouting + recovery SLOs on the fabric
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChaosResult:
+    """One seeded chaos campaign replayed under MLTCP and fair share.
+
+    ``slos`` maps policy name to the per-fault :class:`RecoverySLO` tuple
+    (same schedule for both policies, so the lists align fault-by-fault);
+    ``violations`` maps policy to the guard reports of its faulted run,
+    each annotated with ``fault_context`` — the latest fault transition at
+    or before the violation, the degradation-correlation signal
+    docs/ROBUSTNESS.md describes.  ``degradation_episodes`` are MLTCP's
+    tracker-sanity fallbacks (packet substrate only), likewise annotated.
+    """
+
+    substrate: str
+    spec: FabricSpec
+    placement_policy: str
+    placements: tuple[JobPlacement, ...]
+    ideal_iteration_time: float
+    campaign_index: int
+    campaign_seed: int
+    schedule: "FaultSchedule"
+    slos: dict[str, tuple[RecoverySLO, ...]]
+    violations: dict[str, list[dict]]
+    degradation_episodes: list[dict] = field(repr=False, default_factory=list)
+    fault_log: dict[str, list[str]] = field(repr=False, default_factory=dict)
+    series: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+
+    @property
+    def fault_descriptions(self) -> list[str]:
+        """Every scheduled fault, human-readable, in strike order."""
+        return [event.describe() for event in self.schedule.sorted_events()]
+
+    def reinterleaved(self, policy: str) -> bool:
+        """Did ``policy`` re-reach the §4 condition after *every* fault?"""
+        slos = self.slos[policy]
+        return bool(slos) and all(slo.reinterleaved for slo in slos)
+
+    def total_outage(self) -> float:
+        """Summed seconds any placed pair had no surviving path."""
+        some_policy = next(iter(self.slos))
+        return float(sum(s.time_to_reroute for s in self.slos[some_policy]))
+
+    def goodput_lost(self, policy: str) -> float:
+        """Total goodput (bits) ``policy`` lost across this campaign."""
+        return float(sum(s.goodput_lost_bits for s in self.slos[policy]))
+
+
+def _fault_context(schedule: "FaultSchedule", time: float) -> Optional[str]:
+    """The latest fault transition at or before ``time``, rendered like the
+    injectors' logs — used to correlate guard reports with fault windows."""
+    latest: Optional[str] = None
+    latest_t = -math.inf
+    for event in schedule.sorted_events():
+        if latest_t <= event.time <= time:
+            latest = f"t={event.time:g}s: {event.describe()}"
+            latest_t = event.time
+        if event.duration > 0 and latest_t <= event.end_time <= time:
+            latest = (
+                f"t={event.end_time:g}s: {event.kind} on {event.target} reverted"
+            )
+            latest_t = event.end_time
+    return latest
+
+
+def _mean_round_series(
+    iterations: Sequence["IterationResult"], jobs: Sequence[str]
+) -> np.ndarray:
+    per_job = {
+        name: sorted(
+            (it for it in iterations if it.job == name), key=lambda it: it.index
+        )
+        for name in jobs
+    }
+    rounds = min((len(its) for its in per_job.values()), default=0)
+    return np.array(
+        [
+            float(np.mean([per_job[name][i].duration for name in jobs]))
+            for i in range(rounds)
+        ]
+    )
+
+
+def _chaos_fluid_run(
+    placements: tuple[JobPlacement, ...],
+    spec: FabricSpec,
+    policy: str,
+    iterations: int,
+    seed: int,
+    schedule: Optional["FaultSchedule"],
+    guards: Optional["GuardRail"],
+) -> tuple[list["IterationResult"], list[str], list[dict]]:
+    from ..fluid.fabric import FluidFabric, FluidFabricFaults
+    from ..fluid.network import run_network_fluid
+
+    fabric = FluidFabric.from_spec(spec)
+    placed = fabric.place(placements)
+    quantum = min(0.02, placements[0].job.ideal_iteration_time / 10.0)
+    faults = FluidFabricFaults(spec, schedule) if schedule is not None else None
+    result = run_network_fluid(
+        placed,
+        fabric.capacities_gbps,
+        mltcp=(policy == "mltcp"),
+        max_iterations=iterations,
+        seed=seed,
+        quantum=quantum,
+        fabric_faults=faults,
+        guards=guards,
+    )
+    return list(result.iterations), list(result.fault_log), []
+
+
+def _chaos_packet_run(
+    placements: tuple[JobPlacement, ...],
+    spec: FabricSpec,
+    policy: str,
+    iterations: int,
+    seed: int,
+    schedule: Optional["FaultSchedule"],
+    guards: Optional["GuardRail"],
+) -> tuple[list["IterationResult"], list[str], list[dict]]:
+    from ..tcp.reno import RenoCC
+
+    def factory(job: JobSpec):
+        if policy == "mltcp":
+            return MLTCPReno(mltcp_config_for(job))
+        return RenoCC()
+
+    lab = run_packet_placements(
+        placements,
+        spec,
+        factory,
+        max_iterations=iterations,
+        seed=seed,
+        faults=schedule,
+        guards=guards,
+    )
+    iters = [
+        IterationResult(
+            job=name,
+            index=it.index,
+            comm_start=it.comm_start,
+            comm_end=it.comm_end,
+            iteration_end=it.iteration_end,
+        )
+        for name in sorted(lab.apps)
+        for it in lab.apps[name].iterations
+    ]
+    fault_log = (
+        []
+        if schedule is None
+        else [event.describe() for event in schedule.sorted_events()]
+    )
+    episodes: list[dict] = []
+    for name in sorted(lab.senders):
+        mltcp = getattr(lab.senders[name].cc, "mltcp", None)
+        if mltcp is not None:
+            episodes.extend(mltcp.degradation_episodes)
+    return iters, fault_log, episodes
+
+
+def chaos_recovery(
+    substrate: str = "fluid",
+    campaigns: int = 1,
+    seed: int = 2,
+    ecmp_seed: int = 2,
+    n_racks: int = 4,
+    hosts_per_rack: int = 4,
+    n_spines: int = 2,
+    oversubscription: float = 2.0,
+    placement: str = "spread",
+    n_jobs: Optional[int] = None,
+    iterations: int = 48,
+    budget: Optional[ChaosBudget] = None,
+    guard_policy: Optional[str] = "record",
+    tolerance: float = 0.10,
+    window: int = 3,
+    jitter_sigma: float = 0.0005,
+    reinterleave_reference: Optional[float] = None,
+) -> list[ChaosResult]:
+    """Run seeded chaos campaigns and measure recovery SLOs per fault.
+
+    Samples ``campaigns`` fault schedules from ``budget`` (default: a
+    spine/uplink/rehash mix striking after ~18 healthy iterations, MTBF
+    ~6 and durations ~4 iterations, one fault at a time, never
+    blackholing) on the same 2:1-oversubscribed fabric
+    :func:`cross_rack_interleaving` uses, then replays each campaign under
+    MLTCP and fair share in the chosen substrate — plus one fault-free
+    control run per policy, shared across campaigns, as the goodput
+    baseline.  Everything keys off ``seed``/``ecmp_seed``: reruns are
+    bit-reproducible, and both substrates replay the identical schedules.
+
+    Per fault and policy the result carries a :class:`RecoverySLO`
+    (time-to-reroute, time-to-reinterleave against the §4 condition,
+    goodput lost); ``guard_policy`` threads a
+    :class:`~repro.guards.core.GuardRail` through every faulted run
+    (``None`` disables), and its reports come back annotated with the
+    fault transition they coincide with.  The paper's claim, sharpened:
+    after every single-spine failure MLTCP re-reaches the interleavable
+    condition by itself, while fair share never does — even fault-free,
+    its converged iteration time sits ~30% above ideal.
+
+    ``reinterleave_reference`` is the iteration time the §4 check is
+    relative to.  The fluid default is the job's ideal iteration time
+    (perfect interleave = zero contention stretch).  The packet substrate
+    carries irreducible packetization overhead (~1.5x ideal even for a
+    lone flow), so there the default is the tail mean of the MLTCP
+    control run — the fabric's measured achievable floor, still
+    policy-independent, so fair share cannot trivially satisfy it.
+    """
+    from ..guards.core import GuardRail
+
+    if substrate == "fluid":
+        runner = _chaos_fluid_run
+    elif substrate == "packet":
+        runner = _chaos_packet_run
+    else:
+        raise ValueError(
+            f"unknown substrate {substrate!r}; valid: ['fluid', 'packet']"
+        )
+    if campaigns < 1:
+        raise ValueError(f"campaigns must be positive, got {campaigns!r}")
+    spec = FabricSpec(
+        n_racks=n_racks,
+        hosts_per_rack=hosts_per_rack,
+        n_spines=n_spines,
+        oversubscription=oversubscription,
+        ecmp_seed=ecmp_seed,
+    )
+    if n_jobs is None:
+        n_jobs = spec.n_hosts // 2
+    jobs = cross_rack_scenario(n_jobs, jitter_sigma=jitter_sigma)
+    placements = place_jobs(jobs, spec, policy=placement, seed=seed)
+    job_names = [p.job.name for p in placements]
+    ideal = jobs[0].ideal_iteration_time
+    interleavable = all(
+        entry.interleavable for entry in link_contention_report(placements, spec)
+    )
+    if budget is None:
+        budget = ChaosBudget(
+            horizon=12.0 * ideal,
+            mtbf=6.0 * ideal,
+            mean_duration=4.0 * ideal,
+            start=18.0 * ideal,
+            max_concurrent=1,
+            min_events=1,
+        )
+    campaign = ChaosCampaign(
+        spec=spec, budget=budget, seed=seed, n_campaigns=campaigns
+    )
+
+    controls = {
+        policy: runner(placements, spec, policy, iterations, seed, None, None)[0]
+        for policy in ("mltcp", "fair")
+    }
+    if reinterleave_reference is None:
+        if substrate == "fluid":
+            reinterleave_reference = ideal
+        else:
+            control_series = _mean_round_series(controls["mltcp"], job_names)
+            tail = max(window, 5)
+            reinterleave_reference = float(control_series[-tail:].mean())
+
+    results: list[ChaosResult] = []
+    for index in range(campaigns):
+        schedule = campaign.schedule(index)
+        slos: dict[str, tuple[RecoverySLO, ...]] = {}
+        violations: dict[str, list[dict]] = {}
+        fault_log: dict[str, list[str]] = {}
+        series: dict[str, np.ndarray] = {}
+        episodes: list[dict] = []
+        for policy in ("mltcp", "fair"):
+            rail = GuardRail(guard_policy) if guard_policy else None
+            iters, log, eps = runner(
+                placements, spec, policy, iterations, seed, schedule, rail
+            )
+            slos[policy] = recovery_slos(
+                spec,
+                schedule,
+                placements,
+                iters,
+                controls[policy],
+                ideal_iteration_time=reinterleave_reference,
+                interleavable=interleavable,
+                tolerance=tolerance,
+                window=window,
+            )
+            violations[policy] = [
+                {**v.as_dict(), "fault_context": _fault_context(schedule, v.time)}
+                for v in (rail.violations if rail is not None else [])
+            ]
+            fault_log[policy] = log
+            series[policy] = _mean_round_series(iters, job_names)
+            if policy == "mltcp":
+                episodes = [
+                    {
+                        **episode,
+                        "fault_context": _fault_context(
+                            schedule, float(episode.get("start", 0.0))
+                        ),
+                    }
+                    for episode in eps
+                ]
+        results.append(
+            ChaosResult(
+                substrate=substrate,
+                spec=spec,
+                placement_policy=placement,
+                placements=placements,
+                ideal_iteration_time=ideal,
+                campaign_index=index,
+                campaign_seed=campaign.campaign_seed(index),
+                schedule=schedule,
+                slos=slos,
+                violations=violations,
+                degradation_episodes=episodes,
+                fault_log=fault_log,
+                series=series,
+            )
+        )
+    return results

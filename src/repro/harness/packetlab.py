@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 import numpy as np
 
 from ..core.config import MLTCPConfig
+from ..core.units import bps_from_gbps
 from ..simulator.app import TrainingApp
 from ..simulator.engine import Simulator
 from ..simulator.queues import DropTailQueue
@@ -200,6 +201,8 @@ def run_packet_placements(
     link_delay: float = 5e-6,
     uplink_queue_capacity: int = 100,
     edge_queue_capacity: int = 256,
+    faults: Optional["FaultSchedule"] = None,
+    guards: Optional["GuardRail"] = None,
 ) -> PacketLabResult:
     """Run placed jobs over a multi-rack fat-tree fabric.
 
@@ -210,6 +213,15 @@ def run_packet_placements(
     downlinks the spec's deterministic ECMP rule assigns them — multiple
     bottlenecks with distinct competitor sets.  Per-link utilization is
     available afterwards via ``result.network.link_utilization()``.
+
+    ``faults`` replays a :class:`~repro.faults.schedule.FaultSchedule` on
+    the fabric, including fabric kinds (``spine_down`` etc.): the injector
+    gets the spec, so failure-aware ECMP rerouting over the surviving
+    spines is armed automatically.  ``guards`` installs the runtime
+    guardrail (monitored engine loop, periodic heartbeats against the
+    *uplink*-derived BDP cap, MLTCP degradation reporting, and — with
+    faults — the route-liveness/reroute-conservation monitors after every
+    fabric transition).
     """
     if not placements:
         raise ValueError("need at least one placed job")
@@ -222,7 +234,7 @@ def run_packet_placements(
             "placements must not share hosts (one flow endpoint per host), "
             f"got {endpoints}"
         )
-    sim = Simulator()
+    sim = Simulator(monitor=guards)
     network = build_fat_tree(
         sim,
         spec,
@@ -246,6 +258,33 @@ def run_packet_placements(
         apps[job.name] = app
         senders[job.name] = sender
         receivers[job.name] = receiver
+
+    if faults is not None:
+        from ..faults.packet import install_packet_faults
+
+        install_packet_faults(
+            sim, network, faults, apps=apps, fabric=spec, guards=guards
+        )
+
+    if guards is not None:
+        from ..guards.watchdog import bdp_cwnd_cap, install_packet_guards
+        from ..tcp.base import DEFAULT_MSS_BYTES
+
+        for sender in senders.values():
+            mltcp = getattr(sender.cc, "mltcp", None)
+            if mltcp is not None:
+                mltcp.attach_guardrail(guards)
+        # Cross-rack RTT: four hops each way (edge, uplink, downlink, edge)
+        # plus the worst-case uplink queueing delay — the oversubscribed
+        # uplink is the congestion point, so its full buffer bounds the
+        # queueing a window can see.
+        uplink_bps = bps_from_gbps(spec.uplink_gbps)
+        queue_delay = uplink_queue_capacity * 1500 * 8.0 / uplink_bps
+        rtt = 8.0 * link_delay + queue_delay + 1e-4
+        cap = bdp_cwnd_cap(
+            uplink_bps, rtt, DEFAULT_MSS_BYTES, uplink_queue_capacity
+        )
+        install_packet_guards(sim, network, senders, guards, max_cwnd=cap)
 
     if until is None:
         longest = max(p.job.ideal_iteration_time for p in placements)

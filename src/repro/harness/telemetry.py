@@ -11,7 +11,9 @@ injected fault, retry, timeout and crash the run survived
 (:meth:`RunTelemetry.record_degradation`).  Schema v3 adds the ``guards``
 section: invariant violations, MLTCP degradation episodes and watchdog
 fires collected from the runtime guardrail
-(:meth:`RunTelemetry.record_guard_event`, docs/ROBUSTNESS.md).
+(:meth:`RunTelemetry.record_guard_event`, docs/ROBUSTNESS.md).  Schema v4
+adds the ``recovery`` section: per-fault recovery SLOs from chaos
+campaigns (:meth:`RunTelemetry.record_recovery`).
 :meth:`RunTelemetry.as_report`
 turns that into the JSON run-report the benchmarks write next to their text
 output in ``bench_reports/`` (``<name>.run.json``); the report format is
@@ -41,9 +43,11 @@ __all__ = [
 #: Version stamped into every run-report; bump on breaking format changes.
 #: v2 added the ``degradations`` section and the ``resumed``/``failed``
 #: point modes; v3 added the ``guards`` section (invariant violations,
-#: MLTCP degradation episodes, watchdog fires).  Both are optional
-#: additions — v1/v2 reports still validate.
-REPORT_SCHEMA_VERSION = 3
+#: MLTCP degradation episodes, watchdog fires); v4 added the ``recovery``
+#: section (per-fault recovery SLOs from chaos campaigns,
+#: docs/ROBUSTNESS.md).  All are optional additions — earlier reports
+#: still validate.
+REPORT_SCHEMA_VERSION = 4
 
 #: What a degradation entry's ``kind`` may be: ``retry`` (a failed attempt
 #: that was retried), ``timeout`` (a point blew its wall-clock budget),
@@ -108,6 +112,7 @@ class RunTelemetry:
     degradations: list[dict] = field(default_factory=list)
     guard_events: list[dict] = field(default_factory=list)
     link_utilization: list[dict] = field(default_factory=list)
+    recovery: list[dict] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter)
 
     def record_point(
@@ -234,6 +239,59 @@ class RunTelemetry:
             }
         )
 
+    def record_recovery(
+        self,
+        fault: str,
+        *,
+        strike_time: float,
+        recovery_time: float,
+        time_to_reroute: float,
+        time_to_reinterleave: Optional[float],
+        goodput_lost_bits: float,
+        interleavable: bool,
+        policy: Optional[str] = None,
+        substrate: Optional[str] = None,
+        campaign: Optional[int] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one fault's recovery SLOs (schema v4, optional
+        ``recovery`` section; docs/ROBUSTNESS.md).
+
+        Mirrors :meth:`repro.metrics.recovery.RecoverySLO.as_record` plus
+        run context: ``policy``/``substrate`` say which run rode out the
+        fault, ``campaign`` which chaos campaign scheduled it.
+        ``time_to_reinterleave`` is ``None`` when the run never re-reached
+        the interleavable condition after repair.
+        """
+        if time_to_reroute < 0:
+            raise ValueError(
+                f"time_to_reroute must be non-negative, got {time_to_reroute!r}"
+            )
+        if goodput_lost_bits < 0:
+            raise ValueError(
+                f"goodput_lost_bits must be non-negative, got {goodput_lost_bits!r}"
+            )
+        self.recovery.append(
+            {
+                "fault": fault,
+                "strike_time": float(strike_time),
+                "recovery_time": float(recovery_time),
+                "time_to_reroute": float(time_to_reroute),
+                "time_to_reinterleave": (
+                    float(time_to_reinterleave)
+                    if time_to_reinterleave is not None
+                    else None
+                ),
+                "goodput_lost_bits": float(goodput_lost_bits),
+                "interleavable": bool(interleavable),
+                "reinterleaved": time_to_reinterleave is not None,
+                "policy": policy,
+                "substrate": substrate,
+                "campaign": campaign,
+                "params": dict(params) if params is not None else None,
+            }
+        )
+
     @property
     def cache_hits(self) -> int:
         """Points served from the result cache."""
@@ -290,6 +348,7 @@ class RunTelemetry:
             "notes": list(self.notes),
             "degradations": [dict(d) for d in self.degradations],
             "link_utilization": [dict(u) for u in self.link_utilization],
+            "recovery": [dict(r) for r in self.recovery],
             "guards": {
                 "violations": [
                     dict(e) for e in self.guard_events if e["kind"] == "violation"
@@ -379,7 +438,7 @@ RUN_REPORT_SCHEMA: dict = {
         "notes",
     ],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1, 2, 3]},
+        "schema_version": {"type": "integer", "enum": [1, 2, 3, 4]},
         "experiment": {"type": "string"},
         "repro_version": {"type": "string"},
         "workers": {"type": ["integer", "null"], "minimum": 1},
@@ -466,6 +525,39 @@ RUN_REPORT_SCHEMA: dict = {
                     "capacity_gbps": {"type": ["number", "null"]},
                     "policy": {"type": ["string", "null"]},
                     "substrate": {"type": ["string", "null"]},
+                    "params": {"type": ["object", "null"]},
+                },
+            },
+        },
+        # Added in schema_version 4, also optional: per-fault recovery SLOs
+        # from chaos campaigns (docs/ROBUSTNESS.md).  ``time_to_reinterleave``
+        # is null when the run never re-reached the interleavable condition.
+        "recovery": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "fault",
+                    "strike_time",
+                    "recovery_time",
+                    "time_to_reroute",
+                    "time_to_reinterleave",
+                    "goodput_lost_bits",
+                    "interleavable",
+                    "reinterleaved",
+                ],
+                "properties": {
+                    "fault": {"type": "string"},
+                    "strike_time": {"type": "number", "minimum": 0},
+                    "recovery_time": {"type": "number", "minimum": 0},
+                    "time_to_reroute": {"type": "number", "minimum": 0},
+                    "time_to_reinterleave": {"type": ["number", "null"], "minimum": 0},
+                    "goodput_lost_bits": {"type": "number", "minimum": 0},
+                    "interleavable": {"type": "boolean"},
+                    "reinterleaved": {"type": "boolean"},
+                    "policy": {"type": ["string", "null"]},
+                    "substrate": {"type": ["string", "null"]},
+                    "campaign": {"type": ["integer", "null"], "minimum": 0},
                     "params": {"type": ["object", "null"]},
                 },
             },

@@ -12,6 +12,16 @@ from .convergence import (
     is_stable_after,
     relative_gap,
 )
+from .recovery import (
+    FaultWindow,
+    IterationLike,
+    RecoverySLO,
+    fault_windows,
+    goodput_deficit_bits,
+    recovery_slos,
+    reinterleave_time,
+    reroute_outage,
+)
 from .stats import (
     SeriesSummary,
     empirical_cdf,
@@ -36,4 +46,12 @@ __all__ = [
     "hyper_period",
     "link_contention_report",
     "rack_link_loads",
+    "FaultWindow",
+    "IterationLike",
+    "RecoverySLO",
+    "fault_windows",
+    "goodput_deficit_bits",
+    "recovery_slos",
+    "reinterleave_time",
+    "reroute_outage",
 ]

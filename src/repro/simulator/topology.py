@@ -14,7 +14,7 @@ paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol
 
 import networkx as nx
 import numpy as np
@@ -27,11 +27,24 @@ from .queues import DropTailQueue, QueueDiscipline
 
 __all__ = [
     "Network",
+    "RoutingProvider",
     "build_dumbbell",
     "build_leaf_spine",
     "build_fat_tree",
     "build_from_graph",
 ]
+
+
+class RoutingProvider(Protocol):
+    """Anything that can answer "what is the current path src -> dst?".
+
+    ``None`` means no path currently survives.  Implemented by
+    :class:`repro.faults.routing.FabricRoutingState`; the indirection keeps
+    the simulator layer free of fault-subsystem imports.
+    """
+
+    def path_nodes(self, src: str, dst: str) -> Optional[tuple[str, ...]]:
+        ...
 
 
 @dataclass
@@ -124,6 +137,27 @@ class Network:
             assert isinstance(node, (Host, Switch))
             node.set_route(dst_host, nxt)
         self.routes[(src_host, dst_host)] = tuple(path)
+
+    def apply_routing(self, routing: "RoutingProvider") -> int:
+        """Reinstall every installed route whose current path changed.
+
+        ``routing`` is any provider with a ``path_nodes(src, dst)`` method —
+        in practice :class:`repro.faults.routing.FabricRoutingState`, which
+        recomputes ECMP over the surviving spines after a fabric fault.
+        Pairs whose provider path is ``None`` (no surviving path) keep their
+        previously installed route: their packets blackhole at the severed
+        link until a reversion restores connectivity and this method runs
+        again.  Returns the number of routes reinstalled, and is iteration-
+        order deterministic (sorted host pairs) so reruns reroute
+        identically.
+        """
+        rerouted = 0
+        for src, dst in sorted(self.routes):
+            path = routing.path_nodes(src, dst)
+            if path is not None and tuple(path) != self.routes[(src, dst)]:
+                self.install_route(src, dst, list(path))
+                rerouted += 1
+        return rerouted
 
     def link_utilization(self, elapsed: Optional[float] = None) -> dict[str, float]:
         """Mean utilization of every link over ``elapsed`` seconds.

@@ -343,6 +343,93 @@ class TestGuardRule:
         assert codes(src, path=NEUTRAL) == []
 
 
+class TestUnrecordedFaultHandlerRule:
+    FAULTS = "src/repro/faults/fixture.py"
+
+    def test_grd002_flags_narrow_swallow_in_faults_package(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except OSError:\n"
+            "    fallback()\n"
+        )
+        assert codes(src, path=self.FAULTS) == ["GRD002"]
+
+    def test_grd002_flags_fault_named_function_anywhere(self):
+        src = (
+            "def apply_reroute(network):\n"
+            "    try:\n"
+            "        network.install()\n"
+            "    except KeyError:\n"
+            "        return None\n"
+        )
+        assert codes(src, path=NEUTRAL) == ["GRD002"]
+
+    def test_grd002_allows_reraise(self):
+        src = (
+            "def arm_fault(sim):\n"
+            "    try:\n"
+            "        sim.schedule()\n"
+            "    except ValueError:\n"
+            "        raise\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd002_allows_recording_call(self):
+        src = (
+            "def replay_chaos(rail):\n"
+            "    try:\n"
+            "        strike()\n"
+            "    except ValueError as error:\n"
+            "        rail.violation('route-liveness', 'spine0', 0.0, str(error))\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd002_allows_telemetry_recorders_and_cli_fail(self):
+        src = (
+            "def run_faults(telemetry):\n"
+            "    try:\n"
+            "        strike()\n"
+            "    except ValueError as error:\n"
+            "        telemetry.record_degradation('fault', str(error))\n"
+            "    try:\n"
+            "        reroute()\n"
+            "    except OSError as error:\n"
+            "        return fail(str(error))\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd002_ignores_functions_without_fault_names(self):
+        src = (
+            "def load_config(path):\n"
+            "    try:\n"
+            "        return read(path)\n"
+            "    except OSError:\n"
+            "        return None\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd002_default_is_not_a_fault_name(self):
+        src = (
+            "def json_default(value):\n"
+            "    try:\n"
+            "        return value.item()\n"
+            "    except Exception:\n"
+            "        return repr(value)\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+    def test_grd002_suppressible_in_place(self):
+        src = (
+            "def clear_faults(state):\n"
+            "    try:\n"
+            "        state.reset()\n"
+            "    except KeyError:  # repro-lint: disable=GRD002\n"
+            "        return None\n"
+        )
+        assert codes(src, path=NEUTRAL) == []
+
+
 class TestSuppressions:
     def test_line_suppression_drops_the_finding(self):
         src = "import random\nx = random.random()  # repro-lint: disable=DET001\n"
