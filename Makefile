@@ -10,14 +10,14 @@ PYTHON ?= python
 BENCH_FLAGS = --benchmark-sort=name --benchmark-columns=min,mean,stddev,rounds \
 	--benchmark-warmup=on --benchmark-warmup-iterations=2 --benchmark-disable-gc
 
-.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke chaos-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke chaos-smoke verify-smoke figures examples clean
 
 # The default verify path: repo-specific static analysis, type checking,
 # the fast test tier, executable-docs check, a guarded fault-recovery
-# smoke, a seeded chaos-campaign smoke, then a one-round perf-regression
-# smoke. CI and the verify skill run this.
+# smoke, a seeded chaos-campaign smoke, a bounded-model-checking smoke,
+# then a one-round perf-regression smoke. CI and the verify skill run this.
 .DEFAULT_GOAL := verify
-verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke bench-perf-smoke
+verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke verify-smoke bench-perf-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -96,6 +96,19 @@ guards-smoke:
 chaos-smoke:
 	@tmp=$$(mktemp) && \
 	PYTHONPATH=src $(PYTHON) -m repro chaos --fast --campaigns 1 --no-cache \
+		--report $$tmp && \
+	PYTHONPATH=src $(PYTHON) -m repro validate-report $$tmp \
+		--schema docs/run_report.schema.json; \
+	status=$$?; rm -f $$tmp; exit $$status
+
+# Bounded model checking of Algorithm 1 on each property's reduced smoke
+# grid, with a short per-query solver budget: every property must reach
+# its expected verdict and every committed certificate/counterexample must
+# exist and be fresh; the run-report's verification section must validate
+# against the schema (docs/VERIFICATION.md).
+verify-smoke:
+	@tmp=$$(mktemp) && \
+	PYTHONPATH=src $(PYTHON) -m repro verify --fast --check --timeout 10 \
 		--report $$tmp && \
 	PYTHONPATH=src $(PYTHON) -m repro validate-report $$tmp \
 		--schema docs/run_report.schema.json; \

@@ -1017,6 +1017,61 @@ def main(argv: list[str] | None = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    lint.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="emit findings as a JSON array on stdout "
+        "(path/line/col/code/message); same exit codes",
+    )
+    verify = subparsers.add_parser(
+        "verify",
+        help="bounded model checking of Algorithm 1: prove or refute the "
+        "named properties and audit committed certificates "
+        "(docs/VERIFICATION.md)",
+    )
+    verify.add_argument(
+        "properties", nargs="*", metavar="PROPERTY",
+        help="property names to check (default: the whole catalog; "
+        "see --list)",
+    )
+    verify.add_argument(
+        "--backend", default="auto", choices=("auto", "exhaustive", "z3"),
+        help="solver backend: 'exhaustive' (hermetic grid search), 'z3' "
+        "(requires the [verify] extra), or 'auto' (z3 when available and "
+        "applicable, else exhaustive)",
+    )
+    verify.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-query solver budget; an expired budget yields verdict "
+        "'unknown' (default 30)",
+    )
+    verify.add_argument(
+        "--fast", action="store_true",
+        help="use each property's reduced smoke-test grid (make "
+        "verify-smoke)",
+    )
+    verify.add_argument(
+        "--check", action="store_true",
+        help="additionally require a fresh committed artifact for every "
+        "selected property",
+    )
+    verify.add_argument(
+        "--write", action="store_true",
+        help="(re)write certificate/counterexample artifacts for verdicts "
+        "that match expectations",
+    )
+    verify.add_argument(
+        "--write-dir", metavar="DIR", default=None,
+        help="read/write artifacts in DIR instead of the committed "
+        "src/repro/verify/certificates/",
+    )
+    verify.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write a JSON run-report with the verification section",
+    )
+    verify.add_argument(
+        "--list", action="store_true", dest="list_properties",
+        help="print the property catalog and exit",
+    )
     bench_compare = subparsers.add_parser(
         "bench-compare",
         help="compare a pytest-benchmark report against a committed perf "
@@ -1254,7 +1309,22 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_lint(
             args.paths, select=args.select, ignore=args.ignore,
-            list_rules=args.list_rules,
+            list_rules=args.list_rules, json_output=args.json_output,
+        )
+
+    if args.command == "verify":
+        from .verify.cli import run_verify
+
+        return run_verify(
+            args.properties,
+            backend=args.backend,
+            timeout=args.timeout,
+            fast=args.fast,
+            check=args.check,
+            write=args.write,
+            write_dir=args.write_dir,
+            report=args.report,
+            list_properties=args.list_properties,
         )
 
     if args.command == "bench-compare":

@@ -35,6 +35,7 @@ from scipy import integrate
 from .aggressiveness import PAPER_INTERCEPT, PAPER_SLOPE
 
 __all__ = [
+    "CONVERGENCE_TOLERANCE_FRACTION",
     "TwoJobModel",
     "shift",
     "signed_shift",
@@ -49,6 +50,14 @@ __all__ = [
     "iterations_to_converge",
     "MultiJobDescent",
 ]
+
+#: Fraction of the period treated as "converged" around the non-overlap
+#: region.  Absorbs the asymptotic approach: the shift map converges
+#: geometrically, so exact non-overlap is only reached in the limit (and
+#: for ``alpha = 0.5`` the non-overlap region is a single point).  The
+#: bounded-model-checking layer mirrors this constant
+#: (``repro.verify.model``, kept in sync by lint rule MDL001).
+CONVERGENCE_TOLERANCE_FRACTION = 0.02
 
 
 def shift(
@@ -259,7 +268,7 @@ class DescentTrajectory:
         geometric convergence only reaches in the limit.
         """
         comm = self.alpha * self.period
-        tolerance = 0.02 * self.period
+        tolerance = CONVERGENCE_TOLERANCE_FRACTION * self.period
         for i, d in enumerate(self.deltas):
             wrapped = d % self.period
             if comm - tolerance <= wrapped <= self.period - comm + tolerance:
@@ -348,7 +357,7 @@ def iterations_to_converge(
     period: float,
     slope: float = PAPER_SLOPE,
     intercept: float = PAPER_INTERCEPT,
-    tolerance_fraction: float = 0.02,
+    tolerance_fraction: float = CONVERGENCE_TOLERANCE_FRACTION,
     max_iterations: int = 10_000,
 ) -> Optional[int]:
     """Noise-free iterations until the overlap shrinks below a tolerance.

@@ -38,7 +38,12 @@ from .monitors import (
     check_route_liveness,
     check_tracker_sanity,
 )
-from .watchdog import EngineWatchdog, bdp_cwnd_cap, install_packet_guards
+from .watchdog import (
+    EngineWatchdog,
+    bdp_cwnd_cap,
+    certified_cwnd_slack,
+    install_packet_guards,
+)
 
 __all__ = [
     "POLICIES",
@@ -54,5 +59,6 @@ __all__ = [
     "check_tracker_sanity",
     "EngineWatchdog",
     "bdp_cwnd_cap",
+    "certified_cwnd_slack",
     "install_packet_guards",
 ]

@@ -23,7 +23,7 @@ ordinary heartbeat events, so the hot event loop stays untouched.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from .core import GuardRail
 from .monitors import check_cwnd_bounds, check_link_conservation, check_tracker_sanity
@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulator.topology import Network
     from ..tcp.base import TcpSender
 
-__all__ = ["EngineWatchdog", "bdp_cwnd_cap", "install_packet_guards"]
+__all__ = ["EngineWatchdog", "bdp_cwnd_cap", "certified_cwnd_slack", "install_packet_guards"]
 
 
 class EngineWatchdog:
@@ -114,26 +114,46 @@ class EngineWatchdog:
             )
 
 
+def certified_cwnd_slack() -> float:
+    """The cwnd-cap slack factor, derived from a verification certificate.
+
+    ``repro verify`` proves (starvation-bound certificate) that MLTCP's
+    aggressiveness stays within ``[F_min, F_max]``; additive increase is
+    scaled by at most ``F_max``, and dup-ACK recovery inflation can
+    legitimately double a window on top of that, so ``2 * F_max`` bounds
+    honest growth (docs/VERIFICATION.md, "Derived bounds").  On paper
+    constants this evaluates to the 4.0 the cap historically hard-coded —
+    but now the number moves with the proof instead of with a comment.
+    """
+    from ..verify.certificates import certified_f_max
+
+    return 2.0 * certified_f_max()
+
+
 def bdp_cwnd_cap(
     bottleneck_bps: float,
     rtt_s: float,
     mss_bytes: int,
     queue_packets: int,
-    slack: float = 4.0,
+    slack: Optional[float] = None,
 ) -> float:
     """A deliberately loose cwnd ceiling in segments.
 
     One bandwidth-delay product plus the bottleneck buffer is the most a
     well-behaved flow can usefully keep in flight; ``slack`` covers
-    slow-start overshoot and recovery inflation (dup-ACK window
-    inflation can legitimately double the window).  Anything beyond is
-    runaway growth.
+    slow-start overshoot, recovery inflation (dup-ACK window inflation
+    can legitimately double the window) and MLTCP's F-scaling.  When not
+    given, the slack comes from :func:`certified_cwnd_slack` — the
+    proved aggressiveness range — rather than a hand-written constant.
+    Anything beyond is runaway growth.
     """
     if bottleneck_bps <= 0 or rtt_s <= 0 or mss_bytes <= 0:
         raise ValueError(
             f"bottleneck_bps, rtt_s and mss_bytes must be positive, got "
             f"{bottleneck_bps!r}, {rtt_s!r}, {mss_bytes!r}"
         )
+    if slack is None:
+        slack = certified_cwnd_slack()
     bdp_segments = bottleneck_bps * rtt_s / (8.0 * mss_bytes)
     return slack * (bdp_segments + queue_packets) + 10.0
 

@@ -13,7 +13,10 @@ section: invariant violations, MLTCP degradation episodes and watchdog
 fires collected from the runtime guardrail
 (:meth:`RunTelemetry.record_guard_event`, docs/ROBUSTNESS.md).  Schema v4
 adds the ``recovery`` section: per-fault recovery SLOs from chaos
-campaigns (:meth:`RunTelemetry.record_recovery`).
+campaigns (:meth:`RunTelemetry.record_recovery`).  Schema v5 adds the
+``verification`` section: bounded-model-checking verdicts from
+``repro verify`` (:meth:`RunTelemetry.record_verification`,
+docs/VERIFICATION.md).
 :meth:`RunTelemetry.as_report`
 turns that into the JSON run-report the benchmarks write next to their text
 output in ``bench_reports/`` (``<name>.run.json``); the report format is
@@ -37,6 +40,7 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "DEGRADATION_KINDS",
     "GUARD_EVENT_KINDS",
+    "VERIFICATION_VERDICTS",
     "validate_run_report",
 ]
 
@@ -45,9 +49,16 @@ __all__ = [
 #: point modes; v3 added the ``guards`` section (invariant violations,
 #: MLTCP degradation episodes, watchdog fires); v4 added the ``recovery``
 #: section (per-fault recovery SLOs from chaos campaigns,
-#: docs/ROBUSTNESS.md).  All are optional additions — earlier reports
-#: still validate.
-REPORT_SCHEMA_VERSION = 4
+#: docs/ROBUSTNESS.md); v5 added the ``verification`` section (bounded
+#: model checking verdicts from ``repro verify``, docs/VERIFICATION.md).
+#: All are optional additions — earlier reports still validate.
+REPORT_SCHEMA_VERSION = 5
+
+#: What a verification entry's ``verdict`` may be: ``unsat`` (the property
+#: was proved over the searched space), ``sat`` (a counterexample was
+#: found), ``unknown`` (the per-query solver budget expired), ``skipped``
+#: (the requested backend is unavailable, e.g. z3 not installed).
+VERIFICATION_VERDICTS = ("unsat", "sat", "unknown", "skipped")
 
 #: What a degradation entry's ``kind`` may be: ``retry`` (a failed attempt
 #: that was retried), ``timeout`` (a point blew its wall-clock budget),
@@ -113,6 +124,7 @@ class RunTelemetry:
     guard_events: list[dict] = field(default_factory=list)
     link_utilization: list[dict] = field(default_factory=list)
     recovery: list[dict] = field(default_factory=list)
+    verification: list[dict] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter)
 
     def record_point(
@@ -292,6 +304,52 @@ class RunTelemetry:
             }
         )
 
+    def record_verification(
+        self,
+        property: str,
+        *,
+        version: int,
+        verdict: str,
+        backend: str,
+        states_checked: int = 0,
+        elapsed_s: float = 0.0,
+        params: Optional[Mapping[str, object]] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Record one bounded-model-checking verdict (schema v5, optional
+        ``verification`` section; docs/VERIFICATION.md).
+
+        One entry per property query run by ``repro verify``:
+        ``verdict`` is one of :data:`VERIFICATION_VERDICTS`, ``backend``
+        names the solver (``exhaustive`` / ``z3``), ``states_checked``
+        the exhaustive search size (0 for symbolic backends) and
+        ``reason`` carries timeout/skip detail when the verdict is
+        inconclusive.
+        """
+        if verdict not in VERIFICATION_VERDICTS:
+            raise ValueError(
+                f"unknown verification verdict {verdict!r}; expected one of "
+                f"{VERIFICATION_VERDICTS}"
+            )
+        if states_checked < 0:
+            raise ValueError(
+                f"states_checked must be non-negative, got {states_checked!r}"
+            )
+        if elapsed_s < 0:
+            raise ValueError(f"elapsed_s must be non-negative, got {elapsed_s!r}")
+        self.verification.append(
+            {
+                "property": property,
+                "version": int(version),
+                "verdict": verdict,
+                "backend": backend,
+                "states_checked": int(states_checked),
+                "elapsed_s": float(elapsed_s),
+                "params": dict(params) if params is not None else None,
+                "reason": reason,
+            }
+        )
+
     @property
     def cache_hits(self) -> int:
         """Points served from the result cache."""
@@ -349,6 +407,7 @@ class RunTelemetry:
             "degradations": [dict(d) for d in self.degradations],
             "link_utilization": [dict(u) for u in self.link_utilization],
             "recovery": [dict(r) for r in self.recovery],
+            "verification": [dict(v) for v in self.verification],
             "guards": {
                 "violations": [
                     dict(e) for e in self.guard_events if e["kind"] == "violation"
@@ -438,7 +497,7 @@ RUN_REPORT_SCHEMA: dict = {
         "notes",
     ],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1, 2, 3, 4]},
+        "schema_version": {"type": "integer", "enum": [1, 2, 3, 4, 5]},
         "experiment": {"type": "string"},
         "repro_version": {"type": "string"},
         "workers": {"type": ["integer", "null"], "minimum": 1},
@@ -559,6 +618,26 @@ RUN_REPORT_SCHEMA: dict = {
                     "substrate": {"type": ["string", "null"]},
                     "campaign": {"type": ["integer", "null"], "minimum": 0},
                     "params": {"type": ["object", "null"]},
+                },
+            },
+        },
+        # Added in schema_version 5, also optional: bounded-model-checking
+        # verdicts from ``repro verify`` (docs/VERIFICATION.md).  ``reason``
+        # carries timeout/skip detail for inconclusive verdicts.
+        "verification": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["property", "version", "verdict", "backend"],
+                "properties": {
+                    "property": {"type": "string"},
+                    "version": {"type": "integer", "minimum": 1},
+                    "verdict": {"enum": list(VERIFICATION_VERDICTS)},
+                    "backend": {"type": "string"},
+                    "states_checked": {"type": "integer", "minimum": 0},
+                    "elapsed_s": {"type": "number", "minimum": 0},
+                    "params": {"type": ["object", "null"]},
+                    "reason": {"type": ["string", "null"]},
                 },
             },
         },

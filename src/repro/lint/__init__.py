@@ -14,9 +14,9 @@ Public API::
 
 from __future__ import annotations
 
-from . import determinism, floats, guards, hygiene, perf, units
+from . import determinism, floats, guards, hygiene, model, perf, units
 from .cli import lint_paths, run_lint
-from .engine import Finding, LintContext, Rule, lint_source
+from .engine import SUPPRESSION_RULE, Finding, LintContext, Rule, lint_source
 
 __all__ = [
     "ALL_RULES",
@@ -37,6 +37,8 @@ ALL_RULES: tuple[Rule, ...] = (
     + hygiene.RULES
     + perf.RULES
     + guards.RULES
+    + model.RULES
+    + (SUPPRESSION_RULE,)
 )
 
 

@@ -2,15 +2,18 @@
 
 Exit codes follow the repo-wide convention in :mod:`repro.cliutil`:
 ``0`` clean, ``1`` findings, ``2`` usage/IO error (unreadable path,
-syntax error, unknown rule code).
+syntax error, unknown rule code).  ``--json`` swaps the human report for
+a machine-readable findings array on stdout (same exit codes), for
+editor integrations and CI annotators.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-from ..cliutil import EXIT_OK, fail, report_violations
+from ..cliutil import EXIT_OK, EXIT_VIOLATIONS, fail, report_violations
 from .engine import Finding, Rule, lint_source
 
 __all__ = ["lint_paths", "run_lint"]
@@ -63,11 +66,29 @@ def _select_rules(
     return rules
 
 
+def findings_as_json(findings: Sequence[Finding]) -> str:
+    """The ``--json`` payload: a list of ``{path, line, col, code, message}``."""
+    return json.dumps(
+        [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[str] = None,
     ignore: Optional[str] = None,
     list_rules: bool = False,
+    json_output: bool = False,
 ) -> int:
     """Execute the ``repro lint`` subcommand; returns a process exit code."""
     from . import ALL_RULES
@@ -91,6 +112,11 @@ def run_lint(
         return fail(f"cannot parse {error.filename}:{error.lineno}: {error.msg}")
 
     checked = len(_expand(targets))
+    if json_output:
+        # Machine consumers parse stdout; stderr stays silent and the
+        # exit code alone signals clean vs. findings.
+        print(findings_as_json(findings))
+        return EXIT_VIOLATIONS if findings else EXIT_OK
     if findings:
         return report_violations(
             f"repro lint: {len(findings)} finding(s) in {checked} file(s)",

@@ -49,19 +49,27 @@ _NUMPY_LOCAL_OK = frozenset(
 )
 
 
+def _call_label(surface: str, resolved: str) -> str:
+    """``surface`` as written, annotated with what it resolves to."""
+    if surface == resolved:
+        return f"`{surface}()`"
+    return f"`{surface}()` (resolves to `{resolved}`)"
+
+
 def _check_det001(ctx: LintContext) -> Iterator[Finding]:
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = dotted_name(node.func)
+        surface = dotted_name(node.func)
+        name = ctx.resolve(surface)
         if name is None:
             continue
         if name.startswith("random.") and name.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
             yield Finding(
                 ctx.path, node.lineno, node.col_offset, "DET001",
-                f"`{name}()` draws from the process-global RNG; use a seeded "
-                "`random.Random(seed)` or `np.random.default_rng(seed)` "
-                "instance instead",
+                f"{_call_label(surface, name)} draws from the process-global "
+                "RNG; use a seeded `random.Random(seed)` or "
+                "`np.random.default_rng(seed)` instance instead",
             )
 
 
@@ -69,13 +77,14 @@ def _check_det002(ctx: LintContext) -> Iterator[Finding]:
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = dotted_name(node.func)
+        surface = dotted_name(node.func)
+        name = ctx.resolve(surface)
         if name in _WALL_CLOCK_CALLS:
             yield Finding(
                 ctx.path, node.lineno, node.col_offset, "DET002",
-                f"`{name}()` reads the wall clock; simulation code must use "
-                "`sim.now`, and timing belongs in the harness/telemetry "
-                "layer (repro.harness)",
+                f"{_call_label(surface, name)} reads the wall clock; "
+                "simulation code must use `sim.now`, and timing belongs in "
+                "the harness/telemetry layer (repro.harness)",
             )
 
 
@@ -83,7 +92,8 @@ def _check_det003(ctx: LintContext) -> Iterator[Finding]:
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = dotted_name(node.func)
+        surface = dotted_name(node.func)
+        name = ctx.resolve(surface)
         if name is None:
             continue
         for prefix in ("np.random.", "numpy.random."):
@@ -92,8 +102,8 @@ def _check_det003(ctx: LintContext) -> Iterator[Finding]:
                 if attr not in _NUMPY_LOCAL_OK:
                     yield Finding(
                         ctx.path, node.lineno, node.col_offset, "DET003",
-                        f"`{name}()` uses numpy's legacy global RNG state; "
-                        "construct a generator with "
+                        f"{_call_label(surface, name)} uses numpy's legacy "
+                        "global RNG state; construct a generator with "
                         "`np.random.default_rng(seed)` and draw from it",
                     )
                 break
@@ -299,10 +309,12 @@ RULES: tuple[Rule, ...] = (
         rationale=(
             "Simulated time is `sim.now`; a wall-clock read in simulation "
             "code makes results depend on host speed. The harness/telemetry "
-            "layer is allowlisted — measuring real runtime is its job."
+            "layer is allowlisted — measuring real runtime is its job — and "
+            "so is the verify layer, whose solver backends enforce "
+            "wall-clock query budgets."
         ),
         checker=_check_det002,
-        exempt=("harness/",),
+        exempt=("harness/", "verify/"),
     ),
     Rule(
         code="DET003",

@@ -1,0 +1,173 @@
+"""Model-drift rule (MDL001).
+
+The verification model (:mod:`repro.verify.model`) re-states a handful of
+implementation constants — the Eq. 2 slope/intercept, the degradation
+clamp, the convergence tolerance — because the z3/exhaustive encoding
+cannot import the implementation.  Each mirrored constant carries a
+machine-readable marker::
+
+    SLOPE = 1.75  # mdl: mirrors repro.core.aggressiveness.PAPER_SLOPE
+
+MDL001 resolves every marker against the *current* source tree and fails
+when the two values diverge, so "prove the model" and "run the code"
+can never silently drift apart.  The certificate fingerprint
+(:func:`repro.verify.model.model_fingerprint`) catches drift at
+``repro verify --check`` time; MDL001 catches it earlier, at lint time,
+and points at both ends of the broken mirror.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .engine import Finding, LintContext, Rule
+
+__all__ = ["RULES"]
+
+#: ``# mdl: mirrors <dotted.path>`` on the same line as the assignment.
+_MARKER_RE = re.compile(r"#\s*mdl:\s*mirrors\s+([A-Za-z_][\w.]*)")
+
+
+def _const_value(node: Optional[ast.expr]) -> Optional[float]:
+    """The numeric value of a literal expression (handles unary minus)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_value(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _assigned_constants(body: list[ast.stmt]) -> dict[str, float]:
+    """Name → numeric literal for Assign/AnnAssign statements in ``body``."""
+    values: dict[str, float] = {}
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            value = _const_value(stmt.value)
+            if value is None:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    values[target.id] = value
+        elif isinstance(stmt, ast.AnnAssign):
+            value = _const_value(stmt.value)
+            if value is not None and isinstance(stmt.target, ast.Name):
+                values[stmt.target.id] = value
+    return values
+
+
+def _source_root(posix_path: str) -> Optional[Path]:
+    """The directory containing the ``repro`` package, from a lint path."""
+    parts = posix_path.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            root = "/".join(parts[:index]) or "."
+            return Path(root)
+    return None
+
+
+def _lookup(root: Path, dotted: str) -> tuple[Optional[float], Optional[str]]:
+    """Resolve ``repro.pkg.module.ATTR`` (or ``...Class.attr``) to a value.
+
+    Returns ``(value, error)``; exactly one side is set.  Tries the
+    longest prefix of ``dotted`` that names an importable ``.py`` file,
+    then walks the remainder as a module constant or a single class
+    attribute (covering dataclass field defaults).
+    """
+    parts = dotted.split(".")
+    if parts[0] != "repro":
+        return None, f"marker target {dotted!r} must start with 'repro.'"
+    for cut in range(len(parts) - 1, 0, -1):
+        module_path = root.joinpath(*parts[:cut]).with_suffix(".py")
+        if not module_path.is_file():
+            continue
+        remainder = parts[cut:]
+        try:
+            tree = ast.parse(module_path.read_text(), filename=str(module_path))
+        except (SyntaxError, OSError) as error:
+            return None, f"cannot parse {module_path}: {error}"
+        if len(remainder) == 1:
+            values = _assigned_constants(tree.body)
+            if remainder[0] in values:
+                return values[remainder[0]], None
+            return None, (
+                f"{module_path} defines no numeric constant {remainder[0]!r}"
+            )
+        if len(remainder) == 2:
+            for stmt in tree.body:
+                if isinstance(stmt, ast.ClassDef) and stmt.name == remainder[0]:
+                    values = _assigned_constants(stmt.body)
+                    if remainder[1] in values:
+                        return values[remainder[1]], None
+                    return None, (
+                        f"class {remainder[0]} in {module_path} has no "
+                        f"numeric default {remainder[1]!r}"
+                    )
+            return None, f"{module_path} defines no class {remainder[0]!r}"
+        return None, (
+            f"marker target {dotted!r} nests deeper than Class.attr"
+        )
+    return None, f"no module file under {root} matches {dotted!r}"
+
+
+def _check_mdl001(ctx: LintContext) -> Iterator[Finding]:
+    root = _source_root(ctx.posix_path)
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        if stmt.lineno > len(ctx.lines):
+            continue
+        match = _MARKER_RE.search(ctx.lines[stmt.lineno - 1])
+        if match is None:
+            continue
+        local = _const_value(stmt.value)
+        col = match.start()
+        dotted = match.group(1)
+        if local is None:
+            yield Finding(
+                ctx.path, stmt.lineno, col, "MDL001",
+                f"`mirrors {dotted}` marker on a non-numeric assignment; "
+                "mirror markers only apply to literal constants",
+            )
+            continue
+        if root is None:
+            yield Finding(
+                ctx.path, stmt.lineno, col, "MDL001",
+                f"cannot locate the `repro` package root from {ctx.path!r} "
+                f"to resolve `mirrors {dotted}`",
+            )
+            continue
+        value, error = _lookup(root, dotted)
+        if error is not None:
+            yield Finding(
+                ctx.path, stmt.lineno, col, "MDL001",
+                f"unresolvable mirror marker: {error}",
+            )
+        elif value != local:
+            yield Finding(
+                ctx.path, stmt.lineno, col, "MDL001",
+                f"model constant drift: this file says {local!r} but "
+                f"{dotted} is {value!r}; update both together and "
+                "regenerate certificates (`repro verify --write`)",
+            )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="MDL001",
+        name="model-drift",
+        summary="verification-model constants must mirror the implementation",
+        rationale=(
+            "The bounded-model-checking encoding restates implementation "
+            "constants it cannot import; a certificate proved against "
+            "yesterday's slope is worthless against today's. Every mirrored "
+            "constant declares its source with `# mdl: mirrors <path>` and "
+            "this rule cross-checks the two values at lint time."
+        ),
+        checker=_check_mdl001,
+        scopes=("verify/",),
+    ),
+)

@@ -38,7 +38,21 @@ from .reno import RenoCC
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..guards.core import GuardRail
 
-__all__ = ["MltcpState", "MLTCPReno", "MLTCPCubic", "MLTCPDctcp"]
+__all__ = [
+    "DEGRADED_AGGRESSIVENESS",
+    "MltcpState",
+    "MLTCPReno",
+    "MLTCPCubic",
+    "MLTCPDctcp",
+]
+
+#: The aggressiveness used while the tracker's estimate is unreliable.
+#: Exactly 1 by construction — it makes Eq. 1 collapse to the base
+#: algorithm's additive increase, so a degraded MLTCP-X *is* vanilla X.
+#: The bounded-model-checking layer mirrors this constant and proves the
+#: step-equivalence (``repro verify`` degradation-safety property); lint
+#: rule MDL001 keeps the mirror in sync.
+DEGRADED_AGGRESSIVENESS = 1.0
 
 
 class MltcpState:
@@ -75,7 +89,7 @@ class MltcpState:
     def aggressiveness(self) -> float:
         """``F(bytes_ratio)``, clamped to 1 (vanilla CC) while degraded."""
         if self.tracker.estimate_unreliable:
-            return 1.0
+            return DEGRADED_AGGRESSIVENESS
         return self.tracker.aggressiveness()
 
     def reset_iteration(self, now: float, flow: str = "") -> None:

@@ -1,0 +1,47 @@
+"""``repro verify`` — bounded model checking for Algorithm 1.
+
+A small-N discrete-step model of MLTCP's iteration dynamics
+(:mod:`repro.verify.model`), a catalog of named, versioned violation
+queries (:mod:`repro.verify.properties`), two solver backends — hermetic
+exhaustive search and optional z3 real arithmetic
+(:mod:`repro.verify.solver`) — and committed proof artifacts: UNSAT
+invariant certificates consumed by ``repro.guards`` and SAT
+counterexamples replayed as fluid-simulator regression fixtures
+(:mod:`repro.verify.certificates`).  The full story: docs/VERIFICATION.md.
+
+Public API::
+
+    from repro.verify import PROPERTIES, solve, have_z3
+    verdict = solve(PROPERTIES["starvation-bound"])   # Verdict(unsat, ...)
+    from repro.verify.certificates import certified_f_max
+"""
+
+from __future__ import annotations
+
+from .model import MODEL_CONSTANTS, MODEL_VERSION, ModelParams, model_fingerprint
+from .properties import PROPERTIES, Property, property_by_name, share_floor
+from .solver import (
+    ExhaustiveBackend,
+    Verdict,
+    Z3Backend,
+    Z3_INSTALL_HINT,
+    have_z3,
+    solve,
+)
+
+__all__ = [
+    "MODEL_CONSTANTS",
+    "MODEL_VERSION",
+    "ModelParams",
+    "model_fingerprint",
+    "PROPERTIES",
+    "Property",
+    "property_by_name",
+    "share_floor",
+    "ExhaustiveBackend",
+    "Z3Backend",
+    "Z3_INSTALL_HINT",
+    "Verdict",
+    "have_z3",
+    "solve",
+]

@@ -1,0 +1,377 @@
+"""The small-N discrete-step model of Algorithm 1 that `repro verify` checks.
+
+The model is the paper's §4 iteration map made finite: ``n`` identical
+periodic jobs share one bottleneck; job ``j``'s state is the start offset
+of its current iteration on a circle of circumference ``period``.  Within
+an iteration each flow tracks ``bytes_sent`` / ``bytes_ratio`` (Algorithm 1
+lines 7–17) and competes with weight ``F(bytes_ratio)``; at the iteration
+boundary the offset difference ``lag`` moves by the closed-form shift
+(Eq. 3).  The PR 5 degradation clamp is modelled by routing ``F`` to
+:data:`DEGRADED_F` regardless of the ratio, which zeroes the shift — the
+degraded model is step-equivalent to vanilla fair share.
+
+Two evaluation modes share one set of step functions:
+
+* **concrete** (:data:`CONCRETE_OPS`) — plain floats, used by the
+  exhaustive bounded-model-checking backend and by counterexample replay;
+* **symbolic** (``SymbolicOps(z3)``) — the same expressions built from
+  ``z3.Real`` terms, used by the optional z3 backend.
+
+Constants mirrored from the code under verification carry an
+``# mdl: mirrors <dotted.path>`` marker; lint rule MDL001 re-reads the
+mirrored definition and fails the build when the two diverge, so the model
+cannot silently drift from ``repro.tcp.mltcp`` / ``repro.core``
+(docs/VERIFICATION.md, "Keeping the model honest").
+
+This module is deliberately dependency-free (no numpy, no repro imports):
+the certificates it fingerprints are loaded at runtime by
+``repro.guards``, and a guards import must never drag the solver stack in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "SLOPE",
+    "INTERCEPT",
+    "DEGRADED_F",
+    "DECREASING_SLOPE",
+    "DECREASING_INTERCEPT",
+    "INTERLEAVE_TOLERANCE_FRACTION",
+    "DRIFT_THRESHOLD",
+    "MODEL_CONSTANTS",
+    "MODEL_VERSION",
+    "VARIANTS",
+    "ModelParams",
+    "ConcreteOps",
+    "SymbolicOps",
+    "CONCRETE_OPS",
+    "f_of_ratio",
+    "shift_forward",
+    "step_lag",
+    "circle_distance",
+    "min_overlap_share",
+    "iteration_share",
+    "is_interleaved",
+    "step_offsets",
+    "pairwise_lags",
+    "all_pairs_interleaved",
+    "model_fingerprint",
+]
+
+#: Bump when the step functions change meaning; stamped into every
+#: certificate so stale proofs are detected even if constants survive.
+MODEL_VERSION = 1
+
+# -- mirrored constants ------------------------------------------------------
+# Each carries an `# mdl: mirrors ...` marker checked by lint rule MDL001.
+
+SLOPE = 1.75  # mdl: mirrors repro.core.aggressiveness.PAPER_SLOPE
+INTERCEPT = 0.25  # mdl: mirrors repro.core.aggressiveness.PAPER_INTERCEPT
+DEGRADED_F = 1.0  # mdl: mirrors repro.tcp.mltcp.DEGRADED_AGGRESSIVENESS
+INTERLEAVE_TOLERANCE_FRACTION = 0.02  # mdl: mirrors repro.core.analysis.CONVERGENCE_TOLERANCE_FRACTION
+DRIFT_THRESHOLD = 0.45  # mdl: mirrors repro.core.config.MLTCPConfig.drift_threshold
+
+#: The paper's F5 negative control (``-1.75 * ratio + 2``), used as the
+#: deliberately *weakened* model variant: a decreasing aggressiveness
+#: function pulls the lag toward full overlap, so interleaving is never
+#: reached — the SAT counterexample committed as a regression fixture.
+#: (No MDL marker: F5's coefficients are inline literals in
+#: ``repro.core.aggressiveness.DecreasingLinearAggressiveness``.)
+DECREASING_SLOPE = -1.75
+DECREASING_INTERCEPT = 2.0
+
+#: Everything a certificate fingerprint covers, in one place.
+MODEL_CONSTANTS: dict[str, float] = {
+    "slope": SLOPE,
+    "intercept": INTERCEPT,
+    "degraded_f": DEGRADED_F,
+    "decreasing_slope": DECREASING_SLOPE,
+    "decreasing_intercept": DECREASING_INTERCEPT,
+    "interleave_tolerance_fraction": INTERLEAVE_TOLERANCE_FRACTION,
+    "drift_threshold": DRIFT_THRESHOLD,
+}
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """One instantiation of the model: F-family, geometry, degradation.
+
+    ``variant`` selects the effective (slope, intercept) pair:
+
+    * ``"paper"`` — Eq. 2, slope 1.75 / intercept 0.25;
+    * ``"degraded"`` — the PR 5 clamp: F ≡ :data:`DEGRADED_F`
+      (slope 0), modelling a tracker that flagged itself unreliable;
+    * ``"fair"`` — vanilla fair share, F ≡ 1 (what degraded MLTCP must
+      be step-equivalent to);
+    * ``"decreasing-f"`` — the weakened F5 negative control.
+    """
+
+    variant: str = "paper"
+    alpha: float = 0.4
+    period: float = 1.0
+    jobs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown model variant {self.variant!r}; "
+                f"expected one of {sorted(VARIANTS)}"
+            )
+        if not 0.0 < self.alpha <= 0.5:
+            raise ValueError(f"alpha must be in (0, 0.5], got {self.alpha!r}")
+        if self.period <= 0.0:
+            raise ValueError(f"period must be positive, got {self.period!r}")
+        if not 2 <= self.jobs <= 3:
+            raise ValueError(
+                f"the bounded model covers 2–3 jobs, got {self.jobs!r}"
+            )
+
+    @property
+    def comm(self) -> float:
+        """Communication-phase duration at full rate (``alpha * period``)."""
+        return self.alpha * self.period
+
+    @property
+    def slope(self) -> float:
+        return VARIANTS[self.variant][0]
+
+    @property
+    def intercept(self) -> float:
+        return VARIANTS[self.variant][1]
+
+    @property
+    def tolerance(self) -> float:
+        """Absolute interleave tolerance on the lag circle."""
+        return INTERLEAVE_TOLERANCE_FRACTION * self.period
+
+    def as_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "alpha": self.alpha,
+            "period": self.period,
+            "jobs": self.jobs,
+        }
+
+
+#: variant name -> (effective slope, effective intercept) of F.
+VARIANTS: dict[str, tuple[float, float]] = {
+    "paper": (SLOPE, INTERCEPT),
+    "degraded": (0.0, DEGRADED_F),
+    "fair": (0.0, 1.0),
+    "decreasing-f": (DECREASING_SLOPE, DECREASING_INTERCEPT),
+}
+
+
+# -- evaluation backends -----------------------------------------------------
+
+
+class ConcreteOps:
+    """Plain-float evaluation of the step expressions."""
+
+    @staticmethod
+    def ite(cond, then, other):  # noqa: ANN001 - duck-typed on purpose
+        return then if cond else other
+
+    @staticmethod
+    def lt(a, b):
+        return a < b
+
+    @staticmethod
+    def gt(a, b):
+        return a > b
+
+
+CONCRETE_OPS = ConcreteOps()
+
+
+class SymbolicOps:
+    """The same expressions over z3 Real terms.
+
+    Constructed with the imported ``z3`` module so this file never imports
+    z3 itself (the ``[verify]`` extra is optional; see
+    :mod:`repro.verify.solver`).
+    """
+
+    def __init__(self, z3) -> None:  # noqa: ANN001 - z3 is optional
+        self._z3 = z3
+
+    def ite(self, cond, then, other):
+        return self._z3.If(cond, then, other)
+
+    @staticmethod
+    def lt(a, b):
+        return a < b
+
+    @staticmethod
+    def gt(a, b):
+        return a > b
+
+
+# -- step functions ----------------------------------------------------------
+
+
+def f_of_ratio(ratio, params: ModelParams):
+    """``F(bytes_ratio)`` under the variant's effective (slope, intercept).
+
+    For ``"degraded"`` the slope is zero, so the expression reduces to the
+    clamp value :data:`DEGRADED_F` for every ratio — exactly what
+    ``MltcpState.aggressiveness`` returns while
+    ``tracker.estimate_unreliable`` holds.
+    """
+    return params.slope * ratio + params.intercept
+
+
+def shift_forward(lag, params: ModelParams):
+    """Eq. 3 on the overlap branch ``0 <= lag < comm`` (symbolic-safe).
+
+    ``slope * lag * (comm - lag) / (comm * intercept + lag * slope)`` — the
+    per-iteration boundary shift while communication phases overlap.  The
+    denominator is positive for every supported variant on the whole
+    branch (paper/fair/degraded: both terms non-negative, intercept > 0;
+    decreasing-f: ``2*comm - 1.75*lag > 0`` for ``lag <= comm``), so the
+    expression is total where it is used.
+    """
+    comm = params.comm
+    numerator = params.slope * lag * (comm - lag)
+    denominator = comm * params.intercept + lag * params.slope
+    return numerator / denominator
+
+
+def step_lag(lag, params: ModelParams, ops=CONCRETE_OPS):
+    """One iteration of the boundary map on the lag circle ``[0, period)``.
+
+    Piecewise: the forward Eq. 3 shift while the follower starts inside
+    the leader's communication phase (``lag < comm``), the mirrored
+    backward shift when the roles are swapped (``lag > period - comm``),
+    and zero in the interleaved region between.  For every supported
+    variant the image stays inside ``[0, period)``:
+    ``shift_forward(lag) <= comm - lag`` for non-negative slopes and
+    ``>= -lag`` for the decreasing variant, so no modulo is needed — which
+    keeps the expression z3-friendly.
+    """
+    comm = params.comm
+    period = params.period
+    return ops.ite(
+        ops.lt(lag, comm),
+        lag + shift_forward(lag, params),
+        ops.ite(
+            ops.gt(lag, period - comm),
+            lag - shift_forward(period - lag, params),
+            lag,
+        ),
+    )
+
+
+def circle_distance(lag: float, period: float) -> float:
+    """Distance to the full-overlap point along the circle (concrete only)."""
+    wrapped = lag % period
+    return min(wrapped, period - wrapped)
+
+
+def min_overlap_share(lag: float, params: ModelParams) -> float:
+    """The worst instantaneous capacity share either flow sees at ``lag``.
+
+    While phases overlap the flows split capacity in proportion to their
+    weights; the follower has ``bytes_ratio = 0`` at the handoff and the
+    leader has ``bytes_ratio = d / comm`` where ``d`` is the circle
+    distance, so the follower's share is ``F(0) / (F(0) + F(d/comm))``.
+    With no overlap each flow has the link to itself (share 1).  The
+    starvation-bound property proves this never drops below
+    ``intercept / (intercept + (n-1) * (slope + intercept))`` — 1/9 for
+    the paper constants at n = 2 — and exports that floor as an invariant
+    certificate.
+    """
+    d = circle_distance(lag, params.period)
+    if d >= params.comm:
+        return 1.0
+    follower = f_of_ratio(0.0, params)
+    leader = f_of_ratio(d / params.comm, params)
+    return follower / (follower + leader)
+
+
+def iteration_share(lag: float, params: ModelParams) -> float:
+    """The follower's mean capacity share over its own communication phase.
+
+    Work conservation makes this weight-independent: two jobs with volume
+    ``comm * C`` each drain at combined rate ``C`` while both are active,
+    so the follower (start lag ``d``) finishes at ``2*comm`` and its
+    window share is ``comm / (2*comm - d)`` — at least 1/2, with equality
+    only at full overlap.  This is the "held below 1/n" quantity of the
+    starvation-bound property.
+    """
+    d = circle_distance(lag, params.period)
+    if d >= params.comm:
+        return 1.0
+    return params.comm / (2.0 * params.comm - d)
+
+
+def is_interleaved(lag: float, params: ModelParams) -> bool:
+    """The §4 interleavable condition, with the convergence tolerance.
+
+    True when the communication phases overlap by at most
+    ``tolerance = INTERLEAVE_TOLERANCE_FRACTION * period`` — the same
+    acceptance band :func:`repro.core.analysis.iterations_to_converge`
+    uses (mirrored constant, MDL001-checked).
+    """
+    return circle_distance(lag, params.period) >= params.comm - params.tolerance
+
+
+# -- n-job extension (concrete only; the z3 backend covers n = 2) ------------
+
+
+def pairwise_lags(offsets: Iterable[float], period: float) -> list[float]:
+    """Lags ``(o_j - o_i) mod period`` for every pair ``i < j``."""
+    items = list(offsets)
+    return [
+        (items[j] - items[i]) % period
+        for i in range(len(items))
+        for j in range(i + 1, len(items))
+    ]
+
+
+def step_offsets(offsets: list[float], params: ModelParams) -> list[float]:
+    """One boundary step of ``n`` offsets: summed pairwise Eq. 3 shifts.
+
+    Mirrors :class:`repro.core.analysis.MultiJobDescent`: each pair's
+    signed shift is split half-and-half between its two jobs, so the
+    two-job case reduces exactly to :func:`step_lag` on the lag.
+    """
+    period = params.period
+    n = len(offsets)
+    moves = [0.0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            lag = (offsets[j] - offsets[i]) % period
+            shifted = step_lag(lag, params)
+            s = shifted - lag
+            moves[j] += 0.5 * s
+            moves[i] -= 0.5 * s
+    return [(offsets[k] + moves[k]) % period for k in range(n)]
+
+
+def all_pairs_interleaved(offsets: list[float], params: ModelParams) -> bool:
+    """Whether every pair of jobs satisfies the interleavable condition."""
+    return all(
+        is_interleaved(lag, params)
+        for lag in pairwise_lags(offsets, params.period)
+    )
+
+
+def model_fingerprint(extra: dict | None = None) -> str:
+    """SHA-256 over the mirrored constants, model version and ``extra``.
+
+    Stamped into certificates and counterexamples; the staleness test and
+    ``repro verify --check`` recompute it from the *current* model, so an
+    edit to any mirrored constant (or to a property's parameters) turns
+    committed artifacts stale loudly instead of silently.
+    """
+    payload = {"model_version": MODEL_VERSION, "constants": MODEL_CONSTANTS}
+    if extra:
+        payload["extra"] = extra
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,464 @@
+"""Named, versioned bounded queries over the Algorithm 1 model.
+
+Each :class:`Property` is a *violation query*: "does an initial state
+exist from which the bad thing happens within the bound k?".  ``unsat``
+therefore means *proved* (no such state in the searched space) and ``sat``
+means a concrete counterexample was found.  The four properties from the
+verification plan (docs/VERIFICATION.md):
+
+* ``interleaving-reachability`` (+ a 3-job and a deliberately weakened
+  variant) — a schedule that never reaches the §4 interleavable
+  condition within k iterations;
+* ``starvation-bound`` — a flow held below its 1/n share for k
+  consecutive iterations, or an instantaneous share below the
+  F-range floor ``F_min / (F_min + (n-1) * F_max)``;
+* ``degradation-safety`` — a lag where the degraded model's step (or
+  share) differs from vanilla fair share;
+* ``monotone-recovery`` — an interleaved schedule that a single bounded
+  iteration-time shift knocks out of convergence for more than k
+  iterations.
+
+Every property declares its ``expected`` verdict; ``repro verify`` fails
+when a run disagrees, and UNSAT results are exported as invariant
+certificates (consumed by ``repro.guards``), SAT results as fluid-simulator
+regression scenarios (:mod:`repro.verify.certificates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from .model import (
+    ModelParams,
+    VARIANTS,
+    all_pairs_interleaved,
+    is_interleaved,
+    iteration_share,
+    min_overlap_share,
+    pairwise_lags,
+    step_lag,
+    step_offsets,
+)
+
+__all__ = [
+    "Property",
+    "PROPERTIES",
+    "property_by_name",
+    "share_floor",
+    "enumerate_states",
+    "check_state",
+    "invariants_for",
+]
+
+#: Tolerance for "strictly below the floor" comparisons: a genuine
+#: violation must clear float noise, not ride on the last ulp.
+MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class Property:
+    """One bounded query: name, version, search space, expected verdict."""
+
+    name: str
+    version: int
+    summary: str
+    expected: str  # "unsat" | "sat"
+    params: dict = field(default_factory=dict)
+    #: Overrides applied by ``repro verify --fast`` (smaller grids/k so the
+    #: smoke target stays cheap); coverage, not soundness, shrinks.
+    fast_params: dict = field(default_factory=dict)
+
+    def resolved(self, fast: bool = False, **overrides) -> dict:
+        merged = dict(self.params)
+        if fast:
+            merged.update(self.fast_params)
+        merged.update({k: v for k, v in overrides.items() if v is not None})
+        return merged
+
+
+def _grid(points: int, lo: float, hi: float) -> list[float]:
+    """``points`` evenly spaced values covering ``[lo, hi]`` inclusive."""
+    if points < 2:
+        return [lo]
+    step = (hi - lo) / (points - 1)
+    return [lo + i * step for i in range(points)]
+
+
+def share_floor(variant: str, jobs: int) -> float:
+    """The provable instantaneous-share floor for a variant and job count.
+
+    With every weight in ``[F_min, F_max]`` a flow's worst share against
+    ``n - 1`` competitors is ``F_min / (F_min + (n-1) * F_max)`` — 1/9 for
+    the paper constants at n = 2.  This is the invariant the
+    starvation-bound certificate exports and ``repro.guards`` consumes.
+    """
+    slope, intercept = VARIANTS[variant]
+    endpoints = (intercept, slope + intercept)
+    f_min, f_max = min(endpoints), max(endpoints)
+    return f_min / (f_min + (jobs - 1) * f_max)
+
+
+def invariants_for(prop: Property, params: dict) -> dict:
+    """The machine-readable invariants an UNSAT verdict certifies."""
+    variant = params.get("variant", "paper")
+    jobs = int(params.get("jobs", 2))
+    slope, intercept = VARIANTS[variant]
+    endpoints = (intercept, slope + intercept)
+    base = {
+        "f_min": min(endpoints),
+        "f_max": max(endpoints),
+        "jobs": jobs,
+    }
+    if prop.name.startswith("starvation-bound"):
+        base.update(
+            {
+                "instantaneous_share_floor": share_floor(variant, jobs),
+                "iteration_share_floor": 1.0 / jobs,
+                "consecutive_iterations": int(params["k"]),
+            }
+        )
+    elif prop.name.startswith("degradation-safety"):
+        base.update({"max_step_divergence": 0.0, "degraded_f": VARIANTS["degraded"][1]})
+    elif prop.name.startswith("monotone-recovery"):
+        base.update(
+            {
+                "recovery_iterations": int(params["k"]),
+                "max_perturbation_fraction": params["max_perturbation_fraction"],
+            }
+        )
+    elif prop.name.startswith("interleaving-reachability"):
+        base.update(
+            {
+                "reach_iterations": int(params["k"]),
+                "min_lag_fraction": params["min_lag_fraction"],
+            }
+        )
+    return base
+
+
+# -- exhaustive-search drivers ----------------------------------------------
+#
+# A property's search space is a finite grid of initial states; the
+# exhaustive backend enumerates `enumerate_states` and calls `check_state`
+# on each, which returns a witness dict when the state violates the
+# property (SAT) and None otherwise.  The z3 backend re-encodes the same
+# queries over continuous initial states (repro.verify.solver).
+
+
+def _reach_states(params: dict) -> Iterator[tuple]:
+    mp = _model(params)
+    min_lag = params["min_lag_fraction"] * mp.period
+    if mp.jobs == 2:
+        for lag in _grid(params["grid"], min_lag, mp.period - min_lag):
+            yield (lag,)
+        return
+    # 3 jobs: job 0 pinned at offset 0; enumerate the other two, skipping
+    # near-coincident starts (exact sync is a measure-zero unstable
+    # equilibrium the paper escapes with noise; docs/VERIFICATION.md).
+    axis = _grid(params["grid"], 0.0, mp.period * (params["grid"] - 1) / params["grid"])
+    for o2 in axis:
+        for o3 in axis:
+            offsets = [0.0, o2, o3]
+            if any(
+                min(lag, mp.period - lag) < min_lag
+                for lag in pairwise_lags(offsets, mp.period)
+            ):
+                continue
+            yield tuple(offsets)
+
+
+def _check_reach(state: tuple, params: dict) -> Optional[dict]:
+    mp = _model(params)
+    k = int(params["k"])
+    if mp.jobs == 2:
+        lag = state[0]
+        trace = [lag]
+        for _ in range(k):
+            if is_interleaved(lag, mp):
+                return None
+            lag = step_lag(lag, mp)
+            trace.append(lag)
+        if is_interleaved(lag, mp):
+            return None
+        return {"initial_lag": state[0], "trace": trace}
+    offsets = list(state)
+    trace = [list(offsets)]
+    for _ in range(k):
+        if all_pairs_interleaved(offsets, mp):
+            return None
+        offsets = step_offsets(offsets, mp)
+        trace.append(list(offsets))
+    if all_pairs_interleaved(offsets, mp):
+        return None
+    return {"initial_offsets": list(state), "trace": trace}
+
+
+def _starvation_states(params: dict) -> Iterator[tuple]:
+    mp = _model(params)
+    for lag in _grid(params["grid"], 0.0, mp.period):
+        yield (lag,)
+
+
+def _check_starvation(state: tuple, params: dict) -> Optional[dict]:
+    mp = _model(params)
+    k = int(params["k"])
+    floor_inst = share_floor(mp.variant, mp.jobs)
+    floor_iter = 1.0 / mp.jobs
+    lag = state[0]
+    below_streak = 0
+    for step in range(k + 1):
+        inst = min_overlap_share(lag, mp)
+        if inst < floor_inst - MARGIN:
+            return {
+                "initial_lag": state[0],
+                "violation": "instantaneous-share",
+                "share": inst,
+                "floor": floor_inst,
+                "at_iteration": step,
+            }
+        if iteration_share(lag, mp) < floor_iter - MARGIN:
+            below_streak += 1
+            if below_streak >= k:
+                return {
+                    "initial_lag": state[0],
+                    "violation": "iteration-share-streak",
+                    "floor": floor_iter,
+                    "streak": below_streak,
+                }
+        else:
+            below_streak = 0
+        lag = step_lag(lag, mp)
+    return None
+
+
+def _safety_states(params: dict) -> Iterator[tuple]:
+    period = float(params.get("period", 1.0))
+    for lag in _grid(params["grid"], 0.0, period):
+        yield (lag,)
+
+
+def _check_safety(state: tuple, params: dict) -> Optional[dict]:
+    degraded = _model(params, variant="degraded")
+    fair = _model(params, variant="fair")
+    lag = state[0]
+    pairs = (
+        ("step", step_lag(lag, degraded), step_lag(lag, fair)),
+        ("overlap-share", min_overlap_share(lag, degraded), min_overlap_share(lag, fair)),
+        ("iteration-share", iteration_share(lag, degraded), iteration_share(lag, fair)),
+    )
+    for quantity, a, b in pairs:
+        if a != b:
+            return {
+                "initial_lag": lag,
+                "violation": quantity,
+                "degraded": a,
+                "fair": b,
+            }
+    return None
+
+
+def _recovery_states(params: dict) -> Iterator[tuple]:
+    mp = _model(params)
+    min_lag = params["min_lag_fraction"] * mp.period
+    max_pert = params["max_perturbation_fraction"] * mp.period
+    lags = [
+        lag
+        for lag in _grid(params["grid"], 0.0, mp.period)
+        if is_interleaved(lag, mp)
+    ]
+    perts = _grid(params["perturbation_grid"], -max_pert, max_pert)
+    for lag in lags:
+        for pert in perts:
+            shifted = (lag + pert) % mp.period
+            # A perturbation that lands (almost) exactly on full overlap
+            # parks the map on its unstable equilibrium; the continuous
+            # system escapes it with any noise, the noise-free bounded
+            # model cannot — excluded from the query, stated on the
+            # certificate via min_lag_fraction.
+            if min(shifted, mp.period - shifted) < min_lag:
+                continue
+            yield (lag, pert)
+
+
+def _check_recovery(state: tuple, params: dict) -> Optional[dict]:
+    mp = _model(params)
+    k = int(params["k"])
+    lag0, pert = state
+    lag = (lag0 + pert) % mp.period
+    trace = [lag]
+    for _ in range(k):
+        if is_interleaved(lag, mp):
+            return None
+        lag = step_lag(lag, mp)
+        trace.append(lag)
+    if is_interleaved(lag, mp):
+        return None
+    return {"interleaved_lag": lag0, "perturbation": pert, "trace": trace}
+
+
+def _model(params: dict, variant: Optional[str] = None) -> ModelParams:
+    return ModelParams(
+        variant=variant if variant is not None else params.get("variant", "paper"),
+        alpha=float(params.get("alpha", 0.4)),
+        period=float(params.get("period", 1.0)),
+        jobs=int(params.get("jobs", 2)),
+    )
+
+
+_STATE_FNS: dict[str, Callable[[dict], Iterator[tuple]]] = {
+    "interleaving-reachability": _reach_states,
+    "interleaving-reachability-3job": _reach_states,
+    "interleaving-reachability-weakened": _reach_states,
+    "starvation-bound": _starvation_states,
+    "degradation-safety": _safety_states,
+    "monotone-recovery": _recovery_states,
+}
+
+_CHECK_FNS: dict[str, Callable[[tuple, dict], Optional[dict]]] = {
+    "interleaving-reachability": _check_reach,
+    "interleaving-reachability-3job": _check_reach,
+    "interleaving-reachability-weakened": _check_reach,
+    "starvation-bound": _check_starvation,
+    "degradation-safety": _check_safety,
+    "monotone-recovery": _check_recovery,
+}
+
+
+def enumerate_states(prop: Property, params: dict) -> Iterator[tuple]:
+    """The finite initial-state space the exhaustive backend searches."""
+    return _STATE_FNS[prop.name](params)
+
+
+def check_state(prop: Property, state: tuple, params: dict) -> Optional[dict]:
+    """Witness dict when ``state`` violates ``prop`` within the bound."""
+    return _CHECK_FNS[prop.name](state, params)
+
+
+PROPERTIES: dict[str, Property] = {
+    p.name: p
+    for p in (
+        Property(
+            name="interleaving-reachability",
+            version=1,
+            summary=(
+                "no 2-job schedule (separated by >= min_lag) avoids the "
+                "interleavable condition for k iterations"
+            ),
+            expected="unsat",
+            params={
+                "variant": "paper",
+                "jobs": 2,
+                "alpha": 0.4,
+                "period": 1.0,
+                "k": 16,
+                "grid": 400,
+                "min_lag_fraction": 0.02,
+            },
+            fast_params={"grid": 60},
+        ),
+        Property(
+            name="interleaving-reachability-3job",
+            version=1,
+            summary=(
+                "no 3-job schedule (pairwise separated by >= min_lag) "
+                "avoids full pairwise interleaving for k iterations"
+            ),
+            expected="unsat",
+            params={
+                "variant": "paper",
+                "jobs": 3,
+                "alpha": 0.3,
+                "period": 1.0,
+                "k": 48,
+                "grid": 48,
+                "min_lag_fraction": 0.02,
+            },
+            fast_params={"grid": 16, "k": 48},
+        ),
+        Property(
+            name="interleaving-reachability-weakened",
+            version=1,
+            summary=(
+                "weakened model (decreasing F5): a schedule that never "
+                "interleaves exists — expected SAT, exported as a fluid "
+                "regression scenario"
+            ),
+            expected="sat",
+            params={
+                "variant": "decreasing-f",
+                "jobs": 2,
+                "alpha": 0.4,
+                "period": 1.0,
+                "k": 16,
+                "grid": 400,
+                "min_lag_fraction": 0.05,
+            },
+            fast_params={"grid": 60},
+        ),
+        Property(
+            name="starvation-bound",
+            version=1,
+            summary=(
+                "no flow is held below its 1/n iteration share for k "
+                "consecutive iterations, nor below the F-range floor "
+                "F_min/(F_min+(n-1)F_max) instantaneously"
+            ),
+            expected="unsat",
+            params={
+                "variant": "paper",
+                "jobs": 2,
+                "alpha": 0.4,
+                "period": 1.0,
+                "k": 3,
+                "grid": 2001,
+            },
+            fast_params={"grid": 201},
+        ),
+        Property(
+            name="degradation-safety",
+            version=1,
+            summary=(
+                "with the tracker degraded (F clamped to DEGRADED_F) the "
+                "step map and both share quantities are exactly those of "
+                "vanilla fair share"
+            ),
+            expected="unsat",
+            params={"alpha": 0.4, "period": 1.0, "grid": 4001},
+            fast_params={"grid": 401},
+        ),
+        Property(
+            name="monotone-recovery",
+            version=1,
+            summary=(
+                "after one bounded iteration-time shift from any "
+                "interleaved schedule, the model re-interleaves within k "
+                "iterations"
+            ),
+            expected="unsat",
+            params={
+                "variant": "paper",
+                "jobs": 2,
+                "alpha": 0.4,
+                "period": 1.0,
+                "k": 12,
+                "grid": 241,
+                "perturbation_grid": 81,
+                "max_perturbation_fraction": 0.2,
+                "min_lag_fraction": 0.02,
+            },
+            fast_params={"grid": 61, "perturbation_grid": 21},
+        ),
+    )
+}
+
+
+def property_by_name(name: str) -> Property:
+    """Look up one property (``KeyError`` with the catalog when unknown)."""
+    try:
+        return PROPERTIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown property {name!r}; expected one of "
+            f"{sorted(PROPERTIES)}"
+        ) from None

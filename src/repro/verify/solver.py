@@ -1,0 +1,421 @@
+"""Bounded-model-checking backends for the Algorithm 1 properties.
+
+Two backends answer the same violation queries
+(:mod:`repro.verify.properties`):
+
+* :class:`ExhaustiveBackend` — hermetic, stdlib-only: enumerates the
+  property's finite grid of initial states and simulates the discrete
+  step map k iterations from each.  ``unsat`` is a proof over the
+  quantized initial-state space (the step map itself is evaluated
+  exactly); ``sat`` returns the first grid witness.
+* :class:`Z3Backend` — encodes the same unrolled dynamics as z3 real
+  arithmetic over *continuous* initial states.  Optional: z3-solver is
+  the ``[verify]`` extra; when it is missing the backend reports
+  ``skipped`` with an install hint instead of failing, so tier-1 stays
+  hermetic.
+
+Both honour a per-query timeout (wall clock for the exhaustive search,
+z3's own ``timeout`` parameter for the solver); an expired budget yields
+verdict ``unknown``, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .model import VARIANTS
+from .properties import MARGIN, Property, check_state, enumerate_states, share_floor
+
+__all__ = [
+    "Verdict",
+    "ExhaustiveBackend",
+    "Z3Backend",
+    "UnsupportedProperty",
+    "have_z3",
+    "solve",
+    "Z3_INSTALL_HINT",
+]
+
+#: One consistent message everywhere z3's absence is reported.
+Z3_INSTALL_HINT = (
+    "z3-solver is not installed; the z3 backend is optional — "
+    "install it with `pip install repro[verify]` or use "
+    "`--backend exhaustive`"
+)
+
+#: Default per-query budget (seconds); `repro verify --timeout` overrides.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class UnsupportedProperty(Exception):
+    """The backend cannot encode this property (e.g. 3 jobs under z3)."""
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of one bounded query.
+
+    ``verdict`` is ``"unsat"`` (proved over the searched space), ``"sat"``
+    (``witness`` holds a concrete counterexample), ``"unknown"`` (budget
+    expired) or ``"skipped"`` (backend unavailable — ``reason`` says why).
+    """
+
+    property: str
+    version: int
+    verdict: str
+    backend: str
+    params: dict = field(default_factory=dict)
+    states_checked: int = 0
+    elapsed_s: float = 0.0
+    witness: Optional[dict] = None
+    reason: Optional[str] = None
+
+    @property
+    def matches_expected(self) -> bool:
+        from .properties import property_by_name
+
+        return self.verdict == property_by_name(self.property).expected
+
+    def as_dict(self) -> dict:
+        return {
+            "property": self.property,
+            "version": self.version,
+            "verdict": self.verdict,
+            "backend": self.backend,
+            "params": dict(self.params),
+            "states_checked": self.states_checked,
+            "elapsed_s": self.elapsed_s,
+            "witness": dict(self.witness) if self.witness is not None else None,
+            "reason": self.reason,
+        }
+
+
+class ExhaustiveBackend:
+    """Exhaustive bounded search over the property's initial-state grid."""
+
+    name = "exhaustive"
+
+    def __init__(self, timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
+        self.timeout_s = timeout_s
+
+    def solve(self, prop: Property, params: dict) -> Verdict:
+        started = time.monotonic()
+        deadline = started + self.timeout_s
+        checked = 0
+        for state in enumerate_states(prop, params):
+            # The clock is sampled every state, not every step: one
+            # state's k-iteration simulation is microseconds, so the
+            # budget overshoot is negligible while the common (in-budget)
+            # path stays cheap.
+            if time.monotonic() > deadline:
+                return Verdict(
+                    property=prop.name,
+                    version=prop.version,
+                    verdict="unknown",
+                    backend=self.name,
+                    params=params,
+                    states_checked=checked,
+                    elapsed_s=time.monotonic() - started,
+                    reason=f"timeout after {self.timeout_s:g} s",
+                )
+            witness = check_state(prop, state, params)
+            checked += 1
+            if witness is not None:
+                return Verdict(
+                    property=prop.name,
+                    version=prop.version,
+                    verdict="sat",
+                    backend=self.name,
+                    params=params,
+                    states_checked=checked,
+                    elapsed_s=time.monotonic() - started,
+                    witness=witness,
+                )
+        return Verdict(
+            property=prop.name,
+            version=prop.version,
+            verdict="unsat",
+            backend=self.name,
+            params=params,
+            states_checked=checked,
+            elapsed_s=time.monotonic() - started,
+        )
+
+
+def have_z3() -> bool:
+    """Whether the optional ``[verify]`` extra (z3-solver) is importable."""
+    try:
+        import z3  # noqa: F401 - availability probe
+
+        return True
+    except ImportError:
+        return False
+
+
+class Z3Backend:
+    """The same queries as z3 real-arithmetic constraints (continuous lag).
+
+    Covers the 2-job properties; the 3-job search space (two coupled
+    offsets under the pairwise step map) stays with the exhaustive
+    backend (:class:`UnsupportedProperty` otherwise).  Construction fails
+    with :data:`Z3_INSTALL_HINT` when z3 is absent — callers that want a
+    skip instead of an error check :func:`have_z3` first, which is what
+    :func:`solve` and the CLI do.
+    """
+
+    name = "z3"
+
+    def __init__(self, timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s!r}")
+        try:
+            import z3
+        except ImportError as error:  # pragma: no cover - z3 present in [verify]
+            raise RuntimeError(Z3_INSTALL_HINT) from error
+        self.z3 = z3
+        self.timeout_s = timeout_s
+
+    # -- symbolic pieces (mirror the concrete functions in .model) ----------
+
+    def _f(self, ratio, variant: str):
+        slope, intercept = VARIANTS[variant]
+        return slope * ratio + intercept
+
+    def _shift_forward(self, lag, comm, variant: str):
+        slope, intercept = VARIANTS[variant]
+        return (slope * lag * (comm - lag)) / (comm * intercept + lag * slope)
+
+    def _step(self, lag, params: dict, variant: str):
+        z3 = self.z3
+        comm = params["alpha"] * params["period"]
+        period = params["period"]
+        return z3.If(
+            lag < comm,
+            lag + self._shift_forward(lag, comm, variant),
+            z3.If(
+                lag > period - comm,
+                lag - self._shift_forward(period - lag, comm, variant),
+                lag,
+            ),
+        )
+
+    def _circle_distance(self, lag, period):
+        z3 = self.z3
+        return z3.If(lag <= period - lag, lag, period - lag)
+
+    def _interleaved(self, lag, params: dict):
+        comm = params["alpha"] * params["period"]
+        tol = self._tolerance(params)
+        return self._circle_distance(lag, params["period"]) >= comm - tol
+
+    @staticmethod
+    def _tolerance(params: dict) -> float:
+        from .model import INTERLEAVE_TOLERANCE_FRACTION
+
+        return INTERLEAVE_TOLERANCE_FRACTION * params["period"]
+
+    def _min_overlap_share(self, lag, params: dict, variant: str):
+        z3 = self.z3
+        comm = params["alpha"] * params["period"]
+        d = self._circle_distance(lag, params["period"])
+        follower = self._f(0.0, variant)
+        leader = self._f(d / comm, variant)
+        return z3.If(d >= comm, 1.0, follower / (follower + leader))
+
+    def _iteration_share(self, lag, params: dict):
+        z3 = self.z3
+        comm = params["alpha"] * params["period"]
+        d = self._circle_distance(lag, params["period"])
+        return z3.If(d >= comm, 1.0, comm / (2.0 * comm - d))
+
+    def _unroll(self, lag0, params: dict, variant: str) -> list:
+        """``[lag_0, step(lag_0), ..., step^k(lag_0)]`` as z3 terms."""
+        lags = [lag0]
+        for _ in range(int(params["k"])):
+            lags.append(self._step(lags[-1], params, variant))
+        return lags
+
+    # -- query encodings ----------------------------------------------------
+
+    def _encode(self, prop: Property, params: dict, solver) -> list:
+        """Add BAD-state constraints; returns the decision variables."""
+        z3 = self.z3
+        if int(params.get("jobs", 2)) != 2:
+            raise UnsupportedProperty(
+                f"{prop.name}: the z3 backend encodes the 2-job model only"
+            )
+        period = params["period"]
+        variant = params.get("variant", "paper")
+        lag0 = z3.Real("lag0")
+
+        if prop.name.startswith("interleaving-reachability"):
+            min_lag = params["min_lag_fraction"] * period
+            solver.add(lag0 >= min_lag, lag0 <= period - min_lag)
+            lags = self._unroll(lag0, params, variant)
+            solver.add(*[z3.Not(self._interleaved(lag, params)) for lag in lags])
+            return [lag0]
+
+        if prop.name == "starvation-bound":
+            solver.add(lag0 >= 0.0, lag0 <= period)
+            lags = self._unroll(lag0, params, variant)
+            k = int(params["k"])
+            floor_inst = share_floor(variant, 2)
+            inst_bad = [
+                self._min_overlap_share(lag, params, variant)
+                < floor_inst - MARGIN
+                for lag in lags
+            ]
+            iter_bad = [
+                self._iteration_share(lag, params) < 0.5 - MARGIN for lag in lags
+            ]
+            streaks = [
+                z3.And(*iter_bad[j : j + k])
+                for j in range(len(lags) - k + 1)
+            ]
+            solver.add(z3.Or(*(inst_bad + streaks)))
+            return [lag0]
+
+        if prop.name == "degradation-safety":
+            solver.add(lag0 >= 0.0, lag0 <= period)
+            diffs = [
+                self._step(lag0, params, "degraded")
+                != self._step(lag0, params, "fair"),
+                self._min_overlap_share(lag0, params, "degraded")
+                != self._min_overlap_share(lag0, params, "fair"),
+            ]
+            solver.add(z3.Or(*diffs))
+            return [lag0]
+
+        if prop.name == "monotone-recovery":
+            comm = params["alpha"] * period
+            tol = self._tolerance(params)
+            min_lag = params["min_lag_fraction"] * period
+            max_pert = params["max_perturbation_fraction"] * period
+            pert = z3.Real("perturbation")
+            solver.add(
+                self._circle_distance(lag0, period) >= comm - tol,
+                lag0 >= 0.0,
+                lag0 < period,
+                pert >= -max_pert,
+                pert <= max_pert,
+            )
+            raw = lag0 + pert
+            shifted = z3.If(raw < 0.0, raw + period, z3.If(raw >= period, raw - period, raw))
+            solver.add(self._circle_distance(shifted, period) >= min_lag)
+            lags = self._unroll(shifted, params, variant)
+            solver.add(*[z3.Not(self._interleaved(lag, params)) for lag in lags])
+            return [lag0, pert]
+
+        raise UnsupportedProperty(f"{prop.name}: no z3 encoding registered")
+
+    def solve(self, prop: Property, params: dict) -> Verdict:
+        z3 = self.z3
+        started = time.monotonic()
+        solver = z3.Solver()
+        solver.set("timeout", int(self.timeout_s * 1000))
+        variables = self._encode(prop, params, solver)
+        outcome = solver.check()
+        elapsed = time.monotonic() - started
+        if outcome == z3.sat:
+            assignment = solver.model()
+            witness = {
+                str(var): _real_to_float(assignment.eval(var, model_completion=True))
+                for var in variables
+            }
+            return Verdict(
+                property=prop.name,
+                version=prop.version,
+                verdict="sat",
+                backend=self.name,
+                params=params,
+                elapsed_s=elapsed,
+                witness=witness,
+            )
+        if outcome == z3.unsat:
+            return Verdict(
+                property=prop.name,
+                version=prop.version,
+                verdict="unsat",
+                backend=self.name,
+                params=params,
+                elapsed_s=elapsed,
+            )
+        return Verdict(
+            property=prop.name,
+            version=prop.version,
+            verdict="unknown",
+            backend=self.name,
+            params=params,
+            elapsed_s=elapsed,
+            reason=f"z3 returned {outcome!r} (timeout {self.timeout_s:g} s)",
+        )
+
+
+def _real_to_float(value) -> float:
+    """A z3 rational/algebraic model value as a float."""
+    try:
+        fraction = value.as_fraction()
+        return float(fraction.numerator) / float(fraction.denominator)
+    except Exception:
+        # Algebraic (irrational) values: take a decimal approximation.
+        return float(str(value.approx(20).as_decimal(17)).rstrip("?"))
+
+
+def solve(
+    prop: Property,
+    backend: str = "auto",
+    fast: bool = False,
+    timeout_s: Optional[float] = None,
+    **overrides,
+) -> Verdict:
+    """Answer one property with the requested backend.
+
+    ``backend``: ``"exhaustive"``, ``"z3"`` or ``"auto"`` (z3 when
+    installed and the property is encodable, exhaustive otherwise).  A
+    requested-but-unavailable backend yields verdict ``"skipped"`` with
+    the reason, matching the satellite contract that z3's absence is a
+    clear message, not a failure.
+    """
+    params = prop.resolved(fast=fast, **overrides)
+    budget = timeout_s if timeout_s is not None else DEFAULT_TIMEOUT_S
+
+    if backend == "exhaustive":
+        return ExhaustiveBackend(budget).solve(prop, params)
+
+    if backend == "z3":
+        if not have_z3():
+            return Verdict(
+                property=prop.name,
+                version=prop.version,
+                verdict="skipped",
+                backend="z3",
+                params=params,
+                reason=Z3_INSTALL_HINT,
+            )
+        try:
+            return Z3Backend(budget).solve(prop, params)
+        except UnsupportedProperty as error:
+            return Verdict(
+                property=prop.name,
+                version=prop.version,
+                verdict="skipped",
+                backend="z3",
+                params=params,
+                reason=str(error),
+            )
+
+    if backend == "auto":
+        if have_z3():
+            try:
+                return Z3Backend(budget).solve(prop, params)
+            except UnsupportedProperty:
+                pass
+        return ExhaustiveBackend(budget).solve(prop, params)
+
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'exhaustive', 'z3' or 'auto'"
+    )

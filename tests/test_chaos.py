@@ -655,7 +655,11 @@ class TestChaosRecoveryAcceptance:
                 )
 
     def test_recovery_section_round_trips_through_telemetry(self, results):
-        from repro.harness.telemetry import RunTelemetry, validate_run_report
+        from repro.harness.telemetry import (
+            REPORT_SCHEMA_VERSION,
+            RunTelemetry,
+            validate_run_report,
+        )
 
         telemetry = RunTelemetry("test.chaos")
         for result in results:
@@ -675,7 +679,7 @@ class TestChaosRecoveryAcceptance:
                     )
         report = json.loads(json.dumps(telemetry.as_report()))
         assert validate_run_report(report) == []
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
         entries = report["recovery"]
         assert entries and all(e["fault"] for e in entries)
         mltcp = [e for e in entries if e["policy"] == "mltcp"]

@@ -436,8 +436,10 @@ class TestSuppressions:
         assert codes(src) == []
 
     def test_line_suppression_is_code_specific(self):
+        # The FLT001 directive does not hide DET001 — and, silencing
+        # nothing, it is itself flagged as an unused suppression.
         src = "import random\nx = random.random()  # repro-lint: disable=FLT001\n"
-        assert codes(src) == ["DET001"]
+        assert codes(src) == ["DET001", "SUP001"]
 
     def test_line_suppression_all(self):
         src = "import random\nx = random.random()  # repro-lint: disable=all\n"
@@ -460,6 +462,159 @@ class TestSuppressions:
             "    return x\n"
         )
         assert codes(src) == []
+
+    def test_unused_line_suppression_is_flagged(self):
+        src = "x = 1  # repro-lint: disable=DET001\n"
+        findings = lint_source(src, FLUID, ALL_RULES)
+        assert [f.code for f in findings] == ["SUP001"]
+        assert findings[0].col == src.index("#")
+        assert "unused suppression" in findings[0].message
+
+    def test_unused_file_suppression_is_flagged(self):
+        src = "# repro-lint: disable-file=DET001\nx = 1\n"
+        findings = lint_source(src, FLUID, ALL_RULES)
+        assert [f.code for f in findings] == ["SUP001"]
+        assert "in this file" in findings[0].message
+
+    def test_partially_used_multi_code_directive(self):
+        # DET001 fires and is silenced; FLT001 never fires, so only the
+        # FLT001 half of the directive is reported stale.
+        src = "import random\nrandom.random()  # repro-lint: disable=DET001,FLT001\n"
+        findings = lint_source(src, FLUID, ALL_RULES)
+        assert [f.code for f in findings] == ["SUP001"]
+        assert "FLT001" in findings[0].message
+
+    def test_unused_disable_all_is_flagged(self):
+        src = "x = 1  # repro-lint: disable=all\n"
+        assert codes(src) == ["SUP001"]
+
+    def test_used_disable_all_is_not_flagged(self):
+        src = "import random\nrandom.random()  # repro-lint: disable=all\n"
+        assert codes(src) == []
+
+    def test_unselected_code_gets_benefit_of_the_doubt(self):
+        # Under --select DET001, an FLT001 directive cannot prove itself
+        # useful, so SUP001 stays quiet about it.
+        from repro.lint.engine import SUPPRESSION_RULE
+
+        rules = (rule_by_code("DET001"), SUPPRESSION_RULE)
+        src = "x = 0.1 == 0.2  # repro-lint: disable=FLT001\n"
+        assert [f.code for f in lint_source(src, FLUID, rules)] == []
+
+    def test_file_and_line_suppressions_both_count_as_used(self):
+        # A finding covered by both a file-wide and a line directive marks
+        # both used — neither is reported stale.
+        src = (
+            "# repro-lint: disable-file=DET001\n"
+            "import random\n"
+            "random.random()  # repro-lint: disable=DET001\n"
+        )
+        assert codes(src) == []
+
+    def test_directive_shaped_docstring_text_is_inert(self):
+        # Directive syntax inside a docstring neither suppresses nor
+        # counts as a (stale) suppression: directives live in comments.
+        src = (
+            '"""Example: ``# repro-lint: disable=DET001`` silences a line."""\n'
+            "import random\n"
+            "random.random()\n"
+        )
+        assert codes(src) == ["DET001"]
+
+    def test_sup001_is_itself_suppressible(self):
+        src = "x = 1  # repro-lint: disable=DET001,SUP001\n"
+        assert codes(src) == []
+
+
+class TestAliasDataflow:
+    def test_from_import_of_global_random_fn(self):
+        src = "from random import shuffle\nshuffle([1, 2])\n"
+        assert codes(src) == ["DET001"]
+
+    def test_from_import_with_asname(self):
+        src = "from random import randint as ri\nri(0, 3)\n"
+        assert codes(src) == ["DET001"]
+
+    def test_module_alias_through_assignment(self):
+        src = "import random\nr = random\nr.seed(1)\n"
+        assert codes(src) == ["DET001"]
+
+    def test_transitive_assignment_chain(self):
+        src = "import random\nr = random\ns = r\ns.random()\n"
+        assert codes(src) == ["DET001"]
+
+    def test_alias_cycle_does_not_hang(self):
+        src = "a = b\nb = a\na.c()\n"
+        assert codes(src, NEUTRAL) == []
+
+    def test_seeded_instance_still_allowed_through_alias(self):
+        src = "import random\nr = random\ngen = r.Random(7)\ngen.random()\n"
+        assert codes(src) == []
+
+    def test_wall_clock_from_import(self):
+        src = "from time import monotonic\nmonotonic()\n"
+        assert codes(src) == ["DET002"]
+
+    def test_wall_clock_alias_exempt_in_harness(self):
+        src = "from time import monotonic\nmonotonic()\n"
+        assert codes(src, "src/repro/harness/fixture.py") == []
+
+    def test_numpy_alias_resolution(self):
+        src = "import numpy as np\nnp.random.normal(0, 1)\n"
+        assert codes(src) == ["DET003"]
+
+    def test_numpy_random_module_from_import(self):
+        src = "from numpy import random as nr\nnr.normal(0, 1)\n"
+        assert codes(src) == ["DET003"]
+
+    def test_finding_message_names_both_spellings(self):
+        src = "from random import shuffle\nshuffle([1, 2])\n"
+        (finding,) = lint_source(src, FLUID, ALL_RULES)
+        assert "shuffle()" in finding.message
+        assert "random.shuffle" in finding.message
+
+
+class TestModelDriftRule:
+    VERIFY = "src/repro/verify/fixture.py"
+
+    def test_in_sync_constant_is_clean(self):
+        src = "SLOPE = 1.75  # mdl: mirrors repro.core.aggressiveness.PAPER_SLOPE\n"
+        assert codes(src, self.VERIFY) == []
+
+    def test_drifted_constant_is_flagged(self):
+        src = "SLOPE = 2.5  # mdl: mirrors repro.core.aggressiveness.PAPER_SLOPE\n"
+        findings = lint_source(src, self.VERIFY, ALL_RULES)
+        assert [f.code for f in findings] == ["MDL001"]
+        assert "drift" in findings[0].message
+        assert "1.75" in findings[0].message
+
+    def test_class_attribute_target(self):
+        src = (
+            "DRIFT = 0.45"
+            "  # mdl: mirrors repro.core.config.MLTCPConfig.drift_threshold\n"
+        )
+        assert codes(src, self.VERIFY) == []
+
+    def test_unresolvable_target_is_flagged(self):
+        src = "X = 1.0  # mdl: mirrors repro.core.no_such_module.NOPE\n"
+        findings = lint_source(src, self.VERIFY, ALL_RULES)
+        assert [f.code for f in findings] == ["MDL001"]
+        assert "unresolvable" in findings[0].message
+
+    def test_rule_is_scoped_to_verify(self):
+        src = "SLOPE = 2.5  # mdl: mirrors repro.core.aggressiveness.PAPER_SLOPE\n"
+        assert codes(src, NEUTRAL) == []
+
+    def test_model_module_mirrors_are_in_sync(self):
+        """Acceptance criterion: the real verify/model.py passes MDL001."""
+        model = (
+            Path(__file__).resolve().parent.parent
+            / "src" / "repro" / "verify" / "model.py"
+        )
+        findings = lint_source(
+            model.read_text(), str(model), (rule_by_code("MDL001"),)
+        )
+        assert findings == []
 
 
 class TestRuleCatalog:
@@ -538,6 +693,30 @@ class TestCli:
         out = capsys.readouterr().out
         for rule in ALL_RULES:
             assert rule.code in out
+
+    def test_json_output_findings(self, tmp_path, capsys):
+        import json
+
+        path = self._write(
+            tmp_path, "bad.py", "import random\nx = random.random()\n"
+        )
+        assert main(["lint", "--json", str(path)]) == 1
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert out.err == ""  # machine mode: stdout only
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["code"] == "DET001"
+        assert entry["path"] == str(path)
+        assert entry["line"] == 2
+        assert set(entry) == {"path", "line", "col", "code", "message"}
+
+    def test_json_output_clean(self, tmp_path, capsys):
+        import json
+
+        path = self._write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["lint", "--json", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out) == []
 
     def test_directory_walk(self, tmp_path, capsys):
         sub = tmp_path / "pkg"
