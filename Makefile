@@ -10,14 +10,15 @@ PYTHON ?= python
 BENCH_FLAGS = --benchmark-sort=name --benchmark-columns=min,mean,stddev,rounds \
 	--benchmark-warmup=on --benchmark-warmup-iterations=2 --benchmark-disable-gc
 
-.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke guards-smoke chaos-smoke verify-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke bench-scale-smoke guards-smoke chaos-smoke verify-smoke figures examples clean
 
 # The default verify path: repo-specific static analysis, type checking,
 # the fast test tier, executable-docs check, a guarded fault-recovery
 # smoke, a seeded chaos-campaign smoke, a bounded-model-checking smoke,
-# then a one-round perf-regression smoke. CI and the verify skill run this.
+# then one-round perf- and scale-regression smokes. CI and the verify
+# skill run this.
 .DEFAULT_GOAL := verify
-verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke verify-smoke bench-perf-smoke
+verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke verify-smoke bench-perf-smoke bench-scale-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -64,6 +65,7 @@ bench-perf:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
 		benchmarks/bench_guard_overhead.py \
 		benchmarks/bench_chaos_recovery.py \
+		benchmarks/bench_scale_fluid.py \
 		--benchmark-only --benchmark-json $$tmp $(BENCH_FLAGS) -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
 		--baseline bench_reports/perf_baseline.json; \
@@ -77,10 +79,28 @@ bench-perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
 		benchmarks/bench_guard_overhead.py \
 		benchmarks/bench_chaos_recovery.py \
+		benchmarks/bench_scale_fluid.py \
 		--benchmark-only --benchmark-json $$tmp --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
 		--baseline bench_reports/perf_baseline.json --threshold 1.0; \
+	status=$$?; rm -f $$tmp; exit $$status
+
+# The 10k-flow / 1000-job x 64-rack scale benchmarks of the vectorized
+# fluid core, single round against the committed baseline with a generous
+# threshold (docs/PERFORMANCE.md, "Vectorized core & scale benchmarks").
+# --select restricts the gate to the scale entries so the focused target
+# doesn't report the rest of the baseline as missing; the
+# pre-vectorization scalar numbers live in
+# bench_reports/perf_scale_seed.json for historical comparison.
+bench-scale-smoke:
+	@tmp=$$(mktemp) && \
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_scale_fluid.py \
+		--benchmark-only --benchmark-json $$tmp --benchmark-disable-gc \
+		--benchmark-min-rounds=1 --benchmark-warmup=off -q && \
+	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
+		--baseline bench_reports/perf_baseline.json --threshold 1.0 \
+		--select 'test_scale_*'; \
 	status=$$?; rm -f $$tmp; exit $$status
 
 # Both substrates through the guarded fault-recovery experiment with every

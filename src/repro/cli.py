@@ -541,6 +541,20 @@ def _bench_compare_command(args) -> int:
     if args.threshold < 0:
         return fail(f"--threshold must be non-negative, got {args.threshold!r}")
 
+    if args.select:
+        import fnmatch
+
+        baseline = {
+            name: stat
+            for name, stat in baseline.items()
+            if fnmatch.fnmatchcase(name, args.select)
+        }
+        if not baseline:
+            return fail(
+                f"--select {args.select!r} matches no benchmark in "
+                f"{args.baseline}"
+            )
+
     comparison = compare(current, baseline, threshold=args.threshold)
     print(
         render_table(
@@ -1095,6 +1109,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.15,
         metavar="FRACTION",
         help="allowed slowdown before the gate fails (default 0.15 = 15%%)",
+    )
+    bench_compare.add_argument(
+        "--select",
+        default=None,
+        metavar="GLOB",
+        help="gate only the baseline benchmarks matching this glob (e.g. "
+        "'test_scale_*' for `make bench-scale-smoke`); unmatched baseline "
+        "entries are neither compared nor reported missing",
     )
     bench_compare.add_argument(
         "--save",

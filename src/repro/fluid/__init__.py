@@ -9,7 +9,11 @@ from .allocation import (
     PIAS,
     SRPT,
     water_fill,
+    water_fill_array,
+    water_fill_batch,
 )
+from .arrays import FlowArrays, link_index_matrix
+from .batch import BatchedFluidExperiment, run_fluid_batch
 from .fabric import FluidFabric, fabric_capacities, place_on_fabric
 from .network import (
     NetworkFluidResult,
@@ -17,6 +21,7 @@ from .network import (
     PlacedJob,
     run_network_fluid,
     weighted_max_min,
+    weighted_max_min_array,
 )
 from .flowsim import (
     FluidResult,
@@ -36,6 +41,12 @@ __all__ = [
     "PIAS",
     "FlowView",
     "water_fill",
+    "water_fill_array",
+    "water_fill_batch",
+    "FlowArrays",
+    "link_index_matrix",
+    "BatchedFluidExperiment",
+    "run_fluid_batch",
     "FluidSimulator",
     "FluidResult",
     "IterationResult",
@@ -47,6 +58,7 @@ __all__ = [
     "NetworkFluidResult",
     "run_network_fluid",
     "weighted_max_min",
+    "weighted_max_min_array",
     "FluidFabric",
     "fabric_capacities",
     "place_on_fabric",

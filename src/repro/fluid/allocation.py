@@ -23,11 +23,17 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Hashable, Mapping, Optional, Sequence
 
+import numpy as np
+
 from ..core.aggressiveness import (
     AggressivenessFunction,
     LinearAggressiveness,
     default_aggressiveness,
 )
+
+# repro-lint: hot-path-module
+# (PRF002: per-flow Python loops over FlowView sequences are flagged in
+# this module; the vectorized array entry points below are the hot path.)
 
 __all__ = [
     "FlowView",
@@ -38,7 +44,10 @@ __all__ = [
     "PDQ",
     "PIAS",
     "water_fill",
+    "water_fill_array",
+    "water_fill_batch",
     "allocation_excess",
+    "allocation_excess_array",
 ]
 
 
@@ -213,6 +222,225 @@ def water_fill(
     return {fid: max(0.0, rate) for fid, rate in rates.items()}
 
 
+def water_fill_array(
+    demands: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    ids: Optional[Sequence[str]] = None,
+    rank: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Vectorized twin of :func:`water_fill` on contiguous arrays.
+
+    The flow axis is in *candidate* order — the insertion order of the
+    scalar reference's ``demands`` mapping — and ``rank``, when given,
+    carries each flow's unique sort position among the flow ids so the
+    scalar's single up-front ``sorted(demands)`` pass can be replayed
+    without re-sorting strings per call (``rank=None`` means the axis is
+    already sorted).  The returned rates align with the input axis.
+    Every float the scalar version computes is reproduced bit-for-bit
+    (docs/PERFORMANCE.md, "Vectorized core & scale benchmarks"):
+
+    * per-round weight totals accumulate strictly left-to-right over the
+      unsaturated flows in sorted order via ``np.add.accumulate``
+      (``np.sum`` would pairwise-sum, a different rounding sequence);
+    * the zero-weight refill branch replays the scalar's ``spent`` loop
+      over the mapping's insertion order — the array axis — where a
+      skipped flow contributes a literal ``+0.0``, an exact identity on
+      a non-negative running total;
+    * ``max``/``min`` clamps become sign-exact ``np.where`` selections.
+
+    ``water_fill`` remains the property-test oracle
+    (tests/test_vectorized_allocation.py).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    if demands.shape != weights.shape or demands.ndim != 1:
+        raise ValueError(
+            f"demands/weights must be matching 1-D arrays, got "
+            f"{demands.shape} and {weights.shape}"
+        )
+    negative = weights < 0.0
+    if negative.any():
+        first = int(np.argmax(negative))
+        fid = ids[first] if ids is not None else f"flow[{first}]"
+        raise ValueError(
+            f"{fid}: weight must be non-negative, got {weights[first]!r}"
+        )
+    n = demands.shape[0]
+    if rank is None:
+        order = np.arange(n, dtype=np.intp)
+    else:
+        order = np.argsort(rank, kind="stable")
+    rates = np.zeros(n)
+    unsat = np.ones(n, dtype=bool)
+    was_saturated = np.zeros(n, dtype=bool)
+    remaining = capacity
+    while True:
+        # Unsaturated flows in sorted-id order, exactly the scalar's
+        # order-preserving filter of its up-front ``sorted(demands)``.
+        idx = order[unsat[order]]
+        if idx.size == 0 or not remaining > 1e-12:
+            break
+        w_u = weights[idx]
+        # Strictly sequential left-to-right sum: bit-identical to the
+        # scalar reference's running ``total_weight`` accumulation.
+        total = float(np.add.accumulate(w_u)[-1])
+        d_u = demands[idx]
+        if total <= 0.0:
+            equal = remaining / idx.size
+            newly = d_u <= equal + 1e-12
+            if not newly.any():
+                rates[idx] = rates[idx] + equal
+                return np.where(rates > 0.0, rates, 0.0)
+            cap_idx = idx[newly]
+            rates[cap_idx] = demands[cap_idx]
+            # Refill: re-sum what rounds before this one granted.  The
+            # scalar iterates the whole demands mapping in insertion
+            # order (the array axis), skipping unsaturated flows; the
+            # skip is a ``+0.0`` add on a non-negative total, so the
+            # masked full-axis accumulation is exact.
+            if n:
+                spent = float(
+                    np.add.accumulate(np.where(was_saturated, rates, 0.0))[-1]
+                )
+            else:  # pragma: no cover - n == 0 never reaches this branch
+                spent = 0.0
+            remaining = capacity - spent
+            was_saturated[cap_idx] = True
+            unsat[cap_idx] = False
+            continue
+        shares = (remaining * w_u) / total
+        capped = (w_u > 0.0) & (shares >= d_u - 1e-12)
+        if capped.any():
+            cap_idx = idx[capped]
+            d_cap = demands[cap_idx]
+            rates[cap_idx] = d_cap
+            # Sequential ``remaining -= demand`` chain, in round order.
+            seq = np.empty(d_cap.size + 1)
+            seq[0] = remaining
+            np.negative(d_cap, out=seq[1:])
+            remaining = float(np.add.accumulate(seq)[-1])
+            was_saturated[cap_idx] = True
+            unsat[cap_idx] = False
+            continue
+        rates[idx] = shares
+        return np.where(rates > 0.0, rates, 0.0)
+    return np.where(rates > 0.0, rates, 0.0)
+
+
+def water_fill_batch(
+    demands: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    active: np.ndarray,
+    rank: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Water-fill ``S`` independent scenarios stacked on a leading seed axis.
+
+    ``demands`` is ``(n,)`` (flow caps are seed-invariant), ``weights``
+    and ``active`` are ``(S, n)``; the flow axis is in candidate order
+    with ``rank`` carrying sort positions exactly as for
+    :func:`water_fill_array`.  Lane ``s`` of the result is bit-identical
+    to ``water_fill_array(demands[active[s]], weights[s, active[s]],
+    capacity, rank=rank[active[s]])`` scattered back over ``n`` flows
+    (inactive lanes are 0): inactive flows are skipped, not zero-padded,
+    in every float accumulation the scalar reference performs — a
+    skipped flow adds a literal ``+0.0``, an exact identity.
+
+    Zero-weight rounds (unreachable for the strictly positive FairShare/
+    MLTCP weights the batched engine produces) fall back to the per-seed
+    array path for the affected seeds.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    n_seeds, n = weights.shape
+    if demands.shape != (n,) or active.shape != (n_seeds, n):
+        raise ValueError(
+            f"shape mismatch: weights {weights.shape}, demands "
+            f"{demands.shape}, active {active.shape}"
+        )
+    if bool((weights[active] < 0.0).any()):
+        raise ValueError("weights must be non-negative")
+    # Work internally in sorted-id column order so every axis-1
+    # accumulation visits flows exactly as the scalar's sorted loop does;
+    # scatter back to the caller's candidate order at the end.
+    if rank is None:
+        cols = np.arange(n, dtype=np.intp)
+    else:
+        cols = np.argsort(rank, kind="stable")
+    d_sorted = demands[cols]
+    w_sorted = np.ascontiguousarray(weights[:, cols])
+    rates = np.zeros((n_seeds, n))
+    unsat = np.ascontiguousarray(active[:, cols])
+    remaining = np.full(n_seeds, float(capacity))
+    live = np.ones(n_seeds, dtype=bool)
+    fallback_rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    d_row = d_sorted[None, :]
+    while True:
+        live &= unsat.any(axis=1) & (remaining > 1e-12)
+        if not live.any():
+            break
+        masked_w = np.where(unsat, w_sorted, 0.0)
+        totals = np.add.accumulate(masked_w, axis=1)[:, -1]
+        degenerate = live & (totals <= 0.0)
+        if degenerate.any():
+            # Zero-weight refill rounds: replay those seeds individually
+            # through the (bit-identical) single-scenario path.
+            for s in np.nonzero(degenerate)[0]:
+                lanes = np.nonzero(active[s])[0]
+                sub_rank = rank[lanes] if rank is not None else None
+                fallback_rows[int(s)] = (
+                    lanes,
+                    water_fill_array(
+                        demands[lanes], weights[s, lanes], capacity,
+                        rank=sub_rank,
+                    ),
+                )
+                live[s] = False
+            if not live.any():
+                break
+        with np.errstate(divide="ignore", invalid="ignore"):
+            shares = (remaining[:, None] * w_sorted) / totals[:, None]
+        capped = unsat & (w_sorted > 0.0) & (shares >= d_row - 1e-12)
+        capped[~live] = False
+        has_capped = capped.any(axis=1)
+        finishing = live & ~has_capped
+        if finishing.any():
+            take = unsat & finishing[:, None]
+            rates[take] = shares[take]
+            live &= ~finishing
+        if has_capped.any():
+            rates = np.where(capped, d_row, rates)
+            # Per-seed sequential ``remaining -= demand`` chain.
+            seq = np.concatenate(
+                [remaining[:, None], np.where(capped, -d_row, 0.0)], axis=1
+            )
+            new_remaining = np.add.accumulate(seq, axis=1)[:, -1]
+            remaining = np.where(has_capped & live, new_remaining, remaining)
+            unsat &= ~capped
+    out = np.zeros((n_seeds, n))
+    out[:, cols] = np.where(rates > 0.0, rates, 0.0)
+    for s, (lanes, row) in fallback_rows.items():
+        out[s] = 0.0
+        out[s, lanes] = row
+    return out
+
+
+def allocation_excess_array(sorted_rates: np.ndarray, capacity_bps: float) -> float:
+    """:func:`allocation_excess` on a rate array already in sorted-id order.
+
+    Sums sequentially (``np.add.accumulate``) so the total matches the
+    scalar loop bit-for-bit.
+    """
+    if sorted_rates.size == 0:
+        return 0.0 - capacity_bps
+    return float(np.add.accumulate(sorted_rates)[-1]) - capacity_bps
+
+
 class FairShare(AllocationPolicy):
     """Equal-weight max-min share: N competing TCP flows in steady state."""
 
@@ -290,7 +518,7 @@ class MLTCPWeighted(AllocationPolicy):
         if linear is not None:
             slope, intercept = linear
             weights: dict[str, float] = {}
-            for f in flows:
+            for f in flows:  # repro-lint: disable=PRF002
                 ratio = f.sent_bits / f.total_bits
                 if ratio > 1.0:
                     ratio = 1.0
@@ -345,7 +573,7 @@ class SRPT(AllocationPolicy):
         rates: dict[str, float] = {}
         remaining_capacity = capacity_bps
         group: list[FlowView] = []
-        for flow in ordered:
+        for flow in ordered:  # repro-lint: disable=PRF002
             if group and flow.remaining_bits - group[0].remaining_bits > tolerance:
                 remaining_capacity -= self._serve_group(group, remaining_capacity, rates)
                 group = []
@@ -360,7 +588,7 @@ class SRPT(AllocationPolicy):
     ) -> float:
         """Fair-share ``capacity`` within one priority group; returns usage."""
         if capacity <= 1e-12:
-            for flow in group:
+            for flow in group:  # repro-lint: disable=PRF002
                 rates[flow.flow_id] = 0.0
             return 0.0
         demands = {f.flow_id: f.demand_bps for f in group}
@@ -394,7 +622,7 @@ class PDQ(AllocationPolicy):
         rates = {f.flow_id: 0.0 for f in flows}
         remaining_capacity = capacity_bps
         ordered = sorted(flows, key=lambda f: (f.remaining_bits, f.flow_id))
-        for flow in ordered[: self.max_senders]:
+        for flow in ordered[: self.max_senders]:  # repro-lint: disable=PRF002
             rate = min(flow.demand_bps, remaining_capacity)
             rates[flow.flow_id] = rate
             remaining_capacity -= rate
@@ -442,7 +670,7 @@ class PIAS(AllocationPolicy):
             return {}
         thresholds = self._resolve_thresholds(flows)
         levels: dict[int, list[FlowView]] = {}
-        for flow in flows:
+        for flow in flows:  # repro-lint: disable=PRF002
             level = sum(1 for t in thresholds if flow.sent_bits >= t)
             levels.setdefault(level, []).append(flow)
         rates: dict[str, float] = {f.flow_id: 0.0 for f in flows}

@@ -1,0 +1,325 @@
+"""Batched Monte-Carlo fluid runs: N seeds as one extra array axis.
+
+# repro-lint: hot-path-module
+
+Convergence statistics (``repro.harness.sweep``) repeat the same
+scenario under different noise realizations.  The scalar route pays one
+full :class:`~repro.fluid.flowsim.FluidSimulator` event loop — or one
+worker process — per seed.  This module stacks the seeds on the leading
+axis of the struct-of-arrays state instead and advances all of them in
+lockstep: one ``(S, n)`` vectorized sweep/allocate/deliver pass per
+step, with each seed moving by its *own* ``dt`` and freezing (``dt = 0``,
+an exact no-op on its state) once it meets the stopping criterion.
+
+Each lane reproduces its solo run bit-for-bit: the per-seed RNGs are
+private, per-seed transitions are dispatched in the same ascending flow
+order the scalar sweep used, and the stacked water-fill
+(:func:`repro.fluid.allocation.water_fill_batch`) is bit-identical per
+lane to the scalar reference (docs/PERFORMANCE.md, "Vectorized core &
+scale benchmarks" — including when the batched axis applies).
+
+Scope: the batched path covers the Monte-Carlo workhorse configuration —
+``FairShare`` or linear ``MLTCPWeighted`` weights, one bottleneck,
+``max_iterations`` stopping, no faults/guards/segments.  Anything
+outside that raises ``ValueError`` up front; callers fall back to
+per-seed :func:`~repro.fluid.flowsim.run_fluid`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.units import bps_from_gbps
+from ..workloads.job import JobSpec
+from .allocation import AllocationPolicy, FairShare, MLTCPWeighted, water_fill_batch
+from .arrays import PHASE_COMM, PHASE_COMPUTE, PHASE_DONE, PHASE_WAITING, FlowArrays
+from .flowsim import _EPS_BITS, _EPS_TIME, FluidResult, IterationResult, run_fluid
+
+__all__ = ["run_fluid_batch", "BatchedFluidExperiment", "BATCH_METRICS"]
+
+
+def _linear_coefficients(policy: AllocationPolicy) -> Optional[tuple[float, float]]:
+    """``(slope, intercept)`` when the policy is batchable, else ``None``.
+
+    FairShare is the degenerate line ``0 * ratio + 1``; a linear
+    MLTCPWeighted without the ``ratio_granularity`` cache knob exposes its
+    coefficients.  Everything else (nonlinear F, granular caching, SRPT,
+    PDQ, PIAS, subclasses) is out of scope for the batched axis.
+    """
+    if type(policy) is FairShare:
+        return (0.0, 1.0)
+    if (
+        type(policy) is MLTCPWeighted
+        and policy._linear is not None
+        and policy.ratio_granularity is None
+    ):
+        return policy._linear
+    return None
+
+
+def run_fluid_batch(
+    jobs: Sequence[JobSpec],
+    capacity_gbps: float,
+    seeds: Sequence[Optional[int]],
+    policy: Optional[AllocationPolicy] = None,
+    max_iterations: Optional[int] = None,
+    quantum: float = 0.02,
+) -> list[FluidResult]:
+    """Run one scenario under ``len(seeds)`` noise draws in one array pass.
+
+    Returns one :class:`FluidResult` per seed, in seed order, each
+    bit-identical to ``run_fluid(jobs, capacity_gbps, policy=policy,
+    max_iterations=max_iterations, seed=seed, quantum=quantum,
+    record_segments=False)`` — same iterations, same end time, no rate
+    segments (the batched axis trades the per-event segment log for
+    throughput; run a solo seed when you need Figure-4-style timelines).
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"job names must be unique, got {names}")
+    if capacity_gbps <= 0:
+        raise ValueError(f"capacity_gbps must be positive, got {capacity_gbps!r}")
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum!r}")
+    if max_iterations is None or max_iterations < 1:
+        raise ValueError(
+            f"max_iterations must be a positive integer, got {max_iterations!r}"
+        )
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("seeds must contain at least one seed")
+    policy = policy if policy is not None else FairShare()
+    linear = _linear_coefficients(policy)
+    if linear is None:
+        raise ValueError(
+            f"policy {type(policy).__name__!r} has no batched fast path; "
+            "use FairShare or a linear MLTCPWeighted without "
+            "ratio_granularity, or fall back to per-seed run_fluid"
+        )
+    slope, intercept = linear
+
+    fa = FlowArrays.from_specs(jobs)
+    n = len(fa)
+    n_seeds = len(seeds)
+    demand_bps = fa.demand_bps
+    total_bits = fa.total_bits
+    rank = fa.rank
+    specs = fa.specs
+    flow_names = fa.names
+    # Same conversion the scalar simulator uses, so capacities match
+    # bit-for-bit.
+    capacity_bps = bps_from_gbps(capacity_gbps)
+
+    rngs = [
+        np.random.default_rng(seed) if seed is not None else None for seed in seeds
+    ]
+    results = [
+        FluidResult(
+            jobs=tuple(jobs), capacity_gbps=capacity_gbps, policy_name=policy.name
+        )
+        for _ in seeds
+    ]
+
+    # (S, n) state stack: lane s is seed s's solo FlowArrays state.
+    phase = np.full((n_seeds, n), PHASE_WAITING, dtype=np.int8)
+    remaining = np.zeros((n_seeds, n))
+    sent = np.zeros((n_seeds, n))
+    deadline = np.tile(fa.start_offset, (n_seeds, 1))
+    comm_start = np.full((n_seeds, n), np.nan)
+    comm_end = np.full((n_seeds, n), np.nan)
+    iter_index = np.zeros((n_seeds, n), dtype=np.int64)
+    rates = np.zeros((n_seeds, n))
+    now = np.zeros(n_seeds)
+    steps = np.zeros(n_seeds, dtype=np.int64)
+    alive = np.ones(n_seeds, dtype=bool)
+
+    # Same step envelope as the scalar simulator (per seed).
+    longest = max(job.ideal_iteration_time for job in jobs)
+    horizon = 3.0 * longest * max_iterations + max(j.start_offset for j in jobs)
+    max_steps = int(50 * n * max(1.0, horizon / quantum))
+
+    while True:
+        # -- sweep: due transitions from the pre-sweep state, one per flow --
+        lanes = alive[:, None]
+        wait_due = lanes & (phase == PHASE_WAITING) & (now[:, None] >= deadline - _EPS_TIME)
+        comm_done = lanes & (phase == PHASE_COMM) & (remaining <= _EPS_BITS)
+        compute_due = lanes & (phase == PHASE_COMPUTE) & (now[:, None] >= deadline - _EPS_TIME)
+        due = wait_due | comm_done | compute_due
+        if due.any():
+            # Row-major nonzero: within each seed, flows dispatch in the
+            # ascending index order its solo sweep used, so each lane's
+            # private RNG draw sequence is preserved.
+            for s, i in zip(*(a.tolist() for a in np.nonzero(due))):
+                if wait_due[s, i]:
+                    _start_comm(
+                        specs, rngs[s], phase, remaining, sent, comm_start,
+                        comm_end, s, i, now[s],
+                    )
+                elif comm_done[s, i]:
+                    comm_end[s, i] = now[s]
+                    phase[s, i] = PHASE_COMPUTE
+                    deadline[s, i] = now[s] + specs[i].sample_compute_time(rngs[s])
+                else:
+                    results[s].iterations.append(
+                        IterationResult(
+                            job=flow_names[i],
+                            index=int(iter_index[s, i]),
+                            comm_start=float(comm_start[s, i]),
+                            comm_end=float(comm_end[s, i]),
+                            iteration_end=float(now[s]),
+                        )
+                    )
+                    iter_index[s, i] += 1
+                    limit = specs[i].iteration_limit
+                    if limit is not None and iter_index[s, i] >= limit:
+                        phase[s, i] = PHASE_DONE  # training finished: departs
+                    else:
+                        _start_comm(
+                            specs, rngs[s], phase, remaining, sent, comm_start,
+                            comm_end, s, i, now[s],
+                        )
+        # -- stopping criterion per lane; finished lanes freeze at dt = 0 --
+        finished = ((phase == PHASE_DONE) | (iter_index >= max_iterations)).all(axis=1)
+        for s in np.nonzero(alive & finished)[0].tolist():
+            results[s].end_time = float(now[s])
+        alive &= ~finished
+        if not alive.any():
+            break
+        if bool((steps[alive] >= max_steps).any()):
+            # A live lane has executed the scalar loop's full step budget
+            # without meeting the stopping criterion — exactly when its
+            # solo run would have raised.
+            raise RuntimeError(
+                f"fluid simulation exceeded {max_steps} steps without "
+                "finishing; check for a zero-rate livelock"
+            )
+
+        # -- allocation: one stacked water-fill over every live lane --
+        active = (phase == PHASE_COMM) & alive[:, None]
+        quotient = np.divide(
+            sent, total_bits[None, :], out=np.zeros_like(sent), where=active
+        )
+        ratio = np.where(quotient < 1.0, quotient, 1.0)
+        weights = slope * ratio + intercept
+        rates = water_fill_batch(demand_bps, weights, capacity_bps, active, rank=rank)
+
+        # -- per-lane dt: quantum, phase deadlines, drain times --
+        candidates = np.full((n_seeds, n), math.inf)
+        timed = (phase != PHASE_DONE) & (phase != PHASE_COMM)
+        np.subtract(deadline, now[:, None], out=candidates, where=timed)
+        flowing = active & (rates > 0.0)
+        np.divide(remaining, rates, out=candidates, where=flowing)
+        candidates[candidates <= _EPS_TIME] = math.inf
+        best = candidates.min(axis=1)
+        if quantum > _EPS_TIME:
+            best = np.where(quantum < best, quantum, best)
+        dt = np.where(np.isinf(best), _EPS_TIME, best)
+        dt = np.where(alive, dt, 0.0)
+
+        # -- delivery: whole-stack twin of the scalar clamp chain --
+        delivered = rates * dt[:, None]
+        shrunk = remaining - delivered
+        remaining = np.where(shrunk > 0.0, shrunk, 0.0)
+        grown = sent + delivered
+        sent = np.where(grown < total_bits[None, :], grown, total_bits[None, :])
+        now = now + dt
+        steps[alive] += 1
+    return results
+
+
+def _start_comm(
+    specs: tuple[JobSpec, ...],
+    rng: Optional[np.random.Generator],
+    phase: np.ndarray,
+    remaining: np.ndarray,
+    sent: np.ndarray,
+    comm_start: np.ndarray,
+    comm_end: np.ndarray,
+    s: int,
+    i: int,
+    now_s: float,
+) -> None:
+    """Lane-local twin of ``FluidSimulator._start_comm``."""
+    phase[s, i] = PHASE_COMM
+    remaining[s, i] = specs[i].sample_comm_bits(rng)
+    sent[s, i] = 0.0
+    comm_start[s, i] = now_s
+    comm_end[s, i] = math.nan
+
+
+def _mean_iteration_time(result: FluidResult) -> float:
+    return float(result.all_iteration_times().mean())
+
+
+def _end_time(result: FluidResult) -> float:
+    return result.end_time
+
+
+#: Named scalar metrics a batched experiment can fold a run down to.
+#: (String-keyed so the experiment dataclass stays picklable for the
+#: process-pool fallback path.)
+BATCH_METRICS: dict[str, Callable[[FluidResult], float]] = {
+    "mean_iteration_time": _mean_iteration_time,
+    "end_time": _end_time,
+}
+
+
+@dataclass(frozen=True)
+class BatchedFluidExperiment:
+    """A seed-parameterized fluid experiment with a vectorized batch path.
+
+    Callable as ``experiment(seed) -> float`` (the contract
+    :func:`repro.harness.sweep.repeat_with_seeds` expects, picklable for
+    its worker pool), and additionally exposing
+    ``run_batch(seeds) -> list[float]`` so ``repeat_with_seeds(...,
+    batch=True)`` / ``run_batched_seeds`` can fold all seeds through
+    :func:`run_fluid_batch` in one vectorized pass.  Both paths produce
+    bit-identical metric values.
+    """
+
+    jobs: tuple[JobSpec, ...]
+    capacity_gbps: float
+    policy: Optional[AllocationPolicy] = None
+    max_iterations: int = 10
+    quantum: float = 0.02
+    metric: str = "mean_iteration_time"
+
+    def __post_init__(self) -> None:
+        if self.metric not in BATCH_METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; "
+                f"choose one of {sorted(BATCH_METRICS)}"
+            )
+
+    def __call__(self, seed: Optional[int]) -> float:
+        result = run_fluid(
+            list(self.jobs),
+            self.capacity_gbps,
+            policy=self.policy,
+            max_iterations=self.max_iterations,
+            seed=seed,
+            quantum=self.quantum,
+            record_segments=False,
+        )
+        return BATCH_METRICS[self.metric](result)
+
+    def run_batch(self, seeds: Sequence[Optional[int]]) -> list[float]:
+        """All seeds in one vectorized pass; values match ``self(seed)``."""
+        metric = BATCH_METRICS[self.metric]
+        return [
+            metric(result)
+            for result in run_fluid_batch(
+                list(self.jobs),
+                self.capacity_gbps,
+                seeds,
+                policy=self.policy,
+                max_iterations=self.max_iterations,
+                quantum=self.quantum,
+            )
+        ]

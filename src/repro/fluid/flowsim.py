@@ -34,11 +34,24 @@ import numpy as np
 from ..core.tolerances import close, is_zero
 from ..core.units import bps_from_gbps, gbps_from_bps
 from ..workloads.job import JobSpec
-from .allocation import AllocationPolicy, FairShare, FlowView, allocation_excess
+from .allocation import (
+    AllocationPolicy,
+    FairShare,
+    FlowView,
+    MLTCPWeighted,
+    allocation_excess,
+    water_fill_array,
+)
+from .arrays import PHASE_COMM, PHASE_COMPUTE, PHASE_DONE, PHASE_WAITING, FlowArrays
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.schedule import FaultSchedule
     from ..guards.core import GuardRail
+
+# repro-lint: hot-path-module
+# (PRF002: flow state lives in FlowArrays and must be advanced with
+# whole-array numpy passes; per-flow Python loops over view/runtime
+# sequences are flagged in this module.)
 
 #: Relative tolerance for the inline allocation-capacity guard; mirrors
 #: repro.guards.monitors.ALLOCATION_REL_TOL (kept literal here so this
@@ -58,6 +71,12 @@ __all__ = [
 _EPS_BITS = 1e-6
 #: Seconds below which an event is "now".
 _EPS_TIME = 1e-12
+#: Flow count at which the array engine takes over from the scalar one.
+#: numpy's fixed per-op cost dominates small populations — the measured
+#: crossover is ~32 flows (docs/PERFORMANCE.md, "Vectorized core & scale
+#: benchmarks") — and both engines are bit-identical, so the dispatch
+#: changes wall-clock only, never a result.
+_VECTORIZED_MIN_FLOWS = 32
 
 
 class Phase(enum.Enum):
@@ -101,6 +120,8 @@ class RateSegment:
 
 @dataclass
 class _JobRuntime:
+    """Per-job state of the scalar (small-population) engine."""
+
     spec: JobSpec
     phase: Phase = Phase.WAITING
     remaining_bits: float = 0.0
@@ -172,9 +193,12 @@ class FluidResult:
             rounds = min(rounds, max_rounds)
         if rounds == 0:
             return np.array([])
-        return np.array(
-            [float(np.mean([t[i] for t in per_job])) for i in range(rounds)]
-        )
+        # One 2-D reduction instead of a per-round Python comprehension.
+        # Transposing to C-contiguous (rounds, jobs) makes each row mean the
+        # same 1-D pairwise summation numpy used on the old per-round lists,
+        # so the series is bit-identical (docs/PERFORMANCE.md).
+        stacked = np.ascontiguousarray(np.stack([t[:rounds] for t in per_job]).T)
+        return stacked.mean(axis=1)
 
     def rate_timeline(
         self, job: str, dt: float = 0.01
@@ -231,6 +255,11 @@ class FluidSimulator:
         #: ``fluid-stall`` before raising (docs/ROBUSTNESS.md).
         self.guards = guards
         self._rng = np.random.default_rng(seed) if seed is not None else None
+        #: Struct-of-arrays flow state (see repro.fluid.arrays); reset per run.
+        self._arrays = FlowArrays.from_specs(self.jobs)
+        #: Lazily built policy-facing views for the FlowView-compat path,
+        #: one slot per job, progress synced in place between events.
+        self._views: list[Optional[FlowView]] = [None] * len(self.jobs)
         if faults is not None:
             from ..faults.fluid import FluidFaultState
 
@@ -246,7 +275,10 @@ class FluidSimulator:
     ) -> FluidResult:
         """Simulate until ``end_time`` or every job finished ``max_iterations``.
 
-        At least one stopping criterion is required.
+        At least one stopping criterion is required.  Populations below
+        ``_VECTORIZED_MIN_FLOWS`` run on the scalar per-runtime engine,
+        larger ones on the array engine; the two are bit-identical, so the
+        dispatch is invisible in every output.
         """
         if end_time is None and max_iterations is None:
             raise ValueError("provide end_time and/or max_iterations")
@@ -254,7 +286,215 @@ class FluidSimulator:
             raise ValueError(f"end_time must be positive, got {end_time!r}")
         if max_iterations is not None and max_iterations < 1:
             raise ValueError(f"max_iterations must be positive, got {max_iterations!r}")
+        if len(self.jobs) < _VECTORIZED_MIN_FLOWS:
+            return self._run_scalar(end_time, max_iterations, record_segments)
 
+        fa = self._arrays
+        fa.reset()
+        result = FluidResult(
+            jobs=self.jobs,
+            capacity_gbps=self.capacity_gbps,
+            policy_name=self.policy.name,
+        )
+        now = 0.0
+        # Generous guard: a few events per quantum per job.
+        horizon = end_time if end_time is not None else self._horizon(max_iterations)
+        if self.faults is not None:
+            # Faults stall progress (a downed link delivers nothing) and add
+            # transitions; extend the envelope past the last one.
+            horizon += self.faults.last_transition
+        max_steps = int(50 * len(self.jobs) * max(1.0, horizon / self.quantum))
+
+        last_capacity_factor = 1.0
+        # Hot-loop hoists (docs/PERFORMANCE.md): bound methods, invariants
+        # and the struct-of-arrays columns looked up once instead of per
+        # event.
+        faults = self.faults
+        full_capacity = self.capacity_bps
+        policy = self.policy
+        allocate = policy.allocate
+        policy_cache_key = policy.cache_key
+        guards = self.guards
+        policy_name = policy.name
+        segments = result.segments
+        names = fa.names
+        phase = fa.phase
+        remaining = fa.remaining_bits
+        sent = fa.sent_bits
+        rates_arr = fa.rates
+        demand_bps = fa.demand_bps
+        total_bits = fa.total_bits
+        rank = fa.rank
+        # Array fast path: for the exact policy classes whose weights are a
+        # closed-form vector over flow progress (FairShare's unit weights,
+        # MLTCPWeighted's F(bytes_ratio)), demands/weights feed
+        # water_fill_array directly — no FlowView dicts on the hot path.
+        # Anything else (SRPT, PDQ, PIAS, subclasses, custom policies) goes
+        # through the FlowView-compat path with semantics unchanged.
+        fast: Optional[str] = None
+        slope = intercept = 0.0
+        granularity: Optional[float] = None
+        mltcp_function = None
+        if type(policy) is FairShare:
+            fast = "fair"
+        elif type(policy) is MLTCPWeighted:
+            fast = "mltcp"
+            granularity = policy.ratio_granularity
+            if policy._linear is not None:
+                slope, intercept = policy._linear
+            else:
+                mltcp_function = policy.function
+        # Allocation reuse: while the policy's cache token is unchanged the
+        # previous rate vector is returned verbatim (see
+        # AllocationPolicy.cache_key).  Token-less policies recompute every
+        # event, exactly as before.  The fast path mirrors the scalar
+        # policies' tokens bit-for-bit: same capacity + same active index
+        # set (+ same bytes_ratio buckets for a granular MLTCPWeighted)
+        # if and only if the scalar tuple key would have compared equal.
+        last_key: Optional[object] = None
+        last_rates: dict[str, float] = {}
+        last_alloc = np.zeros(0)
+        for _step in range(max_steps):
+            if faults is not None:
+                self._apply_restarts(now)
+            finished = self._sweep(now, result, max_iterations)
+            if finished:
+                break
+            if end_time is not None and now >= end_time - _EPS_TIME:
+                break
+
+            capacity = full_capacity
+            if faults is not None:
+                factor = faults.capacity_factor(now)
+                if not close(factor, last_capacity_factor):
+                    faults.record(now, f"capacity factor -> {factor:g}")
+                    last_capacity_factor = factor
+                capacity *= factor
+            active_idx = np.nonzero(phase == PHASE_COMM)[0]
+            rates: dict[str, float] = {}
+            alloc: Optional[np.ndarray] = None
+            rates_arr.fill(0.0)
+            if active_idx.size and capacity > 0:
+                if fast is not None:
+                    key: Optional[object]
+                    ratio = None
+                    if fast == "fair":
+                        # FairShare's scalar token is (capacity, active ids +
+                        # demands); ids and demands are static per index, so
+                        # the index set is an equivalent token.
+                        key = (capacity, active_idx.tobytes())
+                    else:
+                        quotient = sent[active_idx] / total_bits[active_idx]
+                        ratio = np.where(quotient < 1.0, quotient, 1.0)
+                        if granularity is not None:
+                            key = (
+                                capacity,
+                                active_idx.tobytes(),
+                                # int() truncates toward zero; so does astype
+                                # on these non-negative quotients.
+                                (ratio / granularity).astype(np.int64).tobytes(),
+                            )
+                        else:
+                            key = None
+                    if key is not None and key == last_key:
+                        alloc = last_alloc
+                    else:
+                        if fast == "fair":
+                            weights = np.ones(active_idx.size)
+                        elif mltcp_function is None:
+                            weights = slope * ratio + intercept
+                        else:
+                            weights = np.array(
+                                [mltcp_function(r) for r in ratio.tolist()]
+                            )
+                        alloc = water_fill_array(
+                            demand_bps[active_idx],
+                            weights,
+                            capacity,
+                            rank=rank[active_idx],
+                        )
+                        last_key = key
+                        last_alloc = alloc
+                        if guards is not None and alloc.size:
+                            # Fresh allocations only: a cache-reused vector
+                            # was already checked when it was computed.
+                            self._check_allocation(
+                                guards,
+                                self._rates_map(names, active_idx, alloc),
+                                capacity,
+                                now,
+                                policy_name,
+                            )
+                    rates_arr[active_idx] = alloc
+                else:
+                    views = self._sync_views(active_idx)
+                    key = policy_cache_key(views, capacity)
+                    if key is not None and key == last_key:
+                        rates = last_rates
+                    else:
+                        rates = allocate(views, capacity)
+                        last_key = key
+                        last_rates = rates
+                        if guards is not None and rates:
+                            # Fresh allocations only: a cache-reused vector
+                            # was already checked when it was computed.
+                            self._check_allocation(
+                                guards, rates, capacity, now, policy_name
+                            )
+                    index = fa.index
+                    for fid, rate in rates.items():
+                        rates_arr[index[fid]] = rate
+            has_rates = alloc is not None or bool(rates)
+            dt = self._next_event_dt(now, end_time)
+            if dt <= 0:
+                dt = _EPS_TIME
+            if record_segments and has_rates:
+                seg_rates = (
+                    self._rates_map(names, active_idx, alloc)
+                    if alloc is not None
+                    else dict(rates)
+                )
+                segments.append(
+                    RateSegment(start=now, end=now + dt, rates_bps=seg_rates)
+                )
+            if has_rates:
+                # Whole-array twin of the old per-flow delivery loop.
+                # Inactive flows carry a literal-zero rate, so their
+                # subtract/clamp is the exact identity the scalar loop
+                # skipped; the comparisons reproduce the scalar clamps
+                # sign-exactly (docs/PERFORMANCE.md, bit-identity contract).
+                delivered = rates_arr * dt
+                shrunk = remaining - delivered
+                remaining[:] = np.where(shrunk > 0.0, shrunk, 0.0)
+                grown = sent + delivered
+                sent[:] = np.where(grown < total_bits, grown, total_bits)
+            now += dt
+        else:
+            if guards is not None:
+                guards.violation(
+                    "fluid-stall",
+                    policy_name,
+                    now,
+                    f"exceeded {max_steps} steps without finishing; "
+                    "zero-rate livelock?",
+                )
+            raise RuntimeError(
+                f"fluid simulation exceeded {max_steps} steps without finishing; "
+                "check for a zero-rate livelock"
+            )
+
+        result.end_time = now
+        if self.faults is not None:
+            result.fault_log = self.faults.descriptions()
+        return result
+
+    def _run_scalar(
+        self,
+        end_time: Optional[float],
+        max_iterations: Optional[int],
+        record_segments: bool,
+    ) -> FluidResult:
+        """Scalar engine for small populations (see ``run``)."""
         runtimes = [
             _JobRuntime(spec=job, phase_deadline=job.start_offset) for job in self.jobs
         ]
@@ -290,8 +530,8 @@ class FluidSimulator:
         last_rates: dict[str, float] = {}
         for _step in range(max_steps):
             if faults is not None:
-                self._apply_restarts(runtimes, now)
-            active, finished = self._sweep(runtimes, now, result, max_iterations)
+                self._apply_restarts_scalar(runtimes, now)
+            active, finished = self._sweep_scalar(runtimes, now, result, max_iterations)
             if finished:
                 break
             if end_time is not None and now >= end_time - _EPS_TIME:
@@ -321,7 +561,7 @@ class FluidSimulator:
                         )
             else:
                 rates = {}
-            dt = self._next_event_dt(runtimes, rates, now, end_time)
+            dt = self._next_event_dt_scalar(runtimes, rates, now, end_time)
             if dt <= 0:
                 dt = _EPS_TIME
             if record_segments and rates:
@@ -399,6 +639,182 @@ class FluidSimulator:
 
     def _sweep(
         self,
+        now: float,
+        result: FluidResult,
+        max_iterations: Optional[int],
+    ) -> bool:
+        """Apply due phase transitions and report the stopping criterion.
+
+        Due transitions are found with whole-array masks computed from the
+        pre-sweep state (one transition per flow per sweep, exactly like the
+        scalar ``elif`` chain), then dispatched per flow in ascending index
+        order — the order the scalar runtime walk used, which the RNG draw
+        sequence (compute jitter, volume jitter) depends on.  Returns
+        whether every job has met the stopping criterion.
+        """
+        fa = self._arrays
+        phase = fa.phase
+        deadline = fa.deadline
+        wait_due = (phase == PHASE_WAITING) & (now >= deadline - _EPS_TIME)
+        comm_done = (phase == PHASE_COMM) & (fa.remaining_bits <= _EPS_BITS)
+        compute_due = (phase == PHASE_COMPUTE) & (now >= deadline - _EPS_TIME)
+        due = wait_due | comm_done | compute_due
+        if due.any():
+            iterations = result.iterations
+            comm_start = fa.comm_start
+            comm_end = fa.comm_end
+            iter_index = fa.iteration_index
+            specs = fa.specs
+            names = fa.names
+            faults = self.faults
+            rng = self._rng
+            for i in np.nonzero(due)[0].tolist():
+                if wait_due[i]:
+                    self._start_comm(i, now)
+                elif comm_done[i]:
+                    comm_end[i] = now
+                    compute = specs[i].sample_compute_time(rng)
+                    if faults is not None:
+                        compute *= faults.compute_scale(names[i], now)
+                    phase[i] = PHASE_COMPUTE
+                    deadline[i] = now + compute
+                else:
+                    iterations.append(
+                        IterationResult(
+                            job=names[i],
+                            index=int(iter_index[i]),
+                            comm_start=float(comm_start[i]),
+                            comm_end=float(comm_end[i]),
+                            iteration_end=now,
+                        )
+                    )
+                    iter_index[i] += 1
+                    limit = specs[i].iteration_limit
+                    if limit is not None and iter_index[i] >= limit:
+                        phase[i] = PHASE_DONE  # training finished: departs
+                    else:
+                        self._start_comm(i, now)
+        done = phase == PHASE_DONE
+        if max_iterations is None:
+            return bool(done.all())
+        return bool((done | (fa.iteration_index >= max_iterations)).all())
+
+    def _apply_restarts(self, now: float) -> None:
+        """Kill-and-restart every job whose restart strike time has come.
+
+        The in-flight iteration is discarded (never recorded), the job's
+        ``sent_bits`` zeroes — which resets its MLTCP ``bytes_ratio`` and
+        therefore its allocation weight, the fluid analogue of the packet
+        sender's ``bytes_sent`` reset — and the job waits out
+        ``restart_delay`` before starting a fresh communication phase.
+        """
+        assert self.faults is not None
+        fa = self._arrays
+        for event in self.faults.due_restarts(now):
+            i = fa.index[event.job]
+            if fa.phase[i] == PHASE_DONE:
+                self.faults.record(now, f"job_restart on {event.job}: already done, no-op")
+                continue
+            fa.phase[i] = PHASE_WAITING
+            fa.deadline[i] = event.time + event.restart_delay
+            fa.remaining_bits[i] = 0.0
+            fa.sent_bits[i] = 0.0
+            fa.comm_start[i] = math.nan
+            fa.comm_end[i] = math.nan
+            self.faults.record(now, event.describe())
+
+    def _start_comm(self, i: int, now: float) -> None:
+        fa = self._arrays
+        fa.phase[i] = PHASE_COMM
+        fa.remaining_bits[i] = fa.specs[i].sample_comm_bits(self._rng)
+        fa.sent_bits[i] = 0.0
+        fa.comm_start[i] = now
+        fa.comm_end[i] = math.nan
+
+    def _sync_views(self, active_idx: np.ndarray) -> list[FlowView]:
+        """Build/sync policy-facing views of the active flows from the arrays.
+
+        Compat path only (policies without an array fast path); one view per
+        job is built lazily and its two progress fields synced in place, the
+        same contract ``_JobRuntime.flow_view`` provided.
+        """
+        fa = self._arrays
+        views_all = self._views
+        specs = fa.specs
+        remaining = fa.remaining_bits
+        sent = fa.sent_bits
+        views: list[FlowView] = []
+        append = views.append
+        for i in active_idx.tolist():
+            view = views_all[i]
+            if view is None:
+                spec = specs[i]
+                views_all[i] = view = FlowView(
+                    flow_id=spec.name,
+                    demand_bps=spec.demand_bps,
+                    remaining_bits=float(remaining[i]),
+                    sent_bits=float(sent[i]),
+                    total_bits=spec.comm_bits,
+                )
+            else:
+                view.remaining_bits = float(remaining[i])
+                view.sent_bits = float(sent[i])
+            append(view)
+        return views
+
+    @staticmethod
+    def _rates_map(
+        names: Sequence[str], active_idx: np.ndarray, alloc: np.ndarray
+    ) -> dict[str, float]:
+        """Rate dict (python floats) for guards, segments and telemetry."""
+        return {
+            names[i]: rate
+            for i, rate in zip(active_idx.tolist(), alloc.tolist())
+        }
+
+    def _next_event_dt(self, now: float, end_time: Optional[float]) -> float:
+        """Time to the next event: phase deadline, drain, quantum, or fault.
+
+        One whole-array pass over the flow candidates replaces the per-flow
+        running-minimum walk; a minimum is order-independent, so the result
+        is unchanged.
+        """
+        fa = self._arrays
+        phase = fa.phase
+        candidates = np.full(len(fa.names), math.inf)
+        timed = (phase != PHASE_DONE) & (phase != PHASE_COMM)
+        np.subtract(fa.deadline, now, out=candidates, where=timed)
+        flowing = (phase == PHASE_COMM) & (fa.rates > 0.0)
+        np.divide(fa.remaining_bits, fa.rates, out=candidates, where=flowing)
+        candidates[candidates <= _EPS_TIME] = math.inf
+        best = math.inf
+        if self.quantum > _EPS_TIME:
+            best = self.quantum
+        if end_time is not None:
+            candidate = end_time - now
+            if _EPS_TIME < candidate < best:
+                best = candidate
+        if self.faults is not None:
+            transition = self.faults.next_transition_after(now)
+            if transition is not None:
+                candidate = transition - now
+                if _EPS_TIME < candidate < best:
+                    best = candidate
+        flow_best = float(candidates.min())
+        if flow_best < best:
+            best = flow_best
+        return best if not math.isinf(best) else _EPS_TIME
+
+    # -- scalar (small-population) engine ----------------------------------
+    #
+    # The per-runtime twins of the array internals above.  They are the
+    # original scalar implementation, kept verbatim as the fast path for
+    # populations under _VECTORIZED_MIN_FLOWS, where numpy's per-op cost
+    # exceeds the interpreter's per-flow cost.  Every per-flow loop here is
+    # the documented scalar-reference exception to PRF002.
+
+    def _sweep_scalar(
+        self,
         runtimes: list[_JobRuntime],
         now: float,
         result: FluidResult,
@@ -407,19 +823,18 @@ class FluidSimulator:
         """Apply due phase transitions in one pass over the runtimes.
 
         Returns ``(active, finished)``: the jobs now in their communication
-        phase and whether every job has met the stopping criterion.  Folding
-        the transition scan, the active-set rebuild and the finished check
-        into a single pass saves two full runtime traversals per event
-        (docs/PERFORMANCE.md); transition semantics — including the RNG
-        sampling order, which seeds depend on — are unchanged.
+        phase and whether every job has met the stopping criterion.  The
+        transition order — and therefore the RNG sampling order, which
+        seeds depend on — is ascending runtime index, exactly the order the
+        array engine's dispatch loop replays.
         """
         active: list[_JobRuntime] = []
         finished = True
-        for rt in runtimes:
+        for rt in runtimes:  # repro-lint: disable=PRF002
             phase = rt.phase
             if phase is Phase.WAITING:
                 if now >= rt.phase_deadline - _EPS_TIME:
-                    self._start_comm(rt, now)
+                    self._start_comm_scalar(rt, now)
                     phase = Phase.COMM
             elif phase is Phase.COMM and rt.remaining_bits <= _EPS_BITS:
                 rt.comm_end = now
@@ -443,7 +858,7 @@ class FluidSimulator:
                 if limit is not None and rt.iteration_index >= limit:
                     rt.phase = phase = Phase.DONE  # training finished: departs
                 else:
-                    self._start_comm(rt, now)
+                    self._start_comm_scalar(rt, now)
                     phase = Phase.COMM
             if phase is Phase.COMM:
                 active.append(rt)
@@ -452,15 +867,8 @@ class FluidSimulator:
                     finished = False
         return active, finished
 
-    def _apply_restarts(self, runtimes: list[_JobRuntime], now: float) -> None:
-        """Kill-and-restart every job whose restart strike time has come.
-
-        The in-flight iteration is discarded (never recorded), the job's
-        ``sent_bits`` zeroes — which resets its MLTCP ``bytes_ratio`` and
-        therefore its allocation weight, the fluid analogue of the packet
-        sender's ``bytes_sent`` reset — and the job waits out
-        ``restart_delay`` before starting a fresh communication phase.
-        """
+    def _apply_restarts_scalar(self, runtimes: list[_JobRuntime], now: float) -> None:
+        """Scalar twin of ``_apply_restarts`` over runtime objects."""
         assert self.faults is not None
         for event in self.faults.due_restarts(now):
             rt = next(r for r in runtimes if r.spec.name == event.job)
@@ -475,14 +883,14 @@ class FluidSimulator:
             rt.comm_end = math.nan
             self.faults.record(now, event.describe())
 
-    def _start_comm(self, rt: _JobRuntime, now: float) -> None:
+    def _start_comm_scalar(self, rt: _JobRuntime, now: float) -> None:
         rt.phase = Phase.COMM
         rt.remaining_bits = rt.spec.sample_comm_bits(self._rng)
         rt.sent_bits = 0.0
         rt.comm_start = now
         rt.comm_end = math.nan
 
-    def _next_event_dt(
+    def _next_event_dt_scalar(
         self,
         runtimes: list[_JobRuntime],
         rates: dict[str, float],
@@ -490,7 +898,7 @@ class FluidSimulator:
         end_time: Optional[float],
     ) -> float:
         # Running minimum over the positive candidates — same result as the
-        # old build-a-list-then-min, without materializing the list per event.
+        # array engine's whole-array pass (a minimum is order-independent).
         best = math.inf
         candidate = self.quantum
         if candidate > _EPS_TIME:
@@ -506,7 +914,7 @@ class FluidSimulator:
                 if _EPS_TIME < candidate < best:
                     best = candidate
         rates_get = rates.get
-        for rt in runtimes:
+        for rt in runtimes:  # repro-lint: disable=PRF002
             phase = rt.phase
             if phase is Phase.COMM:
                 rate = rates_get(rt.spec.name, 0.0)

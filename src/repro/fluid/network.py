@@ -30,7 +30,20 @@ from ..core.aggressiveness import (
 )
 from ..core.units import bps_from_gbps
 from ..workloads.job import JobSpec
-from .flowsim import IterationResult
+from .arrays import (
+    PHASE_COMM,
+    PHASE_COMPUTE,
+    PHASE_DONE,
+    PHASE_WAITING,
+    FlowArrays,
+    link_index_matrix,
+)
+from .flowsim import _VECTORIZED_MIN_FLOWS, IterationResult
+
+# repro-lint: hot-path-module
+# (Scopes the PRF002 per-flow-loop rule here: flow state advances via
+# whole-array numpy passes; the remaining Python loops are the gated
+# fault/guard sections and per-index transition dispatch.)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..guards.core import GuardRail
@@ -104,9 +117,13 @@ class NetworkFluidResult:
         rounds = min(len(t) for t in per_job)
         if rounds == 0:
             return np.array([])
-        return np.array(
-            [float(np.mean([t[i] for t in per_job])) for i in range(rounds)]
+        # One 2-D reduction instead of a per-round Python list build; the
+        # transpose is materialized C-contiguous so each row mean is the
+        # same 1-D pairwise reduction ``np.mean`` ran per round before.
+        stacked = np.ascontiguousarray(
+            np.stack([t[:rounds] for t in per_job]).T
         )
+        return stacked.mean(axis=1)
 
     def link_utilization(self) -> dict[str, float]:
         """Mean utilization of every link over the run.
@@ -142,6 +159,8 @@ class NetworkFluidResult:
 
 @dataclass
 class _FlowRuntime:
+    """Per-flow state of the scalar (small-population) engine."""
+
     placement: PlacedJob
     phase: str = "waiting"  # waiting | comm | compute | done
     remaining_bits: float = 0.0
@@ -232,6 +251,200 @@ def weighted_max_min(
     return rates
 
 
+def weighted_max_min_array(
+    weights: np.ndarray,
+    demands: np.ndarray,
+    flow_links: np.ndarray,
+    capacities: np.ndarray,
+    rank: np.ndarray,
+) -> np.ndarray:
+    """Vectorized twin of :func:`weighted_max_min` on contiguous arrays.
+
+    The flow axis is in *candidate* order — the insertion order of the
+    scalar reference's ``flows`` mapping (active runtimes in placement
+    order) — and ``rank`` carries each flow's unique sort position among
+    the flow ids, so per-link accumulations can replay the scalar's
+    ``sorted(ids)`` iteration without re-sorting strings per call.
+    ``flow_links`` is ``(n, K)`` integer, each row the flow's link
+    indices into ``capacities`` padded with ``-1`` (duplicate links per
+    flow are a precondition violation, as in :class:`PlacedJob`); demand
+    caps are handled as the scalar does, as virtual single-member links
+    appended after the real ones.  Fabric link sets are sparse (a flow
+    crosses a handful of a fat tree's thousands of links), so membership
+    is materialized as ragged per-link member lists padded to the
+    maximum degree, never as a dense links x flows matrix.
+
+    Bit-identity contract (docs/PERFORMANCE.md): every selection and
+    every float the scalar progressive-filling loop produces is
+    reproduced exactly —
+
+    * per-link weight totals accumulate strictly left-to-right over
+      members in sorted-id order (``np.add.accumulate``); padding and
+      already-fixed members contribute a literal ``+0.0``, an exact
+      identity on a non-negative running total, and totals are only
+      *recomputed* for links whose unfixed member set changed — links
+      whose set did not change would re-sum to the exact same float, so
+      their cached shares stand;
+    * a virtual link's share ``demand / effective_weight`` never changes
+      until its flow fixes, so virtual candidates are pre-sorted once
+      (stable, so ties keep candidate order) and consumed by a cursor;
+    * the chained ``max(0.0, residual - rate)`` updates are replayed via
+      a per-link prefix accumulation: clamping at any step forces every
+      later step to 0, so the chain equals 0 when any prefix dips below
+      zero and the exact sequential sum otherwise;
+    * real links win share ties against virtual links, and earlier links
+      win ties against later ones, exactly like the scalar's strict
+      ``<`` scan over reals-then-virtuals (links with active members
+      enter the scan in capacities order).
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    capacities = np.ascontiguousarray(capacities, dtype=np.float64)
+    n = weights.shape[0]
+    if flow_links.ndim != 2 or flow_links.shape[0] != n:
+        raise ValueError(
+            f"flow_links must be (flows, K) = ({n}, K), got {flow_links.shape}"
+        )
+    bad = weights < 0.0
+    if bad.any():
+        first = int(np.argmax(bad))
+        raise ValueError(
+            f"flow[{first}]: weight must be non-negative, got {weights[first]!r}"
+        )
+    bad = demands <= 0.0
+    if bad.any():
+        first = int(np.argmax(bad))
+        raise ValueError(
+            f"flow[{first}]: demand must be positive, got {demands[first]!r}"
+        )
+    rates = np.zeros(n)
+    if n == 0:
+        return rates
+    eff = np.where(weights > 1e-9, weights, 1e-9)
+
+    order = np.argsort(rank, kind="stable")  # sorted-id positions -> flow idx
+    inv_order = np.empty(n, dtype=np.intp)
+    inv_order[order] = np.arange(n)
+    w_sorted = eff[order]
+
+    # Ragged per-link member lists: group the (link, member) incidence
+    # pairs by link with a stable sort, so each link's segment lists its
+    # member positions in ascending sorted-id order — exactly the order
+    # the scalar's up-front per-link ``sorted(ids)`` produced.  ``padded``
+    # points row r's members into the sorted axis, with the sentinel ``n``
+    # resolving to weight 0.0 / unfixed False through the extended arrays.
+    n_flows_axis = flow_links.shape[1]
+    flat_links = flow_links[order].ravel()
+    flat_pos = np.repeat(np.arange(n, dtype=np.intp), n_flows_axis)
+    valid = flat_links >= 0
+    flat_links = flat_links[valid]
+    flat_pos = flat_pos[valid]
+    perm = np.argsort(flat_links, kind="stable")
+    seg_link = flat_links[perm]
+    seg_pos = flat_pos[perm]
+    uniq_links, seg_start = np.unique(seg_link, return_index=True)
+    n_links = int(uniq_links.size)
+    fixed = np.zeros(n, dtype=bool)
+    unfixed_ext = np.ones(n + 1, dtype=bool)
+    unfixed_ext[n] = False
+    if n_links:
+        degree = np.diff(np.append(seg_start, seg_link.size))
+        counts = degree.copy()
+        max_degree = int(degree.max())
+        padded = np.full((n_links, max_degree), n, dtype=np.intp)
+        padded[
+            np.repeat(np.arange(n_links, dtype=np.intp), degree),
+            np.arange(seg_link.size) - np.repeat(seg_start, degree),
+        ] = seg_pos
+        w_ext = np.append(w_sorted, 0.0)
+        member_w = w_ext[padded]
+        residual = capacities[uniq_links]
+        totals = np.add.accumulate(member_w, axis=1)[:, -1]
+        lshare = residual / totals  # every listed link has >= 1 member
+        link_row = np.full(capacities.shape[0], -1, dtype=np.intp)
+        link_row[uniq_links] = np.arange(n_links)
+    else:
+        lshare = np.empty(0)
+
+    # Virtual-link shares are invariant for the whole call: the virtual
+    # residual stays at the demand until the flow fixes, and its total is
+    # always the flow's own effective weight.
+    vshare = demands / eff
+    vorder = np.argsort(vshare, kind="stable")
+    vptr = 0
+    n_fixed = 0
+
+    while n_fixed < n:
+        if n_links:
+            li = int(np.argmin(lshare))
+            lmin = float(lshare[li])
+        else:
+            li = -1
+            lmin = math.inf
+        while vptr < n and fixed[vorder[vptr]]:
+            vptr += 1
+        vmin = float(vshare[vorder[vptr]]) if vptr < n else math.inf
+        if not (lmin < math.inf or vmin < math.inf):  # pragma: no cover
+            break  # mirrors the scalar's (unreachable) best_link=None exit
+        if lmin <= vmin:
+            share = lmin
+            members = padded[li]
+            memb_pos = members[unfixed_ext[members]]
+            flow_idx = order[memb_pos]
+            fixed_rates = share * w_sorted[memb_pos]
+            fixed_rates = np.where(fixed_rates > 0.0, fixed_rates, 0.0)
+        else:
+            fi = int(vorder[vptr])
+            share = vmin
+            rate = share * float(eff[fi])
+            if not rate > 0.0:
+                rate = 0.0
+            flow_idx = np.array([fi], dtype=np.intp)
+            memb_pos = inv_order[flow_idx]
+            fixed_rates = np.array([rate])
+        rates[flow_idx] = fixed_rates
+        fixed[flow_idx] = True
+        unfixed_ext[memb_pos] = False
+        n_round = int(flow_idx.size)
+        n_fixed += n_round
+
+        if n_links:
+            round_links = flow_links[flow_idx].ravel()
+            link_valid = round_links >= 0
+            rows = link_row[round_links[link_valid]]
+            col = np.repeat(
+                np.arange(n_round, dtype=np.intp), flow_links.shape[1]
+            )[link_valid]
+            aff = np.unique(rows)
+            if aff.size:
+                # Chained max(0, residual - rate) per link, members in fix
+                # order: 0 if any prefix goes negative, else the exact
+                # sequential sum (rates are non-negative, so once clamped
+                # a residual stays clamped); skipped columns add +0.0.
+                deltas = np.zeros((aff.size, n_round))
+                deltas[np.searchsorted(aff, rows), col] = -fixed_rates[col]
+                seq = np.concatenate(
+                    [residual[aff][:, None], deltas], axis=1
+                )
+                prefix = np.add.accumulate(seq, axis=1)
+                clamped = prefix[:, 1:].min(axis=1) < 0.0
+                residual[aff] = np.where(clamped, 0.0, prefix[:, -1])
+                counts[aff] -= np.bincount(
+                    np.searchsorted(aff, rows), minlength=aff.size
+                )
+                # Fresh per-link totals over the surviving members, in the
+                # same sorted order the scalar re-sums every round.
+                aff_counts = counts[aff]
+                sub = padded[aff]
+                vals = np.where(unfixed_ext[sub], member_w[aff], 0.0)
+                new_totals = np.add.accumulate(vals, axis=1)[:, -1]
+                safe = np.where(aff_counts > 0, new_totals, 1.0)
+                lshare[aff] = np.where(
+                    aff_counts > 0, residual[aff] / safe, math.inf
+                )
+    return rates
+
+
 class NetworkFluidSimulator:
     """Event-driven fluid simulation over a capacitated link set."""
 
@@ -269,6 +482,18 @@ class NetworkFluidSimulator:
         )
         self.quantum = quantum
         self._rng = np.random.default_rng(seed) if seed is not None else None
+        # Array-backed flow state (one struct-of-arrays, reset per run)
+        # plus the static link-membership matrix for the nominal paths.
+        self._arrays = FlowArrays.from_specs([p.job for p in placements])
+        self._links = tuple(self.capacities_gbps)
+        self._capacities_arr = np.array(
+            [bps_from_gbps(self.capacities_gbps[link]) for link in self._links]
+        )
+        self._flow_links_idx = link_index_matrix(
+            self._links,
+            {p.job.name: p.links for p in placements},
+            self._arrays.names,
+        )
         #: Optional fabric-fault replay (:class:`~repro.fluid.fabric.
         #: FluidFabricFaults`).  ``None`` keeps the fault-free path
         #: bit-identical to the pre-fault code.
@@ -278,11 +503,229 @@ class NetworkFluidSimulator:
         self.guards = guards
 
     def run(self, max_iterations: int) -> NetworkFluidResult:
-        """Simulate until every job completed ``max_iterations`` cycles."""
+        """Simulate until every job completed ``max_iterations`` cycles.
+
+        Populations below ``_VECTORIZED_MIN_FLOWS`` run on the scalar
+        per-runtime engine, larger ones on the array engine; the two are
+        bit-identical, so the dispatch is invisible in every output.
+        """
         if max_iterations < 1:
             raise ValueError(f"max_iterations must be positive, got {max_iterations!r}")
+        if len(self.placements) < _VECTORIZED_MIN_FLOWS:
+            return self._run_scalar(max_iterations)
+        fa = self._arrays
+        fa.reset()
+        n = len(fa)
+        phase = fa.phase
+        remaining = fa.remaining_bits
+        sent = fa.sent_bits
+        deadline = fa.deadline
+        comm_start = fa.comm_start
+        comm_end = fa.comm_end
+        iter_index = fa.iteration_index
+        rates_arr = fa.rates
+        total_bits = fa.total_bits
+        demand_bps = fa.demand_bps
+        result = NetworkFluidResult(
+            placements=self.placements,
+            capacities_gbps=self.capacities_gbps,
+            policy_name="tcp-fair" if self.fair_share else "mltcp",
+        )
+        capacities_bps = {
+            k: bps_from_gbps(v) for k, v in self.capacities_gbps.items()
+        }
+        now = 0.0
+        longest = max(p.job.ideal_iteration_time for p in self.placements)
+        max_steps = int(
+            100 * len(self.placements) * max(1.0, 5 * longest * max_iterations / self.quantum)
+        )
+
+        # Same inline fast path as MLTCPWeighted.allocate: the paper's linear
+        # F evaluated as ``slope * ratio + intercept`` directly is the exact
+        # arithmetic of the AggressivenessFunction call chain (bit-identical),
+        # minus three Python calls per flow per round — here one vectorized
+        # pass over the whole active set per timestep.
+        linear: Optional[tuple[float, float]] = None
+        if not self.fair_share and type(self.function) is LinearAggressiveness:
+            linear = (self.function.slope, self.function.intercept)
+
+        # Fabric-fault state: all of it is gated on ``fabric_faults`` being
+        # attached, so a fault-free run takes exactly the pre-fault path.
+        faults = self.fabric_faults
+        guards = self.guards
+        effective_capacities = capacities_bps
+        capacities_arr = self._capacities_arr
+        flow_links_idx = self._flow_links_idx
+        has_path = np.ones(n, dtype=bool)
+        flow_links: dict[str, Optional[tuple[str, ...]]] = {}
+        bits_by_link: dict[str, float] = {}
+        routing_generation = -1
+        last_factors: dict[str, float] = {}
+
+        for _step in range(max_steps):
+            if faults is not None:
+                faults.advance_to(now)
+                if faults.routing.generation != routing_generation:
+                    routing_generation = faults.routing.generation
+                    # Reroute every flow over the surviving spines; an
+                    # in-flight flow keeps sent/remaining bits, so a reroute
+                    # moves the tail of the transfer, not the whole volume.
+                    flow_links = {
+                        p.job.name: faults.links_for(p) for p in self.placements
+                    }
+                    # Partitioned flows (no surviving path) stall until a
+                    # reversion restores connectivity — the fluid rendering
+                    # of a blackhole — so they leave the allocatable set.
+                    has_path = np.array(
+                        [flow_links[name] is not None for name in fa.names]
+                    )
+                    flow_links_idx = link_index_matrix(
+                        self._links,
+                        {
+                            name: flow_links[name] or ()
+                            for name in fa.names
+                        },
+                        fa.names,
+                    )
+                factors = faults.capacity_factors(now)
+                if factors != last_factors:
+                    last_factors = factors
+                    if factors:
+                        effective_capacities = {
+                            link: cap * factors.get(link, 1.0)
+                            for link, cap in capacities_bps.items()
+                        }
+                        capacities_arr = np.array(
+                            [effective_capacities[link] for link in self._links]
+                        )
+                    else:
+                        effective_capacities = capacities_bps
+                        capacities_arr = self._capacities_arr
+
+            # Phase transitions: masks are computed from pre-sweep state, so
+            # like the scalar elif chain each flow takes at most one
+            # transition per step; the dispatch loop visits due flows in
+            # ascending index (= runtimes) order, preserving RNG draw order.
+            wait_due = (phase == PHASE_WAITING) & (now >= deadline - _EPS_TIME)
+            comm_done = (phase == PHASE_COMM) & (remaining <= _EPS_BITS)
+            compute_due = (phase == PHASE_COMPUTE) & (
+                now >= deadline - _EPS_TIME
+            )
+            due = wait_due | comm_done | compute_due
+            if due.any():
+                for raw in np.nonzero(due)[0]:
+                    i = int(raw)
+                    if wait_due[i]:
+                        self._start_comm(fa, i, now)
+                    elif comm_done[i]:
+                        comm_end[i] = now
+                        phase[i] = PHASE_COMPUTE
+                        deadline[i] = now + fa.specs[i].sample_compute_time(
+                            self._rng
+                        )
+                    else:
+                        result.iterations.append(
+                            IterationResult(
+                                job=fa.names[i],
+                                index=int(iter_index[i]),
+                                comm_start=float(comm_start[i]),
+                                comm_end=float(comm_end[i]),
+                                iteration_end=now,
+                            )
+                        )
+                        iter_index[i] += 1
+                        if iter_index[i] >= max_iterations:
+                            phase[i] = PHASE_DONE
+                        else:
+                            self._start_comm(fa, i, now)
+            if bool((iter_index >= max_iterations).all()):
+                break
+            active = phase == PHASE_COMM
+            allocatable = active if faults is None else active & has_path
+            a_idx = np.nonzero(allocatable)[0]
+            rates_arr.fill(0.0)
+            weights: Optional[np.ndarray] = None
+            if a_idx.size:
+                if self.fair_share:
+                    weights = np.ones(a_idx.size)
+                elif linear is not None:
+                    slope, intercept = linear
+                    ratio = sent[a_idx] / total_bits[a_idx]
+                    ratio = np.where(ratio > 1.0, 1.0, ratio)
+                    weights = slope * ratio + intercept
+                else:
+                    bytes_ratio = np.where(
+                        sent[a_idx] < total_bits[a_idx],
+                        sent[a_idx] / total_bits[a_idx],
+                        1.0,
+                    )
+                    weights = np.array(
+                        [self.function(float(r)) for r in bytes_ratio]
+                    )
+                rates_arr[a_idx] = weighted_max_min_array(
+                    weights,
+                    demand_bps[a_idx],
+                    flow_links_idx[a_idx],
+                    capacities_arr,
+                    fa.rank[a_idx],
+                )
+            if faults is not None and guards is not None:
+                flow_specs: dict[str, tuple[float, float, tuple[str, ...]]] = {}
+                rates_map: dict[str, float] = {}
+                for j, raw in enumerate(a_idx):
+                    i = int(raw)
+                    name = fa.names[i]
+                    links = flow_links[name]
+                    assert links is not None and weights is not None
+                    flow_specs[name] = (
+                        float(weights[j]), float(demand_bps[i]), links
+                    )
+                    rates_map[name] = float(rates_arr[i])
+                self._check_fabric_guards(
+                    guards, flow_specs, rates_map, effective_capacities,
+                    last_factors, now,
+                )
+            dt = self._next_dt_array(fa, active, now)
+            if faults is not None:
+                upcoming = faults.next_transition_after(now)
+                if upcoming is not None and upcoming - now > _EPS_TIME:
+                    dt = min(dt, upcoming - now)
+            delivered = rates_arr * dt
+            if faults is not None:
+                # Measured per-link accounting stays a Python loop: the
+                # scalar sums each link's dict slot in active-flow order
+                # and float addition is order-sensitive.
+                for raw in np.nonzero(active)[0]:
+                    i = int(raw)
+                    bits = float(delivered[i])
+                    if bits > 0.0:
+                        links = flow_links[fa.names[i]]
+                        assert links is not None
+                        for link in links:
+                            bits_by_link[link] = (
+                                bits_by_link.get(link, 0.0) + bits
+                            )
+            # Whole-array delivered update.  The scalar only touches active
+            # flows, but inactive flows have rate 0, and ``x - 0.0`` /
+            # ``x + 0.0`` are exact identities on non-negative state, as are
+            # the sign-exact ``np.where`` renderings of max/min clamps.
+            shrunk = remaining - delivered
+            remaining[:] = np.where(shrunk > 0.0, shrunk, 0.0)
+            grown = sent + delivered
+            sent[:] = np.where(grown < total_bits, grown, total_bits)
+            now += dt
+        else:
+            raise RuntimeError("network fluid simulation exceeded its step budget")
+        result.end_time = now
+        if faults is not None:
+            result.fault_log = faults.descriptions()
+            result.delivered_bits_by_link = bits_by_link
+        return result
+
+    def _run_scalar(self, max_iterations: int) -> NetworkFluidResult:
+        """Scalar engine for small populations (see ``run``)."""
         runtimes = [_FlowRuntime(placement=p) for p in self.placements]
-        for rt in runtimes:
+        for rt in runtimes:  # repro-lint: disable=PRF002
             rt.phase_deadline = rt.spec.start_offset
         result = NetworkFluidResult(
             placements=self.placements,
@@ -463,6 +906,37 @@ class NetworkFluidSimulator:
                     f"capacity {capacity:.6g} bps",
                 )
 
+    @staticmethod
+    def _start_comm(fa: FlowArrays, i: int, now: float) -> None:
+        fa.phase[i] = PHASE_COMM
+        fa.remaining_bits[i] = fa.total_bits[i]
+        fa.sent_bits[i] = 0.0
+        fa.comm_start[i] = now
+        fa.comm_end[i] = math.nan
+
+    def _next_dt_array(
+        self, fa: FlowArrays, active: np.ndarray, now: float
+    ) -> float:
+        """Vectorized next-event horizon; a minimum is order-independent."""
+        candidates = np.full(len(fa), math.inf)
+        timed = (fa.phase == PHASE_WAITING) | (fa.phase == PHASE_COMPUTE)
+        candidates[timed] = fa.deadline[timed] - now
+        flowing = active & (fa.rates > 0.0)
+        candidates[flowing] = fa.remaining_bits[flowing] / fa.rates[flowing]
+        candidates[candidates <= _EPS_TIME] = math.inf
+        best = float(candidates.min()) if len(fa) else math.inf
+        if _EPS_TIME < self.quantum < best:
+            best = self.quantum
+        return best if best < math.inf else _EPS_TIME
+
+    # -- scalar (small-population) engine ------------------------------------
+    #
+    # Per-runtime twins of the array internals: the original scalar
+    # implementation, kept verbatim as the fast path for populations under
+    # _VECTORIZED_MIN_FLOWS, where numpy's per-op cost exceeds the
+    # interpreter's per-flow cost.  Every per-flow loop here is the
+    # documented scalar-reference exception to PRF002.
+
     def _transitions(
         self,
         runtimes: list[_FlowRuntime],
@@ -470,9 +944,9 @@ class NetworkFluidSimulator:
         result: NetworkFluidResult,
         max_iterations: int,
     ) -> None:
-        for rt in runtimes:
+        for rt in runtimes:  # repro-lint: disable=PRF002
             if rt.phase == "waiting" and now >= rt.phase_deadline - _EPS_TIME:
-                self._start_comm(rt, now)
+                self._start_comm_scalar(rt, now)
             elif rt.phase == "comm" and rt.remaining_bits <= _EPS_BITS:
                 rt.comm_end = now
                 rt.phase = "compute"
@@ -491,9 +965,9 @@ class NetworkFluidSimulator:
                 if rt.iteration_index >= max_iterations:
                     rt.phase = "done"
                 else:
-                    self._start_comm(rt, now)
+                    self._start_comm_scalar(rt, now)
 
-    def _start_comm(self, rt: _FlowRuntime, now: float) -> None:
+    def _start_comm_scalar(self, rt: _FlowRuntime, now: float) -> None:
         rt.phase = "comm"
         rt.remaining_bits = float(rt.spec.comm_bits)
         rt.sent_bits = 0.0
@@ -504,7 +978,7 @@ class NetworkFluidSimulator:
         self, runtimes: list[_FlowRuntime], rates: dict[str, float], now: float
     ) -> float:
         candidates = [self.quantum]
-        for rt in runtimes:
+        for rt in runtimes:  # repro-lint: disable=PRF002
             if rt.phase == "comm":
                 rate = rates.get(rt.spec.name, 0.0)
                 if rate > 0:

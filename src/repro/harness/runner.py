@@ -41,6 +41,7 @@ docs/FAULTS.md for the fault-injection side of the robustness story.
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import random
 import time
@@ -147,6 +148,45 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
         except Exception:  # repro-lint: disable=GRD001 — process already gone
             pass
     pool.shutdown(wait=True, cancel_futures=True)
+
+
+#: Reusable process pools, one per worker count.  Pool startup is the
+#: dominant fixed cost of a small parallel sweep (fork + interpreter init
+#: per worker), and ``repeat_with_seeds``/``sweep`` construct a fresh
+#: runner per invocation — so healthy pools are cached at module level and
+#: reused across ``run_points`` calls instead of being torn down each
+#: time.  A pool that broke or stalled is retired (terminated and
+#: dropped); the next run transparently starts a fresh one.  Isolated
+#: re-runs keep their dedicated single-worker pools: blast-radius
+#: containment beats reuse there.
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The reusable pool for this worker count, created on first use."""
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def _retire_shared_pool(pool: ProcessPoolExecutor) -> None:
+    """Drop a broken/stalled pool from the cache and tear it down."""
+    for workers, cached in list(_SHARED_POOLS.items()):
+        if cached is pool:
+            del _SHARED_POOLS[workers]
+    _terminate_pool(pool)
+
+
+def _shutdown_shared_pools() -> None:
+    """Interpreter-exit cleanup for any still-cached pools."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_shared_pools)
 
 
 class ExperimentRunner:
@@ -360,7 +400,7 @@ class ExperimentRunner:
         a stall longer than ``timeout`` is detected and handled.
         """
         attempts = {i: 1 for i in pending}
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = _shared_pool(self.workers)
         futures = {
             pool.submit(_measured_call, experiment, points[i]): i for i in pending
         }
@@ -403,7 +443,7 @@ class ExperimentRunner:
                         )
         except BrokenProcessPool:
             if not self.isolate_failures:
-                _terminate_pool(pool)
+                _retire_shared_pool(pool)
                 raise  # _execute re-runs the missing points sequentially
             # A worker died hard (segfault/os._exit/OOM), which poisons every
             # in-flight future of this pool.  Contain the blast radius: tear
@@ -417,14 +457,19 @@ class ExperimentRunner:
                 f"process pool broke with {len(leftover)} point(s) in flight; "
                 "re-running each in an isolated single-worker pool",
             )
-            _terminate_pool(pool)
+            _retire_shared_pool(pool)
             for i in leftover:
                 self._run_isolated_point(
                     experiment, points, i, attempts.get(i, 1),
                     results, done, stats, keys,
                 )
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # The pool outlives this call (it is reused by the next
+            # run_points); cancel whatever this run still has queued so a
+            # propagating experiment error doesn't leave orphan points
+            # computing in the background.
+            for future in futures:
+                future.cancel()
 
     def _handle_pool_stall(
         self,
@@ -455,7 +500,7 @@ class ExperimentRunner:
             f"{len(hung)} hung point(s), {len(requeue)} requeued",
         )
         if not self.isolate_failures:
-            _terminate_pool(pool)
+            _retire_shared_pool(pool)
             raise PointTimeoutError(
                 f"{len(hung)} point(s) exceeded the per-point timeout of "
                 f"{self.timeout}s (isolate_failures=False aborts the sweep); "
@@ -469,7 +514,7 @@ class ExperimentRunner:
                 i, "timeout", error, attempts.get(i, 1),
                 points, results, done, stats,
             )
-        _terminate_pool(pool)
+        _retire_shared_pool(pool)
         for i in sorted(requeue):
             self._run_isolated_point(
                 experiment, points, i, attempts.get(i, 1),

@@ -1,0 +1,269 @@
+"""Batched Monte-Carlo fluid runs (PR 9): per-lane bit-identity and the
+harness routing that feeds them.
+
+``run_fluid_batch`` stacks N seeds on one array axis; every lane must
+reproduce its solo ``run_fluid`` counterpart *exactly* — same iteration
+records, same end time, compared via ``float.hex()``.  The sweep-side
+entry points (``run_batched_seeds`` / ``repeat_with_seeds(batch=True)``)
+must fold those per-seed values into the same ``SeedSummary`` the
+process-pool route produces.
+"""
+
+import pytest
+
+from repro.fluid import (
+    BatchedFluidExperiment,
+    FairShare,
+    MLTCPWeighted,
+    SRPT,
+    run_fluid,
+    run_fluid_batch,
+)
+from repro.harness.sweep import repeat_with_seeds, run_batched_seeds
+from repro.workloads import JobSpec
+
+
+def _jobs(jitter_sigma=0.0, volume_jitter_fraction=0.0):
+    return [
+        JobSpec(
+            name="gpt3",
+            comm_bits=8e9,
+            demand_gbps=40.0,
+            compute_time=0.12,
+            jitter_sigma=jitter_sigma,
+            volume_jitter_fraction=volume_jitter_fraction,
+        ),
+        JobSpec(
+            name="gpt2a",
+            comm_bits=2e9,
+            demand_gbps=40.0,
+            compute_time=0.05,
+            jitter_sigma=jitter_sigma,
+            volume_jitter_fraction=volume_jitter_fraction,
+        ),
+        JobSpec(
+            name="gpt2b",
+            comm_bits=2e9,
+            demand_gbps=40.0,
+            compute_time=0.05,
+            start_offset=0.01,
+            jitter_sigma=jitter_sigma,
+            iteration_limit=3,
+            volume_jitter_fraction=volume_jitter_fraction,
+        ),
+    ]
+
+
+def _fingerprint(result):
+    """Hex-exact record of everything a batched lane must reproduce."""
+    return (
+        [
+            (
+                it.job,
+                it.index,
+                it.comm_start.hex(),
+                it.comm_end.hex(),
+                it.iteration_end.hex(),
+            )
+            for it in result.iterations
+        ],
+        result.end_time.hex(),
+    )
+
+
+class TestRunFluidBatchBitIdentity:
+    @pytest.mark.parametrize("policy_factory", [FairShare, MLTCPWeighted])
+    @pytest.mark.parametrize(
+        "jitter_sigma,volume_jitter_fraction",
+        [(0.0, 0.0), (0.002, 0.0), (0.0, 0.05), (0.002, 0.05)],
+    )
+    def test_lanes_match_solo_runs(
+        self, policy_factory, jitter_sigma, volume_jitter_fraction
+    ):
+        jobs = _jobs(jitter_sigma, volume_jitter_fraction)
+        seeds = [0, 1, 7, None]
+        batched = run_fluid_batch(
+            jobs, 50.0, seeds, policy=policy_factory(), max_iterations=4
+        )
+        for seed, result in zip(seeds, batched):
+            solo = run_fluid(
+                jobs,
+                50.0,
+                policy=policy_factory(),
+                max_iterations=4,
+                seed=seed,
+                record_segments=False,
+            )
+            assert _fingerprint(result) == _fingerprint(solo)
+
+    def test_single_seed_batch(self):
+        jobs = _jobs(jitter_sigma=0.004)
+        (result,) = run_fluid_batch(jobs, 50.0, [3], max_iterations=2)
+        solo = run_fluid(
+            jobs, 50.0, max_iterations=2, seed=3, record_segments=False
+        )
+        assert _fingerprint(result) == _fingerprint(solo)
+
+    def test_iteration_fields_are_python_floats(self):
+        (result,) = run_fluid_batch(_jobs(), 50.0, [0], max_iterations=1)
+        first = result.iterations[0]
+        for value in (first.comm_start, first.comm_end, first.iteration_end):
+            assert type(value) is float
+
+
+class TestRunFluidBatchValidation:
+    def test_rejects_empty_jobs(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            run_fluid_batch([], 50.0, [0], max_iterations=1)
+
+    def test_rejects_duplicate_names(self):
+        jobs = _jobs()
+        jobs[1] = JobSpec(
+            name="gpt3", comm_bits=1e9, demand_gbps=10.0, compute_time=0.1
+        )
+        with pytest.raises(ValueError, match="unique"):
+            run_fluid_batch(jobs, 50.0, [0], max_iterations=1)
+
+    def test_rejects_missing_max_iterations(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            run_fluid_batch(_jobs(), 50.0, [0])
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError, match="seeds"):
+            run_fluid_batch(_jobs(), 50.0, [], max_iterations=1)
+
+    def test_rejects_nonpositive_capacity_and_quantum(self):
+        with pytest.raises(ValueError, match="capacity_gbps"):
+            run_fluid_batch(_jobs(), 0.0, [0], max_iterations=1)
+        with pytest.raises(ValueError, match="quantum"):
+            run_fluid_batch(_jobs(), 50.0, [0], max_iterations=1, quantum=0.0)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [SRPT(), MLTCPWeighted(ratio_granularity=0.05)],
+        ids=["srpt", "granular-mltcp"],
+    )
+    def test_rejects_unbatchable_policies(self, policy):
+        with pytest.raises(ValueError, match="no batched fast path"):
+            run_fluid_batch(_jobs(), 50.0, [0], policy=policy, max_iterations=1)
+
+
+class TestBatchedFluidExperiment:
+    def _experiment(self, metric="mean_iteration_time"):
+        return BatchedFluidExperiment(
+            jobs=tuple(_jobs(jitter_sigma=0.003)),
+            capacity_gbps=50.0,
+            policy=MLTCPWeighted(),
+            max_iterations=3,
+            metric=metric,
+        )
+
+    @pytest.mark.parametrize("metric", ["mean_iteration_time", "end_time"])
+    def test_run_batch_matches_per_seed_calls(self, metric):
+        experiment = self._experiment(metric)
+        seeds = [0, 1, 2]
+        batched = experiment.run_batch(seeds)
+        solo = [experiment(seed) for seed in seeds]
+        assert [v.hex() for v in batched] == [v.hex() for v in solo]
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            self._experiment(metric="p99_latency")
+
+
+class TestSweepBatchRouting:
+    def test_run_batched_seeds_summary_matches_pool_route(self):
+        experiment = BatchedFluidExperiment(
+            jobs=tuple(_jobs(jitter_sigma=0.003)),
+            capacity_gbps=50.0,
+            max_iterations=3,
+        )
+        seeds = [0, 1, 2, 3]
+        batched = run_batched_seeds(experiment, seeds)
+        sequential = repeat_with_seeds(experiment, seeds)
+        assert batched == sequential
+
+    def test_repeat_with_seeds_batch_flag_routes_to_run_batch(self):
+        calls = []
+
+        class Recorder:
+            def __call__(self, seed):
+                raise AssertionError("batch=True must not run per-seed")
+
+            def run_batch(self, seeds):
+                calls.append(list(seeds))
+                return [float(seed) for seed in seeds]
+
+        summary = repeat_with_seeds(Recorder(), [4, 5], batch=True)
+        assert calls == [[4, 5]]
+        assert summary.values == (4.0, 5.0)
+
+    def test_batch_without_run_batch_is_typeerror(self):
+        with pytest.raises(TypeError, match="run_batch"):
+            repeat_with_seeds(lambda seed: float(seed), [0, 1], batch=True)
+
+    def test_run_batch_length_mismatch_is_valueerror(self):
+        class Short:
+            def run_batch(self, seeds):
+                return [1.0]
+
+        with pytest.raises(ValueError, match="1 values for 2 seeds"):
+            run_batched_seeds(Short(), [0, 1])
+
+    def test_empty_seeds_rejected_before_dispatch(self):
+        class Never:
+            def run_batch(self, seeds):  # pragma: no cover - must not run
+                raise AssertionError
+
+        with pytest.raises(ValueError, match="at least one seed"):
+            run_batched_seeds(Never(), [])
+
+
+class TestEngineDispatch:
+    """The scalar and array engines behind the size dispatch are twins.
+
+    ``FluidSimulator``/``NetworkFluidSimulator`` route populations under
+    ``_VECTORIZED_MIN_FLOWS`` to the original scalar engine (numpy's
+    per-op cost dominates small runs) and everything else to the array
+    engine.  Forcing the threshold down must not change a single bit of
+    any output — iterations, segments, end time.
+    """
+
+    @pytest.mark.parametrize("policy_factory", [FairShare, MLTCPWeighted, SRPT])
+    def test_single_link_engines_bit_identical(self, monkeypatch, policy_factory):
+        jobs = _jobs(jitter_sigma=0.002, volume_jitter_fraction=0.05)
+        scalar = run_fluid(
+            jobs, 50.0, policy=policy_factory(), max_iterations=4, seed=3
+        )
+        monkeypatch.setattr("repro.fluid.flowsim._VECTORIZED_MIN_FLOWS", 1)
+        array = run_fluid(
+            jobs, 50.0, policy=policy_factory(), max_iterations=4, seed=3
+        )
+        assert _fingerprint(scalar) == _fingerprint(array)
+        assert [
+            (seg.start.hex(), seg.end.hex(),
+             {k: v.hex() for k, v in seg.rates_bps.items()})
+            for seg in scalar.segments
+        ] == [
+            (seg.start.hex(), seg.end.hex(),
+             {k: v.hex() for k, v in seg.rates_bps.items()})
+            for seg in array.segments
+        ]
+
+    @pytest.mark.parametrize("mltcp", [True, False])
+    def test_network_engines_bit_identical(self, monkeypatch, mltcp):
+        from repro.fluid import PlacedJob, run_network_fluid
+
+        placements = [
+            PlacedJob(job=job, links=("up", "spine") if i % 2 else ("up",))
+            for i, job in enumerate(_jobs(jitter_sigma=0.002))
+        ]
+        caps = {"up": 50.0, "spine": 30.0}
+        scalar = run_network_fluid(
+            placements, caps, mltcp=mltcp, max_iterations=4, seed=3
+        )
+        monkeypatch.setattr("repro.fluid.network._VECTORIZED_MIN_FLOWS", 1)
+        array = run_network_fluid(
+            placements, caps, mltcp=mltcp, max_iterations=4, seed=3
+        )
+        assert _fingerprint(scalar) == _fingerprint(array)

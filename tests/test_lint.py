@@ -270,6 +270,84 @@ class TestPerfRule:
         assert codes(src) == []
 
 
+class TestHotPathFlowLoopRule:
+    _MARKER = "# repro-lint: hot-path-module\n"
+
+    def test_prf002_flags_loop_over_annotated_flow_param(self):
+        src = self._MARKER + (
+            "def allocate(self, flows: 'Sequence[FlowView]', capacity_bps):\n"
+            "    for f in flows:\n"
+            "        f.sent_bits += 1.0\n"
+        )
+        assert codes(src) == ["PRF002"]
+
+    def test_prf002_tracks_sequence_wrappers_slices_and_assignment(self):
+        src = self._MARKER + (
+            "def sweep(self, flows: 'list[FlowView]'):\n"
+            "    ordered = sorted(flows)\n"
+            "    head = ordered[:4]\n"
+            "    for f in head:\n"
+            "        f.remaining_bits = 0.0\n"
+        )
+        assert codes(src) == ["PRF002"]
+
+    def test_prf002_seeds_from_annassign_and_comprehension(self):
+        src = self._MARKER + (
+            "def build(self, jobs):\n"
+            "    views: list[FlowView] = []\n"
+            "    for v in views:\n"
+            "        v.demand_bps = 1.0\n"
+            "def make(self, jobs):\n"
+            "    views = [FlowView(j) for j in jobs]\n"
+            "    for v in views:\n"
+            "        v.demand_bps = 1.0\n"
+        )
+        assert codes(src) == ["PRF002", "PRF002"]
+
+    def test_prf002_ignores_unmarked_modules(self):
+        src = (
+            "def allocate(self, flows: 'Sequence[FlowView]', capacity_bps):\n"
+            "    for f in flows:\n"
+            "        f.sent_bits += 1.0\n"
+        )
+        assert codes(src) == []
+
+    def test_prf002_mapping_annotations_iterate_keys_not_flows(self):
+        src = self._MARKER + (
+            "def allocate(self, flows: 'Sequence[FlowView]', capacity_bps):\n"
+            "    levels: dict[int, list[FlowView]] = {}\n"
+            "    for level in sorted(levels):\n"
+            "        pass\n"
+        )
+        assert codes(src) == []
+
+    def test_prf002_ignores_non_flow_loops_in_marked_modules(self):
+        src = self._MARKER + (
+            "def allocate(self, flows: 'Sequence[FlowView]', capacity_bps):\n"
+            "    for i in range(3):\n"
+            "        pass\n"
+            "    for name in ['a', 'b']:\n"
+            "        pass\n"
+        )
+        assert codes(src) == []
+
+    def test_prf002_scoped_to_repro_packages(self):
+        src = self._MARKER + (
+            "def allocate(self, flows: 'Sequence[FlowView]', capacity_bps):\n"
+            "    for f in flows:\n"
+            "        f.sent_bits += 1.0\n"
+        )
+        assert codes(src, "scripts/fixture.py") == []
+
+    def test_prf002_suppressible_in_place(self):
+        src = self._MARKER + (
+            "def allocate(self, flows: 'Sequence[FlowView]', capacity_bps):\n"
+            "    for f in flows:  # repro-lint: disable=PRF002\n"
+            "        f.sent_bits += 1.0\n"
+        )
+        assert codes(src) == []
+
+
 class TestGuardRule:
     def test_grd001_flags_bare_except_without_reraise(self):
         src = (

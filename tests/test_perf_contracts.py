@@ -195,6 +195,50 @@ class TestBenchCompareCli:
         assert load_report(saved) == load_report(cur)
         assert json.loads(saved.read_text())["note"] == "from test"
 
+    def test_select_restricts_the_gate_to_matching_baseline_entries(
+        self, tmp_path, capsys
+    ):
+        """`--select` lets a partial report gate only its own benchmarks."""
+        base = self._write_baseline(
+            tmp_path, "base.json", {"test_scale_a": 0.1, "test_other": 0.1}
+        )
+        cur = self._write_baseline(tmp_path, "cur.json", {"test_scale_a": 0.1})
+        argv = ["bench-compare", str(cur), "--baseline", str(base)]
+        # Without --select the absent test_other is a violation...
+        assert main(argv) == 1
+        capsys.readouterr()
+        # ...with it, only the matching subset is compared.
+        assert main(argv + ["--select", "test_scale_*"]) == 0
+        out = capsys.readouterr().out
+        assert "test_scale_a" in out and "test_other" not in out
+
+    def test_select_matching_nothing_is_a_usage_error(self, tmp_path, capsys):
+        base = self._write_baseline(tmp_path, "base.json", {"b": 0.1})
+        cur = self._write_baseline(tmp_path, "cur.json", {"b": 0.1})
+        argv = [
+            "bench-compare", str(cur), "--baseline", str(base),
+            "--select", "nope_*",
+        ]
+        assert main(argv) == 2
+        assert "matches no benchmark" in capsys.readouterr().err
+
+    def test_committed_scale_baseline_meets_the_3x_criterion(self, capsys):
+        """The PR-9 acceptance command: vectorized tree vs the scalar seed."""
+        argv = [
+            "bench-compare", "bench_reports/perf_baseline.json",
+            "--baseline", "bench_reports/perf_scale_seed.json",
+            "--select", "test_scale_*", "--threshold", "1000",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        rows = {
+            line.split()[0]: float(line.split()[-1].rstrip("x"))
+            for line in out.splitlines()
+            if line.startswith("test_scale_")
+        }
+        assert rows["test_scale_network_fluid_1000x64"] >= 3.0
+        assert rows["test_scale_single_link_10k_flows"] >= 3.0
+
     def test_committed_baseline_shows_the_claimed_speedups(self, capsys):
         """The PR's acceptance command: optimized baseline vs the seed."""
         assert main(["bench-compare", "bench_reports/perf_baseline.json"]) == 0

@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.harness.cache import ResultCache, default_cache_dir, point_key
+from repro.harness import runner as runner_module
 from repro.harness.runner import ExperimentRunner
 from repro.harness.sweep import sweep
 from repro.harness.telemetry import (
@@ -88,6 +89,47 @@ class TestRunner:
         assert results == [0.0, 2.0, 4.0]
         assert any("not picklable" in note for note in runner.telemetry.notes)
         assert all(r.mode == "sequential" for r in runner.telemetry.records)
+
+
+class TestSharedPool:
+    """Worker pools are cached per worker count and reused across runs."""
+
+    def test_pool_reused_across_run_points_calls(self):
+        runner = ExperimentRunner(name="reuse", workers=2)
+        runner.run_points(_noisy_metric, [{"seed": s} for s in range(3)])
+        first = runner_module._SHARED_POOLS.get(2)
+        assert first is not None
+        runner.run_points(_noisy_metric, [{"seed": s} for s in range(3)])
+        assert runner_module._SHARED_POOLS.get(2) is first
+
+    def test_pool_shared_between_runner_instances(self):
+        a = ExperimentRunner(name="first", workers=2)
+        b = ExperimentRunner(name="second", workers=2)
+        a.run_points(_noisy_metric, [{"seed": 0}])
+        pool = runner_module._SHARED_POOLS.get(2)
+        b.run_points(_noisy_metric, [{"seed": 1}])
+        assert runner_module._SHARED_POOLS.get(2) is pool
+
+    def test_retire_drops_pool_from_cache(self):
+        pool = runner_module._shared_pool(2)
+        assert runner_module._SHARED_POOLS.get(2) is pool
+        runner_module._retire_shared_pool(pool)
+        assert 2 not in runner_module._SHARED_POOLS
+        # The next request transparently starts a fresh pool.
+        fresh = runner_module._shared_pool(2)
+        assert fresh is not pool
+        assert fresh.submit(int, 3).result() == 3
+
+    def test_reused_pool_results_match_sequential(self):
+        sequential = ExperimentRunner(name="seq").run_points(
+            _noisy_metric, [{"seed": s} for s in range(4)]
+        )
+        runner = ExperimentRunner(name="par", workers=2)
+        runner.run_points(_noisy_metric, [{"seed": 9}])  # warm the pool
+        parallel = runner.run_points(
+            _noisy_metric, [{"seed": s} for s in range(4)]
+        )
+        assert [v.hex() for v in parallel] == [v.hex() for v in sequential]
 
 
 class TestSweepParallel:
