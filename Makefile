@@ -10,15 +10,15 @@ PYTHON ?= python
 BENCH_FLAGS = --benchmark-sort=name --benchmark-columns=min,mean,stddev,rounds \
 	--benchmark-warmup=on --benchmark-warmup-iterations=2 --benchmark-disable-gc
 
-.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke bench-scale-smoke guards-smoke chaos-smoke verify-smoke figures examples clean
+.PHONY: install verify lint typecheck test test-fast docs-check bench bench-smoke bench-faults-smoke bench-perf bench-perf-smoke bench-scale-smoke guards-smoke chaos-smoke serve-smoke verify-smoke figures examples clean
 
 # The default verify path: repo-specific static analysis, type checking,
 # the fast test tier, executable-docs check, a guarded fault-recovery
-# smoke, a seeded chaos-campaign smoke, a bounded-model-checking smoke,
-# then one-round perf- and scale-regression smokes. CI and the verify
-# skill run this.
+# smoke, a seeded chaos-campaign smoke, a crash-recovery service smoke,
+# a bounded-model-checking smoke, then one-round perf- and
+# scale-regression smokes. CI and the verify skill run this.
 .DEFAULT_GOAL := verify
-verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke verify-smoke bench-perf-smoke bench-scale-smoke
+verify: lint typecheck test-fast docs-check guards-smoke chaos-smoke serve-smoke verify-smoke bench-perf-smoke bench-scale-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -65,6 +65,7 @@ bench-perf:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
 		benchmarks/bench_guard_overhead.py \
 		benchmarks/bench_chaos_recovery.py \
+		benchmarks/bench_service_churn.py \
 		benchmarks/bench_scale_fluid.py \
 		--benchmark-only --benchmark-json $$tmp $(BENCH_FLAGS) -q && \
 	PYTHONPATH=src $(PYTHON) -m repro bench-compare $$tmp \
@@ -79,6 +80,7 @@ bench-perf-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_simulator_performance.py \
 		benchmarks/bench_guard_overhead.py \
 		benchmarks/bench_chaos_recovery.py \
+		benchmarks/bench_service_churn.py \
 		benchmarks/bench_scale_fluid.py \
 		--benchmark-only --benchmark-json $$tmp --benchmark-disable-gc \
 		--benchmark-min-rounds=1 --benchmark-warmup=off -q && \
@@ -120,6 +122,19 @@ chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro validate-report $$tmp \
 		--schema docs/run_report.schema.json; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# A short seeded churn run of the service daemon with one injected
+# stepper crash: the supervisor must recover from the write-ahead
+# journal and the v6 run-report (with its service snapshot stream) must
+# validate against the schema (docs/SERVICE.md).
+serve-smoke:
+	@tmp=$$(mktemp -d) && \
+	PYTHONPATH=src $(PYTHON) -m repro serve --epochs 10 --rate 0.8 --seed 3 \
+		--flash 4:3 --journal $$tmp/svc.journal --crash-at-epoch 5 \
+		--report $$tmp/svc.run.json && \
+	PYTHONPATH=src $(PYTHON) -m repro validate-report $$tmp/svc.run.json \
+		--schema docs/run_report.schema.json; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 # Bounded model checking of Algorithm 1 on each property's reduced smoke
 # grid, with a short per-query solver budget: every property must reach

@@ -1,0 +1,94 @@
+"""Service-daemon cost: admission throughput and crash-recovery latency.
+
+Not a paper figure — a pytest-benchmark suite keeping the long-lived
+service layer (docs/SERVICE.md) inside the bench-compare perf gate.
+Three layers, cheapest first: the admission controller under a pure
+offer/drain storm (no simulation), one journaled churn run end to end,
+and a supervised crash + journal restore mid-run (the recovery-latency
+path `make serve-smoke` exercises).
+"""
+
+from repro.service import AdmissionController, ChurnDaemon, ServiceConfig, ServiceJournal
+from repro.workloads import ArrivalModel, FlashCrowd
+from repro.workloads.presets import gpt2_fast_job
+
+
+def _config(**overrides):
+    params = dict(
+        arrival=ArrivalModel(
+            rate_per_s=1.5,
+            horizon_s=10.0,
+            flash_crowds=(FlashCrowd(time=3.0, size=4),),
+        ),
+        templates=(gpt2_fast_job("tpl"),),
+        epochs=10,
+        seed=3,
+        max_running=6,
+        queue_limit=8,
+    )
+    params.update(overrides)
+    return ServiceConfig(**params)
+
+
+def test_admission_throughput_benchmark(benchmark):
+    """50k offer/drain decisions through one bounded controller — the
+    pure admission-control cost with no engine behind it."""
+    specs = [
+        gpt2_fast_job(f"j{i}").with_iteration_limit(3) for i in range(64)
+    ]
+
+    def storm():
+        ctrl = AdmissionController(8, 16, "defer")
+        decisions = 0
+        running = 0
+        for round_index in range(500):
+            for spec in specs:
+                verdict = ctrl.offer(spec, running)
+                decisions += 1
+                if verdict in ("admit", "degrade"):
+                    running += 1
+            running = max(0, running - 24)
+            ctrl.drain(running)
+            if round_index % 3 == 0:
+                ctrl.pending.clear()
+        return decisions
+
+    assert benchmark(storm) == 500 * 64
+
+
+def test_service_churn_run_benchmark(benchmark, tmp_path):
+    """One journaled 10-epoch churn run end to end: arrivals, admission,
+    the live engine, departures, and a WAL commit every epoch."""
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        journal = ServiceJournal(
+            tmp_path / f"bench-{counter['n']}.journal"
+        )
+        daemon = ChurnDaemon(_config(), journal=journal)
+        result = daemon.run()
+        assert result["epochs_run"] == 10
+        return result["counters"]["admitted"]
+
+    assert benchmark(run) > 0
+
+
+def test_service_crash_recovery_benchmark(benchmark, tmp_path):
+    """The recovery-latency path: a run with one injected mid-epoch
+    crash, so the cost includes the journal restore and the replay."""
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        journal = ServiceJournal(
+            tmp_path / f"crash-{counter['n']}.journal"
+        )
+        daemon = ChurnDaemon(
+            _config(), journal=journal, crash_at_epoch=5
+        )
+        result = daemon.run()
+        assert result["counters"]["recoveries"] == 1
+        return result["epochs_run"]
+
+    assert benchmark(run) == 10

@@ -18,6 +18,9 @@ Usage::
     python -m repro guards my_run.run.json
     python -m repro guards --run --policy raise --substrate both
     python -m repro cross-rack --racks 4 --oversub 2 --substrate both
+    python -m repro serve --epochs 20 --rate 0.8 --journal svc.journal
+    python -m repro serve --resume --journal svc.journal --report svc.run.json
+    python -m repro serve --query svc.journal
     python -m repro docs-check docs
 
 Each figure runner prints the same rows/series its benchmark emits.  The
@@ -53,6 +56,13 @@ parameterized multi-rack fat tree (racks, spines, oversubscription,
 placement policy; docs/TOPOLOGIES.md) in either or both substrates, and
 writes per-link utilization into the run-report's ``link_utilization``
 section.
+
+``serve`` runs the long-lived scheduling service (docs/SERVICE.md): an
+open-loop arrival model admits jobs into the live array-backed fluid
+engine under admission control and a watchdog-supervised stepper; with
+``--journal`` every completed epoch is committed to a write-ahead journal
+so a killed daemon resumes (``--resume``) to bit-identical state, and
+``--query`` summarizes a journal without running.
 
 ``docs-check`` executes the python code fences of the markdown docs
 (the gate behind ``make docs-check``) so documented examples can't rot.
@@ -877,6 +887,127 @@ def _chaos_command(args) -> int:
     return EXIT_OK
 
 
+def _serve_command(args) -> int:
+    """Execute ``repro serve``: the long-lived churn daemon (docs/SERVICE.md).
+
+    Admits jobs from a seeded open-loop arrival model into the live
+    array-backed fluid engine, under admission control, a watchdog-
+    supervised stepper and (optionally) a write-ahead journal.  With
+    ``--query`` it summarizes an existing journal instead of running.
+    """
+    import json as _json
+
+    from .faults.schedule import FaultSchedule
+    from .service import ChurnDaemon, ServiceConfig, ServiceCrash, ServiceJournal
+    from .service.daemon import query_journal
+    from .workloads import ArrivalModel, FlashCrowd
+    from .workloads.presets import gpt2_fast_job, gpt2_job
+
+    if args.query:
+        try:
+            summary = query_journal(args.query)
+        except (OSError, KeyError) as error:
+            return fail(f"cannot query journal {args.query}: {error}")
+        print(_json.dumps(summary, indent=2))
+        return EXIT_OK
+
+    horizon = args.horizon
+    if horizon is None:
+        horizon = args.epochs * args.epoch_s
+    flash_crowds = []
+    for spec in args.flash or ():
+        try:
+            at, size = spec.split(":", 1)
+            flash_crowds.append(FlashCrowd(time=float(at), size=int(size)))
+        except ValueError as error:
+            return fail(f"bad --flash {spec!r} (want TIME:SIZE): {error}")
+    if args.template == "gpt2":
+        templates = (gpt2_job("tpl"),)
+    elif args.template == "mix":
+        templates = (gpt2_fast_job("tplA"), gpt2_job("tplB"))
+    else:
+        templates = (gpt2_fast_job("tpl"),)
+    schedule = None
+    if args.faults:
+        try:
+            schedule = FaultSchedule.from_json(args.faults)
+        except (OSError, ValueError, KeyError) as error:
+            return fail(f"cannot load fault schedule {args.faults}: {error}")
+    try:
+        model = ArrivalModel(
+            rate_per_s=args.rate,
+            horizon_s=horizon,
+            mean_iterations=args.mean_iterations,
+            diurnal_amplitude=args.diurnal_amplitude,
+            diurnal_period_s=args.diurnal_period,
+            flash_crowds=tuple(flash_crowds),
+        )
+        config = ServiceConfig(
+            arrival=model,
+            templates=templates,
+            capacity_gbps=args.capacity,
+            cc=args.cc,
+            seed=args.seed,
+            epoch_s=args.epoch_s,
+            epochs=args.epochs,
+            max_running=args.max_running,
+            queue_limit=args.queue_limit,
+            shed_policy=args.shed_policy,
+            snapshot_every=args.snapshot_every,
+            churn_limit=args.churn_limit,
+            faults=schedule,
+        )
+    except ValueError as error:
+        return fail(str(error))
+    telemetry = RunTelemetry("cli.serve")
+    journal = ServiceJournal(args.journal) if args.journal else None
+    try:
+        daemon = ChurnDaemon(
+            config,
+            journal=journal,
+            telemetry=telemetry,
+            snapshot_path=args.snapshots,
+            resume=args.resume,
+            crash_at_epoch=args.crash_at_epoch,
+        )
+        result = daemon.run()
+    except ValueError as error:
+        return fail(str(error))
+    except ServiceCrash as crash:
+        return fail(f"service did not survive: {crash}")
+
+    counters = result["counters"]
+    print(
+        render_table(
+            ["admitted", "deferred", "shed", "degraded", "departed",
+             "recoveries", "still running", "queue"],
+            [[
+                counters["admitted"], counters["deferred"], counters["shed"],
+                counters["degraded"], counters["departed"],
+                counters["recoveries"], len(result["per_job"]["running"]),
+                result["queue_depth"],
+            ]],
+            title=(
+                f"serve [{config.cc}] — {result['epochs_run']} epoch(s) x "
+                f"{config.epoch_s:g}s, {args.rate:g} arrivals/s, "
+                f"{config.shed_policy} shedding, seed {config.seed}"
+            ),
+        )
+    )
+    slo = result["slo_attainment"]
+    print(
+        f"  slo attainment: "
+        + (f"{100 * slo:.0f}%" if slo is not None else "n/a")
+        + f" of {counters['departed']} departed job(s); "
+        f"{result['snapshots']} snapshot(s); "
+        f"per-job fingerprint {daemon.per_job_fingerprint()[:16]}"
+    )
+    if args.report:
+        path = telemetry.write(args.report)
+        print(f"run-report written to {path}")
+    return EXIT_OK
+
+
 def _format_tti(time_to_reinterleave: Optional[float]) -> str:
     """Render a time-to-reinterleave: milliseconds, or "never"."""
     if time_to_reinterleave is None:
@@ -1296,6 +1427,117 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the JSON run-report (includes the v4 recovery "
         "section) to PATH",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived churn daemon: open-loop arrivals, admission "
+        "control, watchdog-supervised stepping, journaled recovery "
+        "(docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--epochs", type=_positive_int, default=30, metavar="N",
+        help="service epochs to run (default 30)",
+    )
+    serve.add_argument(
+        "--epoch-s", type=float, default=1.0, metavar="SECONDS",
+        help="simulated seconds per epoch (default 1.0)",
+    )
+    serve.add_argument(
+        "--horizon", type=float, default=None, metavar="SECONDS",
+        help="arrival-process horizon (default: epochs * epoch-s)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.6, metavar="PER_S",
+        help="mean Poisson arrival rate in jobs/s (default 0.6)",
+    )
+    serve.add_argument(
+        "--mean-iterations", type=float, default=12.0, metavar="N",
+        help="mean geometric job lifetime in iterations (default 12)",
+    )
+    serve.add_argument(
+        "--diurnal-amplitude", type=float, default=0.0, metavar="A",
+        help="diurnal rate modulation amplitude in [0, 1) (default 0)",
+    )
+    serve.add_argument(
+        "--diurnal-period", type=float, default=60.0, metavar="SECONDS",
+        help="diurnal modulation period (default 60)",
+    )
+    serve.add_argument(
+        "--flash", action="append", metavar="TIME:SIZE",
+        help="inject a flash crowd of SIZE fine-tune jobs at TIME "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--template", choices=["gpt2-fast", "gpt2", "mix"],
+        default="gpt2-fast",
+        help="job template(s) arrivals are drawn from (default: gpt2-fast)",
+    )
+    serve.add_argument(
+        "--capacity", type=float, default=50.0, metavar="GBPS",
+        help="bottleneck capacity in Gbps (default 50)",
+    )
+    serve.add_argument(
+        "--cc", choices=["mltcp", "fair"], default="mltcp",
+        help="congestion-control policy for the live engine "
+        "(default: mltcp)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; the arrival stream derives seed+1 (default 0)",
+    )
+    serve.add_argument(
+        "--max-running", type=_positive_int, default=8, metavar="N",
+        help="admission-control concurrency limit (default 8)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=_positive_int, default=16, metavar="N",
+        help="bounded pending-queue depth (default 16)",
+    )
+    serve.add_argument(
+        "--shed-policy", choices=["reject", "defer", "degrade"],
+        default="defer",
+        help="load-shedding policy past the limits (default: defer)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=_positive_int, default=5, metavar="N",
+        help="emit a schema-v6 service snapshot every N epochs (default 5)",
+    )
+    serve.add_argument(
+        "--churn-limit", type=_positive_int, default=4, metavar="N",
+        help="per-epoch churn above which the engine clamps to vanilla "
+        "CC for a few epochs (default 4)",
+    )
+    serve.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead journal path; enables crash recovery and "
+        "--resume",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="resume from the journal at --journal instead of starting "
+        "fresh",
+    )
+    serve.add_argument(
+        "--crash-at-epoch", type=_positive_int, default=None, metavar="N",
+        help="inject one stepper crash mid-epoch N (recovery drill)",
+    )
+    serve.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="JSON fault schedule applied to the bottleneck "
+        "(repro faults export format)",
+    )
+    serve.add_argument(
+        "--snapshots", metavar="PATH", default=None,
+        help="also append each service snapshot to PATH as JSON lines",
+    )
+    serve.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON run-report (includes the v6 service "
+        "section) to PATH",
+    )
+    serve.add_argument(
+        "--query", metavar="PATH", default=None,
+        help="summarize an existing journal at PATH and exit (no run)",
+    )
     docs_check = subparsers.add_parser(
         "docs-check",
         help="execute the python code fences in markdown docs so examples "
@@ -1360,6 +1602,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "chaos":
         return _chaos_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     if args.command == "docs-check":
         from .docscheck import run_docs_check

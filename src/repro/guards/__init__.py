@@ -40,6 +40,7 @@ from .monitors import (
 )
 from .watchdog import (
     EngineWatchdog,
+    StepperWatchdog,
     bdp_cwnd_cap,
     certified_cwnd_slack,
     install_packet_guards,
@@ -58,6 +59,7 @@ __all__ = [
     "check_route_liveness",
     "check_tracker_sanity",
     "EngineWatchdog",
+    "StepperWatchdog",
     "bdp_cwnd_cap",
     "certified_cwnd_slack",
     "install_packet_guards",

@@ -33,7 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulator.topology import Network
     from ..tcp.base import TcpSender
 
-__all__ = ["EngineWatchdog", "bdp_cwnd_cap", "certified_cwnd_slack", "install_packet_guards"]
+__all__ = [
+    "EngineWatchdog",
+    "StepperWatchdog",
+    "bdp_cwnd_cap",
+    "certified_cwnd_slack",
+    "install_packet_guards",
+]
 
 
 class EngineWatchdog:
@@ -112,6 +118,93 @@ class EngineWatchdog:
                 f"{delta} events scheduled in one {self.interval:.6g} s beat "
                 f"(limit {self.max_events_per_interval}); zero-delay livelock?",
             )
+
+
+class StepperWatchdog:
+    """Per-epoch progress monitor for the service daemon's stepper.
+
+    The churn daemon (:mod:`repro.service`) advances its live simulation
+    one epoch at a time.  Around each epoch the supervisor brackets the
+    step with :meth:`begin` / :meth:`check`; the watchdog verifies that
+    (a) simulated time never ran backwards, (b) the step actually reached
+    its target time (a stepper that returns early is stalled), and (c) —
+    when a wall clock is supplied — the step stayed within its wall-clock
+    budget.  Violations go through the usual :class:`GuardRail` policies:
+    under ``"raise"`` they abort; under ``"record"``/``"degrade"`` the
+    daemon sees ``check()`` return ``True`` and triggers a supervised
+    restart from the journal.
+
+    The wall clock is *injected* (e.g. ``time.monotonic`` from the
+    daemon) rather than read here, so this module stays free of ambient
+    time sources and tests can fake hangs deterministically.
+    """
+
+    #: Slack when comparing simulated time against the epoch target.
+    _EPS_TIME = 1e-9
+
+    def __init__(
+        self,
+        rail: GuardRail,
+        *,
+        stall_timeout_s: float = 30.0,
+        clock=None,
+    ) -> None:
+        if stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be positive, got {stall_timeout_s!r}"
+            )
+        self.rail = rail
+        self.stall_timeout_s = stall_timeout_s
+        self._clock = clock
+        self.fires = 0
+        self._begin_sim: Optional[float] = None
+        self._begin_wall: Optional[float] = None
+
+    def begin(self, sim_time: float) -> None:
+        """Arm the watchdog for one epoch starting at ``sim_time``."""
+        self._begin_sim = sim_time
+        self._begin_wall = self._clock() if self._clock is not None else None
+
+    def check(self, sim_time: float, target_time: float) -> bool:
+        """Audit the completed step; returns whether any violation fired."""
+        if self._begin_sim is None:
+            raise RuntimeError("watchdog check() without begin()")
+        fired = False
+        if sim_time < self._begin_sim:
+            fired = True
+            self.fires += 1
+            self.rail.violation(
+                "service-monotonic",
+                "stepper",
+                sim_time,
+                f"simulated clock ran backwards: {sim_time!r} < epoch start "
+                f"{self._begin_sim!r}",
+            )
+        if sim_time + self._EPS_TIME < target_time:
+            fired = True
+            self.fires += 1
+            self.rail.violation(
+                "service-stall",
+                "stepper",
+                sim_time,
+                f"epoch stepper stalled at t={sim_time!r} short of target "
+                f"{target_time!r}",
+            )
+        if self._begin_wall is not None and self._clock is not None:
+            elapsed = self._clock() - self._begin_wall
+            if elapsed > self.stall_timeout_s:
+                fired = True
+                self.fires += 1
+                self.rail.violation(
+                    "service-stall",
+                    "stepper",
+                    sim_time,
+                    f"epoch took {elapsed:.3g} s of wall time (budget "
+                    f"{self.stall_timeout_s:.3g} s); hung stepper?",
+                )
+        self._begin_sim = None
+        self._begin_wall = None
+        return fired
 
 
 def certified_cwnd_slack() -> float:

@@ -85,6 +85,12 @@ class RunCheckpoint:
             return False
         return True
 
+    def keys(self) -> tuple[str, ...]:
+        """All journaled keys, sorted.  Sweep checkpoints use opaque point
+        digests and never need this; ordered-key subclasses (the service's
+        write-ahead journal) scan it for the latest committed epoch."""
+        return tuple(sorted(self._entries))
+
     def clear(self) -> None:
         """Forget every journaled point and delete the file (fresh sweep)."""
         self._entries.clear()

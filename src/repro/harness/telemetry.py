@@ -16,7 +16,10 @@ adds the ``recovery`` section: per-fault recovery SLOs from chaos
 campaigns (:meth:`RunTelemetry.record_recovery`).  Schema v5 adds the
 ``verification`` section: bounded-model-checking verdicts from
 ``repro verify`` (:meth:`RunTelemetry.record_verification`,
-docs/VERIFICATION.md).
+docs/VERIFICATION.md).  Schema v6 adds the ``service`` section: periodic
+snapshots from the long-lived scheduling daemon — admitted/shed/deferred
+counts, queue depth, recovery events and SLO attainment
+(:meth:`RunTelemetry.record_service_snapshot`, docs/SERVICE.md).
 :meth:`RunTelemetry.as_report`
 turns that into the JSON run-report the benchmarks write next to their text
 output in ``bench_reports/`` (``<name>.run.json``); the report format is
@@ -40,6 +43,7 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "DEGRADATION_KINDS",
     "GUARD_EVENT_KINDS",
+    "SERVICE_EVENT_KINDS",
     "VERIFICATION_VERDICTS",
     "validate_run_report",
 ]
@@ -50,9 +54,11 @@ __all__ = [
 #: MLTCP degradation episodes, watchdog fires); v4 added the ``recovery``
 #: section (per-fault recovery SLOs from chaos campaigns,
 #: docs/ROBUSTNESS.md); v5 added the ``verification`` section (bounded
-#: model checking verdicts from ``repro verify``, docs/VERIFICATION.md).
-#: All are optional additions — earlier reports still validate.
-REPORT_SCHEMA_VERSION = 5
+#: model checking verdicts from ``repro verify``, docs/VERIFICATION.md);
+#: v6 added the ``service`` section (periodic churn-daemon snapshots,
+#: docs/SERVICE.md).  All are optional additions — earlier reports still
+#: validate.
+REPORT_SCHEMA_VERSION = 6
 
 #: What a verification entry's ``verdict`` may be: ``unsat`` (the property
 #: was proved over the searched space), ``sat`` (a counterexample was
@@ -73,6 +79,25 @@ DEGRADATION_KINDS = ("retry", "timeout", "crash", "error", "fault")
 #: tracker estimate became unreliable), ``watchdog`` (a stall watchdog
 #: fired — engine stall, event storm, or a harness wall-clock timeout).
 GUARD_EVENT_KINDS = ("violation", "degradation", "watchdog")
+
+#: What a service snapshot event's ``kind`` may be: ``admit`` (a job was
+#: admitted into the live simulation), ``defer`` (parked in the bounded
+#: pending queue), ``shed`` (rejected outright under overload), ``degrade``
+#: (admitted past capacity under the degrade policy — telemetry coarsens),
+#: ``depart`` (a job finished its iterations and left), ``recovery`` (the
+#: supervisor restarted the stepper and replayed the journal), ``fallback``
+#: (churn outpaced the iteration signal and weights clamped to vanilla CC),
+#: ``fault`` (an injected fabric fault transitioned while the daemon ran).
+SERVICE_EVENT_KINDS = (
+    "admit",
+    "defer",
+    "shed",
+    "degrade",
+    "depart",
+    "recovery",
+    "fallback",
+    "fault",
+)
 
 
 @dataclass(frozen=True)
@@ -125,6 +150,7 @@ class RunTelemetry:
     link_utilization: list[dict] = field(default_factory=list)
     recovery: list[dict] = field(default_factory=list)
     verification: list[dict] = field(default_factory=list)
+    service: list[dict] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter)
 
     def record_point(
@@ -350,6 +376,83 @@ class RunTelemetry:
             }
         )
 
+    def record_service_snapshot(
+        self,
+        *,
+        epoch: int,
+        time: float,
+        running: int,
+        queue_depth: int,
+        admitted: int,
+        deferred: int,
+        shed: int,
+        degraded: int,
+        departed: int,
+        recoveries: int,
+        slo_attainment: Optional[float] = None,
+        coarse: bool = False,
+        events: Optional[list[dict]] = None,
+        jobs: Optional[list[dict]] = None,
+    ) -> dict:
+        """Record one periodic churn-daemon snapshot (schema v6, optional
+        ``service`` section; docs/SERVICE.md).
+
+        Counters (``admitted`` … ``recoveries``) are cumulative since the
+        daemon started, so the last snapshot of a run doubles as its final
+        tally.  ``events`` lists every admission/shedding/recovery decision
+        since the previous snapshot (kinds in :data:`SERVICE_EVENT_KINDS`);
+        ``jobs`` carries per-running-job telemetry and is dropped —
+        ``coarse=True`` — when the degrade-to-coarser-telemetry shedding
+        policy is active.  Returns the appended entry so callers can mirror
+        it to a live snapshot sink."""
+        counters = {
+            "epoch": epoch,
+            "running": running,
+            "queue_depth": queue_depth,
+            "admitted": admitted,
+            "deferred": deferred,
+            "shed": shed,
+            "degraded": degraded,
+            "departed": departed,
+            "recoveries": recoveries,
+        }
+        for name, value in counters.items():
+            if value < 0:
+                raise ValueError(
+                    f"service snapshot: {name} must be non-negative, got {value!r}"
+                )
+        if slo_attainment is not None and not 0.0 <= slo_attainment <= 1.0:
+            raise ValueError(
+                f"service snapshot: slo_attainment must be in [0, 1], got "
+                f"{slo_attainment!r}"
+            )
+        for event in events or ():
+            if event.get("kind") not in SERVICE_EVENT_KINDS:
+                raise ValueError(
+                    f"unknown service event kind {event.get('kind')!r}; "
+                    f"expected one of {SERVICE_EVENT_KINDS}"
+                )
+        entry = {
+            "epoch": int(epoch),
+            "time": float(time),
+            "running": int(running),
+            "queue_depth": int(queue_depth),
+            "admitted": int(admitted),
+            "deferred": int(deferred),
+            "shed": int(shed),
+            "degraded": int(degraded),
+            "departed": int(departed),
+            "recoveries": int(recoveries),
+            "slo_attainment": (
+                float(slo_attainment) if slo_attainment is not None else None
+            ),
+            "coarse": bool(coarse),
+            "events": [dict(e) for e in events or ()],
+            "jobs": [dict(j) for j in jobs] if jobs is not None else None,
+        }
+        self.service.append(entry)
+        return entry
+
     @property
     def cache_hits(self) -> int:
         """Points served from the result cache."""
@@ -408,6 +511,7 @@ class RunTelemetry:
             "link_utilization": [dict(u) for u in self.link_utilization],
             "recovery": [dict(r) for r in self.recovery],
             "verification": [dict(v) for v in self.verification],
+            "service": [dict(s) for s in self.service],
             "guards": {
                 "violations": [
                     dict(e) for e in self.guard_events if e["kind"] == "violation"
@@ -497,7 +601,7 @@ RUN_REPORT_SCHEMA: dict = {
         "notes",
     ],
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1, 2, 3, 4, 5]},
+        "schema_version": {"type": "integer", "enum": [1, 2, 3, 4, 5, 6]},
         "experiment": {"type": "string"},
         "repro_version": {"type": "string"},
         "workers": {"type": ["integer", "null"], "minimum": 1},
@@ -638,6 +742,74 @@ RUN_REPORT_SCHEMA: dict = {
                     "elapsed_s": {"type": "number", "minimum": 0},
                     "params": {"type": ["object", "null"]},
                     "reason": {"type": ["string", "null"]},
+                },
+            },
+        },
+        # Added in schema_version 6, also optional: periodic churn-daemon
+        # snapshots (docs/SERVICE.md).  Counters are cumulative; ``events``
+        # carries every admission/shedding/recovery decision since the
+        # previous snapshot; ``jobs`` is null under coarse telemetry.
+        "service": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "epoch",
+                    "time",
+                    "running",
+                    "queue_depth",
+                    "admitted",
+                    "deferred",
+                    "shed",
+                    "degraded",
+                    "departed",
+                    "recoveries",
+                ],
+                "properties": {
+                    "epoch": {"type": "integer", "minimum": 0},
+                    "time": {"type": "number", "minimum": 0},
+                    "running": {"type": "integer", "minimum": 0},
+                    "queue_depth": {"type": "integer", "minimum": 0},
+                    "admitted": {"type": "integer", "minimum": 0},
+                    "deferred": {"type": "integer", "minimum": 0},
+                    "shed": {"type": "integer", "minimum": 0},
+                    "degraded": {"type": "integer", "minimum": 0},
+                    "departed": {"type": "integer", "minimum": 0},
+                    "recoveries": {"type": "integer", "minimum": 0},
+                    "slo_attainment": {
+                        "type": ["number", "null"],
+                        "minimum": 0,
+                    },
+                    "coarse": {"type": "boolean"},
+                    "events": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["kind", "detail"],
+                            "properties": {
+                                "kind": {"enum": list(SERVICE_EVENT_KINDS)},
+                                "detail": {"type": "string"},
+                                "job": {"type": ["string", "null"]},
+                                "time": {"type": ["number", "null"]},
+                            },
+                        },
+                    },
+                    "jobs": {
+                        "type": ["array", "null"],
+                        "items": {
+                            "type": "object",
+                            "required": ["name", "iterations"],
+                            "properties": {
+                                "name": {"type": "string"},
+                                "iterations": {"type": "integer", "minimum": 0},
+                                "mean_iteration_s": {
+                                    "type": ["number", "null"],
+                                    "minimum": 0,
+                                },
+                                "slo_ok": {"type": ["boolean", "null"]},
+                            },
+                        },
+                    },
                 },
             },
         },

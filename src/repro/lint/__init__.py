@@ -14,7 +14,7 @@ Public API::
 
 from __future__ import annotations
 
-from . import determinism, floats, guards, hygiene, model, perf, units
+from . import asynchrony, determinism, floats, guards, hygiene, model, perf, units
 from .cli import lint_paths, run_lint
 from .engine import SUPPRESSION_RULE, Finding, LintContext, Rule, lint_source
 
@@ -38,6 +38,7 @@ ALL_RULES: tuple[Rule, ...] = (
     + perf.RULES
     + guards.RULES
     + model.RULES
+    + asynchrony.RULES
     + (SUPPRESSION_RULE,)
 )
 

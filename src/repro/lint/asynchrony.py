@@ -1,0 +1,105 @@
+"""Asynchrony rules (ASY001).
+
+The service daemon's query surface may grow ``async`` handlers; the one
+way to wreck an event loop is to park it on a blocking call.  ASY001
+flags synchronous waits (``time.sleep``) and synchronous file I/O
+(``open``, ``os.fsync``, ``Path.read_text``/``write_text``/
+``read_bytes``/``write_bytes``) directly inside ``async def`` bodies —
+every coroutine sharing that loop stalls for the duration.  Use the
+loop's executor (``await loop.run_in_executor(...)``), an async sleep, or
+move the I/O out of the coroutine.
+
+Calls inside *nested* sync functions (and lambdas) are not flagged: those
+run whenever they are called, which may legitimately be from a worker
+thread — flagging the definition site would be guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, LintContext, Rule, dotted_name, terminal_name
+
+__all__ = ["RULES"]
+
+#: Blocking calls by resolved dotted name.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "io.open",
+        "os.fsync",
+    }
+)
+
+#: Blocking method names (synchronous ``pathlib.Path`` file I/O).  Matched
+#: by terminal attribute name since receiver types are not resolvable
+#: statically; the names are specific enough not to collide in practice.
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _scan(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s children without descending into nested scopes."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _scan(child)
+
+
+def _check_asy001(ctx: LintContext) -> Iterator[Finding]:
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for stmt in func.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scope: runs whenever it is called
+            for node in (stmt, *_scan(stmt)):
+                if not isinstance(node, ast.Call):
+                    continue
+                surface = dotted_name(node.func)
+                resolved = ctx.resolve(surface)
+                if resolved in _BLOCKING_CALLS:
+                    label = (
+                        f"`{surface}()`"
+                        if surface == resolved
+                        else f"`{surface}()` (resolves to `{resolved}`)"
+                    )
+                    yield Finding(
+                        ctx.path, node.lineno, node.col_offset, "ASY001",
+                        f"{label} blocks the event loop inside async "
+                        f"`{func.name}`; every coroutine on the loop stalls "
+                        "— await an async equivalent or push it through "
+                        "`loop.run_in_executor(...)`",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and terminal_name(node.func) in _BLOCKING_METHODS
+                ):
+                    yield Finding(
+                        ctx.path, node.lineno, node.col_offset, "ASY001",
+                        f"synchronous file I/O `{terminal_name(node.func)}()` "
+                        f"inside async `{func.name}` blocks the event loop; "
+                        "do the I/O outside the coroutine or via "
+                        "`loop.run_in_executor(...)`",
+                    )
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="ASY001",
+        name="blocking-call-in-async",
+        summary="no blocking calls (`time.sleep`, sync file I/O) in `async def`",
+        rationale=(
+            "A coroutine that calls `time.sleep` or does synchronous file "
+            "I/O parks the whole event loop, not just itself: every other "
+            "coroutine — heartbeats, watchdog checks, snapshot queries — "
+            "stalls until it returns. Blocking work belongs in an executor "
+            "or outside the async path."
+        ),
+        checker=_check_asy001,
+    ),
+)

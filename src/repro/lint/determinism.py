@@ -311,10 +311,12 @@ RULES: tuple[Rule, ...] = (
             "code makes results depend on host speed. The harness/telemetry "
             "layer is allowlisted — measuring real runtime is its job — and "
             "so is the verify layer, whose solver backends enforce "
-            "wall-clock query budgets."
+            "wall-clock query budgets, and the service layer, whose "
+            "watchdog/backoff machinery measures real timeouts (with "
+            "injectable clocks so simulated results stay deterministic)."
         ),
         checker=_check_det002,
-        exempt=("harness/", "verify/"),
+        exempt=("harness/", "verify/", "service/"),
     ),
     Rule(
         code="DET003",

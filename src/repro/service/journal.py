@@ -1,0 +1,72 @@
+"""The service's incremental write-ahead journal.
+
+Extends :class:`repro.harness.checkpoint.RunCheckpoint` — same JSONL
+``{"key", "blob"}`` format, same fsync-per-append durability, same
+truncated-final-line tolerance — with an *ordered* key space:
+
+* ``service:meta`` — the run's identity: a config fingerprint plus the
+  epoch/horizon parameters.  Written once at startup; a resuming daemon
+  refuses a journal whose fingerprint does not match its own config
+  (resuming someone else's journal would silently diverge).
+* ``epoch:<NNNNNNNN>`` — the complete dynamic state at the *end* of that
+  epoch: engine arrays + RNG, admission queue, counters, pending
+  snapshot events.  Zero-padded so lexicographic key order is epoch
+  order.
+
+Commit protocol (docs/SERVICE.md): the daemon mutates its live state
+through epoch ``k`` and only then appends ``epoch:k``.  A crash anywhere
+before the append loses at most the in-flight epoch; recovery reloads the
+highest committed epoch and re-runs from there.  Because every random
+draw is journaled inside the engine state, the replay is bit-identical to
+a run that never crashed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..harness.checkpoint import RunCheckpoint
+
+__all__ = ["ServiceJournal"]
+
+_META_KEY = "service:meta"
+_EPOCH_PREFIX = "epoch:"
+
+
+class ServiceJournal(RunCheckpoint):
+    """Ordered epoch journal on top of the sweep-checkpoint substrate."""
+
+    def write_meta(self, meta: dict) -> bool:
+        """Stamp the run's identity; returns whether it hit the disk."""
+        return self.put(_META_KEY, dict(meta))
+
+    def meta(self) -> Optional[dict]:
+        """The run identity, or None for a fresh journal."""
+        hit, value = self.get(_META_KEY)
+        return dict(value) if hit else None
+
+    def commit_epoch(self, epoch: int, state: dict) -> bool:
+        """Append one completed epoch's full state (the WAL commit point)."""
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch!r}")
+        return self.put(f"{_EPOCH_PREFIX}{epoch:08d}", state)
+
+    def epochs(self) -> list[int]:
+        """Committed epoch numbers, ascending."""
+        result = []
+        for key in self.keys():
+            if key.startswith(_EPOCH_PREFIX):
+                result.append(int(key[len(_EPOCH_PREFIX):]))
+        return result
+
+    def latest_epoch(self) -> Optional[int]:
+        """The highest committed epoch, or None before the first commit."""
+        epochs = self.epochs()
+        return epochs[-1] if epochs else None
+
+    def epoch_state(self, epoch: int) -> dict:
+        """The journaled state of one committed epoch."""
+        hit, value = self.get(f"{_EPOCH_PREFIX}{epoch:08d}")
+        if not hit:
+            raise KeyError(f"epoch {epoch} is not in the journal")
+        return value

@@ -70,6 +70,19 @@ class JobSpec:
     volume_jitter_fraction: float = 0.0
 
     def __post_init__(self) -> None:
+        # Finiteness first: every ordered check below is silently False for
+        # NaN (``nan < 0`` is False), so a NaN offset used to slip straight
+        # into the simulators and poison event times.  Reject eagerly, with
+        # the offending field named (the repro.faults.schedule convention).
+        for field_name in (
+            "comm_bits", "demand_gbps", "compute_time", "start_offset",
+            "jitter_sigma", "volume_jitter_fraction",
+        ):
+            value = getattr(self, field_name)
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"{self.name}: {field_name} must be finite, got {value!r}"
+                )
         if self.comm_bits <= 0:
             raise ValueError(f"{self.name}: comm_bits must be positive, got {self.comm_bits!r}")
         if self.demand_gbps <= 0:

@@ -8,9 +8,26 @@ recomputation.  These tests inject that churn into the fluid simulator.
 
 import pytest
 
-from repro.fluid.allocation import MLTCPWeighted
+from repro.fluid.allocation import FairShare, MLTCPWeighted
 from repro.fluid.flowsim import run_fluid
 from repro.workloads.presets import gpt2_heavy_job, gpt2_job, identical_jobs
+
+
+def _fingerprint(result):
+    """Hex-exact record of everything both engines must reproduce."""
+    return (
+        [
+            (
+                it.job,
+                it.index,
+                it.comm_start.hex(),
+                it.comm_end.hex(),
+                it.iteration_end.hex(),
+            )
+            for it in result.iterations
+        ],
+        result.end_time.hex(),
+    )
 
 
 class TestLateArrival:
@@ -99,3 +116,64 @@ class TestNoiseSpike:
         )
         rounds = result.mean_iteration_by_round()
         assert rounds[-15:].mean() < 1.1 * 1.8
+
+
+class TestChurnEngineDispatch:
+    """Churn scenarios are bit-identical across the scalar/array engines.
+
+    ``run_fluid`` routes populations under ``_VECTORIZED_MIN_FLOWS`` to the
+    scalar engine and larger ones to the PR-9 array engine.  Late arrivals
+    and departures exercise the engines' bookkeeping of waiting and retired
+    flows — exactly the state the live service churns through — so forcing
+    the threshold down must not change a single bit of any output.
+    """
+
+    @pytest.mark.parametrize("policy_factory", [FairShare, MLTCPWeighted])
+    def test_late_arrival_bit_identical(self, monkeypatch, policy_factory):
+        jobs = identical_jobs(gpt2_job(), 3)
+        late = gpt2_job().with_name("Late").with_offset(15.0)
+        scalar = run_fluid(
+            jobs + [late], 50.0, policy=policy_factory(),
+            max_iterations=20, seed=3,
+        )
+        monkeypatch.setattr("repro.fluid.flowsim._VECTORIZED_MIN_FLOWS", 1)
+        array = run_fluid(
+            jobs + [late], 50.0, policy=policy_factory(),
+            max_iterations=20, seed=3,
+        )
+        assert _fingerprint(scalar) == _fingerprint(array)
+
+    @pytest.mark.parametrize("policy_factory", [FairShare, MLTCPWeighted])
+    def test_departure_bit_identical(self, monkeypatch, policy_factory):
+        jobs = identical_jobs(gpt2_job(), 6)
+        jobs = [
+            job.with_iteration_limit(8) if i % 2 == 0 else job
+            for i, job in enumerate(jobs)
+        ]
+        scalar = run_fluid(
+            jobs, 50.0, policy=policy_factory(), max_iterations=20, seed=5
+        )
+        monkeypatch.setattr("repro.fluid.flowsim._VECTORIZED_MIN_FLOWS", 1)
+        array = run_fluid(
+            jobs, 50.0, policy=policy_factory(), max_iterations=20, seed=5
+        )
+        assert _fingerprint(scalar) == _fingerprint(array)
+
+    def test_mixed_churn_with_jitter_bit_identical(self, monkeypatch):
+        """Arrival + departure + jitter in one run: the RNG draw order and
+        retirement bookkeeping must line up exactly across engines."""
+        jobs = [j.with_jitter(0.01) for j in identical_jobs(gpt2_job(), 4)]
+        jobs[1] = jobs[1].with_iteration_limit(6)
+        late = (
+            gpt2_job().with_name("Late").with_offset(12.0).with_jitter(0.01)
+        )
+        scalar = run_fluid(
+            jobs + [late], 50.0, policy=MLTCPWeighted(),
+            max_iterations=16, seed=7,
+        )
+        monkeypatch.setattr("repro.fluid.flowsim._VECTORIZED_MIN_FLOWS", 1)
+        array = run_fluid(
+            jobs + [late], 50.0, policy=MLTCPWeighted(),
+            max_iterations=16, seed=7,
+        )
+        assert _fingerprint(scalar) == _fingerprint(array)

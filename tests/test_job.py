@@ -63,6 +63,33 @@ class TestValidation:
         """Pure-communication jobs (alpha = 1) are legal."""
         assert make_job(compute_time=0.0).alpha == 1.0
 
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "comm_bits",
+            "demand_gbps",
+            "compute_time",
+            "start_offset",
+            "jitter_sigma",
+            "volume_jitter_fraction",
+        ],
+    )
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite_values(self, field, value):
+        """NaN/inf poison every downstream computation silently — the spec
+        rejects them eagerly, naming the field (docs/FAULTS.md convention)."""
+        with pytest.raises(ValueError, match=f"{field} must be finite"):
+            make_job(**{field: value})
+
+    def test_with_offset_rejects_nan(self):
+        """Arrival-time paths (`with_offset`) go through the same gate."""
+        with pytest.raises(ValueError, match="start_offset must be finite"):
+            make_job().with_offset(float("nan"))
+
+    def test_with_offset_rejects_negative(self):
+        with pytest.raises(ValueError, match="start_offset"):
+            make_job().with_offset(-1.0)
+
 
 class TestCopies:
     def test_with_offset(self):

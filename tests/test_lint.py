@@ -695,6 +695,87 @@ class TestModelDriftRule:
         assert findings == []
 
 
+class TestAsynchronyRule:
+    """ASY001: no blocking calls inside `async def` bodies."""
+
+    def test_time_sleep_in_async_flagged(self):
+        src = (
+            "import time\n"
+            "async def poll():\n"
+            "    time.sleep(1.0)\n"
+        )
+        assert codes(src, NEUTRAL) == ["ASY001"]
+
+    def test_aliased_sleep_resolved(self):
+        src = (
+            "from time import sleep\n"
+            "async def poll():\n"
+            "    sleep(1.0)\n"
+        )
+        assert codes(src, NEUTRAL) == ["ASY001"]
+
+    def test_open_in_async_flagged(self):
+        src = (
+            "async def dump(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n"
+        )
+        assert codes(src, NEUTRAL) == ["ASY001"]
+
+    def test_path_write_text_in_async_flagged(self):
+        src = (
+            "async def dump(path, blob):\n"
+            "    path.write_text(blob)\n"
+        )
+        assert codes(src, NEUTRAL) == ["ASY001"]
+
+    def test_sleep_in_sync_function_clean(self):
+        src = (
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(1.0)\n"
+        )
+        assert codes(src, NEUTRAL) == []
+
+    def test_nested_sync_function_not_flagged(self):
+        """A sync helper defined inside a coroutine runs wherever it is
+        *called* — flagging its definition site would be guessing."""
+        src = (
+            "import time\n"
+            "async def poll():\n"
+            "    def blocking():\n"
+            "        time.sleep(1.0)\n"
+            "    return blocking\n"
+        )
+        assert codes(src, NEUTRAL) == []
+
+    def test_async_sleep_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def poll():\n"
+            "    await asyncio.sleep(1.0)\n"
+        )
+        assert codes(src, NEUTRAL) == []
+
+    def test_deeply_nested_blocking_call_flagged(self):
+        src = (
+            "import time\n"
+            "async def poll(items):\n"
+            "    for item in items:\n"
+            "        if item:\n"
+            "            time.sleep(0.1)\n"
+        )
+        assert codes(src, NEUTRAL) == ["ASY001"]
+
+    def test_suppression_comment(self):
+        src = (
+            "import time\n"
+            "async def poll():\n"
+            "    time.sleep(1.0)  # repro-lint: disable=ASY001 -- test shim\n"
+        )
+        assert codes(src, NEUTRAL) == []
+
+
 class TestRuleCatalog:
     def test_codes_are_unique_and_documented(self):
         seen = [rule.code for rule in ALL_RULES]
