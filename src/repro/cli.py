@@ -960,7 +960,12 @@ def _serve_command(args) -> int:
     except ValueError as error:
         return fail(str(error))
     telemetry = RunTelemetry("cli.serve")
-    journal = ServiceJournal(args.journal) if args.journal else None
+    # The daemon only ever restores the latest committed epoch, so keep a
+    # bounded number of states in RAM; the file retains the full history
+    # for --query, which loads without a retain bound.
+    journal = (
+        ServiceJournal(args.journal, retain=2) if args.journal else None
+    )
     try:
         daemon = ChurnDaemon(
             config,

@@ -13,7 +13,9 @@ slice of simulated time) the daemon:
    crash triggers a supervised restart from the write-ahead journal
    (bounded by ``max_recoveries``);
 4. commits the complete dynamic state to the journal (the WAL commit
-   point — a crash loses at most the in-flight epoch);
+   point — a crash loses at most the in-flight epoch; a commit that
+   fails every retry is a hard stop, since advancing uncommitted would
+   silently void that bound);
 5. every ``snapshot_every`` epochs, emits a telemetry snapshot, with a
    per-operation timeout and bounded retry + exponential backoff on the
    snapshot sink (a slow or failing sink degrades telemetry, never the
@@ -326,11 +328,15 @@ class ChurnDaemon:
     def _with_retry(self, op: str, fn: Callable[[], object]) -> bool:
         """Run one side-effecting operation under timeout + bounded retry.
 
-        Returns whether the operation eventually succeeded.  Failures and
-        over-budget attempts are recorded as ``retry``/``timeout``
-        degradations; exhausting every attempt records an ``error`` and
-        returns False — the daemon sheds the side effect rather than the
-        simulation (mirrors the experiment runner's backoff idiom).
+        Returns whether the operation eventually succeeded.  Failures are
+        recorded as ``retry`` degradations; exhausting every attempt
+        records an ``error`` and returns False — the daemon sheds the side
+        effect rather than the simulation (mirrors the experiment runner's
+        backoff idiom).  An attempt that *returns* but blows the
+        ``op_timeout_s`` budget is still a success: the side effect (a
+        journal append, a snapshot line) cannot be un-done, so re-running
+        it would duplicate it.  The overrun is recorded as a ``timeout``
+        degradation for observability only.
         """
         config = self.config
         for attempt in range(1, config.op_attempts + 1):
@@ -341,17 +347,21 @@ class ChurnDaemon:
             except OSError as error:
                 failure = f"{type(error).__name__}: {error}"
             elapsed = self._clock() - started
-            if failure is None and elapsed <= config.op_timeout_s:
+            if failure is None:
+                if elapsed > config.op_timeout_s and self.telemetry is not None:
+                    self.telemetry.record_degradation(
+                        "timeout",
+                        f"{op}: attempt {attempt} took {elapsed:.3g} s "
+                        f"(budget {config.op_timeout_s:.3g} s)",
+                        attempt=attempt,
+                    )
                 return True
-            kind = "timeout" if failure is None else "retry"
-            detail = (
-                f"{op}: attempt {attempt} took {elapsed:.3g} s "
-                f"(budget {config.op_timeout_s:.3g} s)"
-                if failure is None
-                else f"{op}: attempt {attempt} failed ({failure})"
-            )
             if self.telemetry is not None:
-                self.telemetry.record_degradation(kind, detail, attempt=attempt)
+                self.telemetry.record_degradation(
+                    "retry",
+                    f"{op}: attempt {attempt} failed ({failure})",
+                    attempt=attempt,
+                )
             if attempt < config.op_attempts:
                 delay = min(
                     MAX_BACKOFF_S,
@@ -385,7 +395,17 @@ class ChurnDaemon:
         self.engine = self._fresh_engine()
         self.engine.load_state(state["engine"])
         self.admission.load_state(state["admission"])
+        # The journaled count only reflects recoveries committed with a
+        # later successful epoch; the in-process count may be ahead of it
+        # (a crash loop never reaches the next commit).  Keep whichever is
+        # larger, or a deterministically repeating crash would reset the
+        # counter every cycle and the max_recoveries guard in run() would
+        # never trip.
+        prior_recoveries = self.counters["recoveries"]
         self.counters = dict(state["counters"])
+        self.counters["recoveries"] = max(
+            prior_recoveries, self.counters["recoveries"]
+        )
         self._events = [dict(e) for e in state["events"]]
         self._next_arrival = state["next_arrival"]
         self._fallback_left = state["fallback_left"]
@@ -598,7 +618,24 @@ class ChurnDaemon:
                     if not journal.commit_epoch(epoch, state):
                         raise OSError("journal append did not reach disk")
 
-                self._with_retry("journal commit", commit)
+                if not self._with_retry("journal commit", commit):
+                    # Unlike a slow snapshot sink, a dead journal cannot be
+                    # shed: advancing uncommitted would silently void the
+                    # "a crash loses at most the in-flight epoch" bound.
+                    detail = (
+                        f"journal commit for epoch {epoch} failed after "
+                        f"{config.op_attempts} attempt(s); the recovery "
+                        "bound no longer holds — stopping"
+                    )
+                    if self.telemetry is not None:
+                        self.telemetry.record_guard_event(
+                            "violation",
+                            detail,
+                            guard="service-journal",
+                            subject="journal",
+                            time=float(self.engine.now),
+                        )
+                    raise ServiceCrash(detail)
             self.epoch += 1
         if not self.snapshots or self.snapshots[-1]["epoch"] != self.epoch - 1:
             self.epoch -= 1

@@ -19,10 +19,19 @@ before the append loses at most the in-flight epoch; recovery reloads the
 highest committed epoch and re-runs from there.  Because every random
 draw is journaled inside the engine state, the replay is bit-identical to
 a run that never crashed.
+
+Memory: recovery only ever reads the *latest* committed epoch, but the
+inherited checkpoint keeps every committed blob in RAM for the process
+lifetime — unbounded growth for a long-lived daemon.  The ``retain``
+knob compacts the in-memory map down to the newest N epoch states after
+each commit (and after load); the file on disk keeps the full history
+either way, so an unbounded reader (``query_journal``) still sees every
+epoch.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from ..harness.checkpoint import RunCheckpoint
@@ -33,8 +42,34 @@ _META_KEY = "service:meta"
 _EPOCH_PREFIX = "epoch:"
 
 
+def _epoch_key(epoch: int) -> str:
+    return f"{_EPOCH_PREFIX}{epoch:08d}"
+
+
 class ServiceJournal(RunCheckpoint):
-    """Ordered epoch journal on top of the sweep-checkpoint substrate."""
+    """Ordered epoch journal on top of the sweep-checkpoint substrate.
+
+    ``retain`` bounds how many committed epoch *states* stay in memory
+    (``None`` keeps them all — the right mode for query/analysis over a
+    finished journal).  A long-lived daemon should pass a small bound:
+    recovery needs only the latest committed epoch.
+    """
+
+    def __init__(
+        self, path: os.PathLike | str, *, retain: Optional[int] = None
+    ) -> None:
+        if retain is not None and retain < 1:
+            raise ValueError(f"retain must be >= 1 or None, got {retain!r}")
+        self.retain = retain
+        super().__init__(path)
+        self._compact()
+
+    def _compact(self) -> None:
+        """Drop superseded epoch states from RAM (the file keeps them)."""
+        if self.retain is None:
+            return
+        for epoch in self.epochs()[: -self.retain]:
+            del self._entries[_epoch_key(epoch)]
 
     def write_meta(self, meta: dict) -> bool:
         """Stamp the run's identity; returns whether it hit the disk."""
@@ -49,10 +84,13 @@ class ServiceJournal(RunCheckpoint):
         """Append one completed epoch's full state (the WAL commit point)."""
         if epoch < 0:
             raise ValueError(f"epoch must be non-negative, got {epoch!r}")
-        return self.put(f"{_EPOCH_PREFIX}{epoch:08d}", state)
+        persisted = self.put(_epoch_key(epoch), state)
+        self._compact()
+        return persisted
 
     def epochs(self) -> list[int]:
-        """Committed epoch numbers, ascending."""
+        """Committed epoch numbers held in memory, ascending (all of them
+        unless ``retain`` compacted the older states away)."""
         result = []
         for key in self.keys():
             if key.startswith(_EPOCH_PREFIX):
@@ -66,7 +104,7 @@ class ServiceJournal(RunCheckpoint):
 
     def epoch_state(self, epoch: int) -> dict:
         """The journaled state of one committed epoch."""
-        hit, value = self.get(f"{_EPOCH_PREFIX}{epoch:08d}")
+        hit, value = self.get(_epoch_key(epoch))
         if not hit:
             raise KeyError(f"epoch {epoch} is not in the journal")
         return value

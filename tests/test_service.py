@@ -235,6 +235,36 @@ class TestJournal:
         with pytest.raises(KeyError):
             journal.epoch_state(3)
 
+    def test_retain_bounds_memory_but_not_disk(self, tmp_path):
+        path = tmp_path / "svc.journal"
+        journal = ServiceJournal(path, retain=2)
+        journal.write_meta({"fingerprint": "abc"})
+        for epoch in range(5):
+            journal.commit_epoch(epoch, {"e": epoch})
+        assert journal.epochs() == [3, 4]
+        assert journal.latest_epoch() == 4
+        assert journal.meta() == {"fingerprint": "abc"}
+        with pytest.raises(KeyError):
+            journal.epoch_state(0)
+        # The JSONL file keeps the full history: an unbounded reader
+        # (what --query uses) still sees every committed epoch.
+        full = ServiceJournal(path)
+        assert full.epochs() == [0, 1, 2, 3, 4]
+        assert full.epoch_state(0) == {"e": 0}
+
+    def test_retain_compacts_on_load(self, tmp_path):
+        path = tmp_path / "svc.journal"
+        journal = ServiceJournal(path)
+        for epoch in range(4):
+            journal.commit_epoch(epoch, {"e": epoch})
+        reopened = ServiceJournal(path, retain=1)
+        assert reopened.epochs() == [3]
+        assert reopened.epoch_state(3) == {"e": 3}
+
+    def test_retain_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="retain"):
+            ServiceJournal(tmp_path / "svc.journal", retain=0)
+
 
 class TestDaemonRuns:
     def test_uninterrupted_run(self, tmp_path):
@@ -300,6 +330,65 @@ class TestDaemonRuns:
         result = resumed.run()
         assert resumed.per_job_fingerprint() == baseline.per_job_fingerprint()
         assert result["counters"]["recoveries"] == 1
+
+    def test_supervised_recovery_with_bounded_retention(self, tmp_path):
+        """Crash recovery only needs the latest committed epoch, so it
+        works unchanged on a memory-bounded (retain=N) journal."""
+        baseline = ChurnDaemon(_config())
+        baseline.run()
+        journal = ServiceJournal(tmp_path / "svc.journal", retain=1)
+        crashed = ChurnDaemon(_config(), journal=journal, crash_at_epoch=6)
+        result = crashed.run()
+        assert result["counters"]["recoveries"] == 1
+        assert crashed.per_job_fingerprint() == baseline.per_job_fingerprint()
+        assert len(journal.epochs()) == 1
+
+    def test_repeating_crash_trips_max_recoveries(self, tmp_path):
+        """A deterministically repeating crash must exhaust the recovery
+        budget: the restore path may not reset the in-process recovery
+        counter to the (older) journaled value, or the supervisor would
+        loop forever."""
+        daemon = ChurnDaemon(
+            _config(max_recoveries=3),
+            journal=ServiceJournal(tmp_path / "svc.journal"),
+        )
+        original = daemon._step_supervised
+        crashes = {"n": 0}
+
+        def crashing(target):
+            if daemon.epoch >= 2:
+                crashes["n"] += 1
+                raise ServiceCrash("deterministic repeating crash")
+            return original(target)
+
+        daemon._step_supervised = crashing
+        with pytest.raises(ServiceCrash, match="gave up after 3"):
+            daemon.run()
+        assert daemon.counters["recoveries"] == 3
+        assert crashes["n"] == 4  # the initial crash + one per restart
+
+    def test_dead_journal_is_a_hard_stop(self, tmp_path):
+        """A journal commit that fails every attempt voids the at-most-
+        one-epoch recovery bound: the daemon must stop loudly, not keep
+        advancing uncommitted epochs."""
+
+        class DeadJournal(ServiceJournal):
+            def commit_epoch(self, epoch, state):
+                return False
+
+        telemetry = RunTelemetry("test.service")
+        daemon = ChurnDaemon(
+            _config(backoff_base_s=0.0),
+            journal=DeadJournal(tmp_path / "svc.journal"),
+            telemetry=telemetry,
+        )
+        with pytest.raises(ServiceCrash, match="recovery bound"):
+            daemon.run()
+        report = telemetry.as_report()
+        assert any(
+            v["guard"] == "service-journal"
+            for v in report["guards"]["violations"]
+        )
 
     def test_unjournaled_crash_propagates(self):
         daemon = ChurnDaemon(_config(), crash_at_epoch=3)
@@ -440,19 +529,42 @@ class TestRetryBackoff:
         )
         return daemon, telemetry
 
-    def test_slow_op_times_out_and_backs_off(self):
-        # Each attempt appears to take 10 s against a 5 s budget.
+    def test_slow_success_is_not_retried(self):
+        # The attempt takes 10 s against a 5 s budget but *completes*:
+        # the side effect (journal line, snapshot line) is already on
+        # disk, so re-running it would duplicate it.  The overrun is a
+        # timeout degradation for observability only.
+        sleeps = []
+        calls = {"n": 0}
+        daemon, telemetry = self._daemon(
+            [0.0, 10.0], sleeps, op_attempts=3, backoff_base_s=0.05
+        )
+
+        def slow():
+            calls["n"] += 1
+
+        assert daemon._with_retry("op", slow) is True
+        assert calls["n"] == 1
+        assert sleeps == []
+        kinds = [d["kind"] for d in telemetry.degradations]
+        assert kinds == ["timeout"]
+
+    def test_failing_op_gives_up_after_attempts(self):
         sleeps = []
         daemon, telemetry = self._daemon(
-            [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+            [0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
             sleeps,
             op_attempts=3,
             backoff_base_s=0.05,
         )
-        assert daemon._with_retry("op", lambda: None) is False
+
+        def dead():
+            raise OSError("disk full")
+
+        assert daemon._with_retry("op", dead) is False
         assert sleeps == [0.05, 0.1]
         kinds = [d["kind"] for d in telemetry.degradations]
-        assert kinds == ["timeout", "timeout", "timeout", "error"]
+        assert kinds == ["retry", "retry", "retry", "error"]
 
     def test_failing_op_retries_then_succeeds(self):
         sleeps = []
@@ -474,12 +586,16 @@ class TestRetryBackoff:
     def test_backoff_is_capped(self):
         sleeps = []
         daemon, _ = self._daemon(
-            [float(i) * 100 for i in range(20)],
+            [float(i) for i in range(20)],
             sleeps,
             op_attempts=8,
             backoff_base_s=0.5,
         )
-        daemon._with_retry("op", lambda: None)
+
+        def dead():
+            raise OSError("nope")
+
+        assert daemon._with_retry("op", dead) is False
         assert max(sleeps) == 2.0
 
     def test_snapshot_sink_failure_sheds_side_effect(self, tmp_path):
